@@ -1,0 +1,57 @@
+//! Benchmarks for the beyond-the-paper extensions: the Chebyshev
+//! propagator and the 2D-KPM conductivity engine. Their scaling exponents
+//! are the point — evolution is `O(t D)` per unit time (Bessel tail), and
+//! double moments are `O(N^2 D)`, quadratically heavier than the DoS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpm::kubo::{double_moments, velocity_operator};
+use kpm::moments::KpmParams;
+use kpm::propagate::{ComplexState, Propagator};
+use kpm::rescale::Boundable;
+use kpm_lattice::{Boundary, HypercubicLattice, OnSite, TightBinding};
+use std::hint::black_box;
+
+fn chain(l: usize) -> kpm_linalg::CsrMatrix {
+    TightBinding::new(HypercubicLattice::chain(l, Boundary::Periodic), 1.0, OnSite::Uniform(0.0))
+        .build_csr()
+}
+
+fn bench_propagator(c: &mut Criterion) {
+    let h = chain(1024);
+    let bounds = h.spectral_bounds(kpm::BoundsMethod::Gershgorin).unwrap();
+    let prop = Propagator::new(&h, bounds, 1e-10).unwrap();
+    let mut re = vec![0.0; 1024];
+    re[512] = 1.0;
+    let psi = ComplexState::from_real(re);
+
+    let mut group = c.benchmark_group("extension_propagator");
+    group.sample_size(10);
+    for &t in &[1.0f64, 4.0, 16.0] {
+        group.bench_with_input(BenchmarkId::new("evolve_chain_1024", t as usize), &t, |b, &t| {
+            b.iter(|| black_box(prop.evolve(&psi, t)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_double_moments(c: &mut Criterion) {
+    let l = 256;
+    let h = chain(l);
+    let bounds = h.spectral_bounds(kpm::BoundsMethod::Gershgorin).unwrap().padded(0.01);
+    let hs = kpm_linalg::op::RescaledOp::new(&h, bounds.a_plus(), bounds.a_minus());
+    let positions: Vec<f64> = (0..l).map(|i| i as f64).collect();
+    let v = velocity_operator(&h, &positions, Some(l as f64));
+
+    let mut group = c.benchmark_group("extension_double_moments");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 32] {
+        let params = KpmParams::new(n).with_random_vectors(2, 1).with_seed(1);
+        group.bench_with_input(BenchmarkId::new("kubo_chain_256", n), &n, |b, _| {
+            b.iter(|| black_box(double_moments(&hs, &v, &params).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagator, bench_double_moments);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Fig. 5 companion bench: wall-time of the *functional* implementations on
+//! the paper's 10×10×10 lattice, sweeping the truncation order `N`.
+//!
+//! The repro binary prices the paper's full scale with the performance
+//! models; this bench measures the real Rust code (CPU reference vs the
+//! simulated device's functional layer) at a reduced realization count so
+//! Criterion can iterate. The shape to look for: both paths scale linearly
+//! in `N` (the KPM's `O(S R N D)` claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpm::moments::{stochastic_moments, KpmParams};
+use kpm::rescale::{rescale, Boundable};
+use kpm_lattice::paper_cubic_hamiltonian;
+use kpm_stream::StreamKpmEngine;
+use kpm_streamsim::GpuSpec;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let h = paper_cubic_hamiltonian();
+    let mut group = c.benchmark_group("fig5_lattice_sweep");
+    group.sample_size(10);
+
+    for &n in &[32usize, 64, 128] {
+        let params = KpmParams::new(n).with_random_vectors(4, 2).with_seed(1);
+
+        group.bench_with_input(BenchmarkId::new("cpu_reference", n), &n, |b, _| {
+            let bounds = h.spectral_bounds(params.bounds).unwrap();
+            let rescaled = rescale(&h, bounds, params.padding).unwrap();
+            b.iter(|| black_box(stochastic_moments(&rescaled, &params)));
+        });
+
+        group.bench_with_input(BenchmarkId::new("device_functional", n), &n, |b, _| {
+            b.iter(|| {
+                let mut engine = StreamKpmEngine::new(GpuSpec::tesla_c2050());
+                black_box(engine.compute_moments_csr(&h, &params).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

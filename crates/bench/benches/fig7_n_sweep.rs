@@ -1,0 +1,41 @@
+//! Fig. 7 companion bench: dense `H_SIZE = 128`, sweeping `N` — the
+//! compute-bound axis. Measures the real CPU reference (dense matvec path)
+//! and, separately, the modeled-time evaluation itself (the pricing is pure
+//! arithmetic and should be microseconds — this guards against the cost
+//! model accidentally becoming the bottleneck of the repro binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpm::moments::{stochastic_moments, KpmParams};
+use kpm::rescale::{rescale, Boundable};
+use kpm_lattice::dense_random_symmetric;
+use kpm_stream::StreamKpmEngine;
+use kpm_streamsim::GpuSpec;
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let h = dense_random_symmetric(128, 1.0, 42);
+    let mut group = c.benchmark_group("fig7_n_sweep");
+    group.sample_size(10);
+
+    for &n in &[32usize, 64, 128, 256] {
+        let params = KpmParams::new(n).with_random_vectors(4, 2).with_seed(2);
+        group.bench_with_input(BenchmarkId::new("cpu_reference_dense", n), &n, |b, _| {
+            let bounds = h.spectral_bounds(params.bounds).unwrap();
+            let rescaled = rescale(&h, bounds, params.padding).unwrap();
+            b.iter(|| black_box(stochastic_moments(&rescaled, &params)));
+        });
+    }
+
+    // Pricing a paper-scale estimate must stay trivially cheap.
+    let engine = StreamKpmEngine::new(GpuSpec::tesla_c2050());
+    group.bench_function("model_estimate_paper_scale", |b| {
+        b.iter(|| {
+            let shape = engine.shape_for(128, 128 * 128, true, 2048, 1792);
+            black_box(engine.estimate(&shape))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

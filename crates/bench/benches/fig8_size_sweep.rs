@@ -1,0 +1,33 @@
+//! Fig. 8 companion bench: dense `H~`, sweeping `H_SIZE` at fixed `N` —
+//! the memory-bound axis. The CPU reference's time per FLOP should climb
+//! once the matrix leaves cache; Criterion's per-size throughput makes the
+//! bend visible on real hardware too (this box's caches, not the modeled
+//! Nehalem's).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kpm::moments::{stochastic_moments, KpmParams};
+use kpm::rescale::{rescale, Boundable};
+use kpm_lattice::dense_random_symmetric;
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_size_sweep");
+    group.sample_size(10);
+    let n = 16usize;
+
+    for &d in &[64usize, 128, 256, 512] {
+        let h = dense_random_symmetric(d, 1.0, 7);
+        let params = KpmParams::new(n).with_random_vectors(2, 1).with_seed(3);
+        let flops = 2 * (d as u64) * (d as u64) * (n as u64 - 1) * 2;
+        group.throughput(Throughput::Elements(flops));
+        group.bench_with_input(BenchmarkId::new("cpu_reference_dense", d), &d, |b, _| {
+            let bounds = h.spectral_bounds(params.bounds).unwrap();
+            let rescaled = rescale(&h, bounds, params.padding).unwrap();
+            b.iter(|| black_box(stochastic_moments(&rescaled, &params)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

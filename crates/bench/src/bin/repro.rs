@@ -1,0 +1,211 @@
+//! Regenerates every evaluation artifact of the paper.
+//!
+//! ```text
+//! repro fig5            # Fig. 5: lattice sweep over N (times + speedup)
+//! repro fig6 [--full]   # Fig. 6: DoS curves N = 256 vs 512 (+ ASCII plot)
+//! repro fig7            # Fig. 7: dense N sweep
+//! repro fig8            # Fig. 8: dense H_SIZE sweep
+//! repro ablations       # mapping / layout / recursion / cluster / kernels
+//! repro all [--full]    # everything
+//! ```
+//!
+//! Tables print to stdout; CSVs land in `results/` (override with
+//! `--out DIR`). CPU/GPU times are modeled at the paper's full parameter
+//! scale (S*R = 1792) — see DESIGN.md §2 and EXPERIMENTS.md.
+
+use kpm_bench::figures::{self, SpeedupRow};
+use kpm_bench::report::{ascii_plot, fmt_secs, Table};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = PathBuf::from("results");
+    let mut full = false;
+    let mut command = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--full" => full = true,
+            "fig5" | "fig6" | "fig7" | "fig8" | "ablations" | "all" => {
+                command = Some(a.clone());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return usage();
+            }
+        }
+    }
+    let Some(command) = command else {
+        return usage();
+    };
+
+    match command.as_str() {
+        "fig5" => fig5(&out_dir),
+        "fig6" => fig6(&out_dir, full),
+        "fig7" => fig7(&out_dir),
+        "fig8" => fig8(&out_dir),
+        "ablations" => ablations(&out_dir),
+        "all" => {
+            fig5(&out_dir);
+            fig6(&out_dir, full);
+            fig7(&out_dir);
+            fig8(&out_dir);
+            ablations(&out_dir);
+        }
+        _ => unreachable!(),
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: repro <fig5|fig6|fig7|fig8|ablations|all> [--full] [--out DIR]");
+    ExitCode::FAILURE
+}
+
+fn speedup_table(title: &str, xlabel: &str, rows: &[SpeedupRow], out: &Path, file: &str) {
+    let mut t = Table::new(&[xlabel, "cpu_s", "gpu_s", "speedup"]);
+    for r in rows {
+        t.row(vec![
+            r.x.to_string(),
+            format!("{:.4}", r.cpu_s),
+            format!("{:.4}", r.gpu_s),
+            format!("{:.2}", r.speedup()),
+        ]);
+    }
+    println!("== {title} ==");
+    println!("{}", t.render());
+    let path = out.join(file);
+    match t.write_csv(&path) {
+        Ok(()) => println!("wrote {}\n", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}\n", path.display()),
+    }
+}
+
+fn fig5(out: &Path) {
+    let rows = figures::fig5(&[128, 256, 512, 1024]);
+    speedup_table(
+        "Fig. 5 — 10x10x10 cubic lattice (D = 1000, sparse), S*R = 1792",
+        "N",
+        &rows,
+        out,
+        "fig5.csv",
+    );
+    summarize_speedups(&rows, "paper reports ~3.5x, flat in N");
+}
+
+fn fig7(out: &Path) {
+    let rows = figures::fig7(&[128, 256, 512, 1024, 2048]);
+    speedup_table(
+        "Fig. 7 — dense H_SIZE = 128, sweeping N (compute-bound)",
+        "N",
+        &rows,
+        out,
+        "fig7.csv",
+    );
+    summarize_speedups(&rows, "paper reports speedup rising to ~4x with N");
+}
+
+fn fig8(out: &Path) {
+    let rows = figures::fig8(&[512, 1024, 2048, 4096]);
+    speedup_table(
+        "Fig. 8 — dense H~, sweeping H_SIZE at N = 128 (memory-bound)",
+        "H_SIZE",
+        &rows,
+        out,
+        "fig8.csv",
+    );
+    summarize_speedups(&rows, "paper reports ~4x across H_SIZE");
+}
+
+fn summarize_speedups(rows: &[SpeedupRow], paper: &str) {
+    let first = rows.first().expect("rows");
+    let last = rows.last().expect("rows");
+    println!(
+        "   speedup {:.2}x at {} -> {:.2}x at {}   ({paper})\n",
+        first.speedup(),
+        first.x,
+        last.speedup(),
+        last.x
+    );
+}
+
+fn fig6(out: &Path, full: bool) {
+    let s = if full { figures::PAPER_S } else { 8 };
+    println!(
+        "== Fig. 6 — DoS of the 10x10x10 lattice, N = 256 vs 512 (S = {s}, R = {}) ==",
+        figures::PAPER_R
+    );
+    let data = figures::fig6(s);
+    println!(
+        "{}",
+        ascii_plot(
+            &data.energies_high,
+            &[("N=512", &data.rho_high), ("N=256", &data.rho_low)],
+            96,
+            20,
+        )
+    );
+    let mut t = Table::new(&["energy", "rho_n256", "rho_n512"]);
+    // Emit on the high-resolution grid; the low curve is linearly
+    // interpolated (both grids are dense — negligible error).
+    for (i, &e) in data.energies_high.iter().enumerate() {
+        let lo = interp(&data.energies_low, &data.rho_low, e);
+        t.row(vec![format!("{e:.5}"), format!("{lo:.6}"), format!("{:.6}", data.rho_high[i])]);
+    }
+    let path = out.join("fig6.csv");
+    match t.write_csv(&path) {
+        Ok(()) => println!("wrote {} ({} realizations)\n", path.display(), data.realizations),
+        Err(e) => eprintln!("failed to write {}: {e}\n", path.display()),
+    }
+}
+
+fn interp(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    match xs.binary_search_by(|v| v.total_cmp(&x)) {
+        Ok(i) => ys[i],
+        Err(0) => ys[0],
+        Err(i) if i >= xs.len() => *ys.last().expect("nonempty"),
+        Err(i) => {
+            let (x0, x1) = (xs[i - 1], xs[i]);
+            ys[i - 1] + (ys[i] - ys[i - 1]) * (x - x0) / (x1 - x0)
+        }
+    }
+}
+
+fn ablations(out: &Path) {
+    println!("== Ablations (beyond the paper; DESIGN.md experiment index) ==");
+    let rows = figures::ablations();
+    let mut t = Table::new(&["comparison", "baseline", "variant", "gain"]);
+    for r in &rows {
+        t.row(vec![
+            r.label.clone(),
+            fmt_secs(r.baseline),
+            fmt_secs(r.variant),
+            format!("{:.2}x", r.ratio()),
+        ]);
+    }
+    println!("{}", t.render());
+    let path = out.join("ablations.csv");
+    if let Err(e) = t.write_csv(&path) {
+        eprintln!("failed to write {}: {e}", path.display());
+    }
+
+    println!("-- kernel quality: negative DoS mass on a gapped spectrum --");
+    let mut kq = Table::new(&["kernel", "negative_mass_fraction"]);
+    for (name, neg) in figures::kernel_quality() {
+        kq.row(vec![name, format!("{neg:.3e}")]);
+    }
+    println!("{}", kq.render());
+    let path = out.join("kernel_quality.csv");
+    match kq.write_csv(&path) {
+        Ok(()) => println!("wrote {}\n", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}\n", path.display()),
+    }
+}

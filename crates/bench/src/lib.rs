@@ -1,0 +1,26 @@
+//! Benchmark harness for the figure reproductions.
+//!
+//! The paper's evaluation (Sec. IV) consists of four figures; this crate
+//! regenerates each one:
+//!
+//! | Artifact | Module entry point | What it sweeps |
+//! |----------|--------------------|----------------|
+//! | Fig. 5 | [`figures::fig5`] | N ∈ {128..1024}, sparse 10×10×10 lattice |
+//! | Fig. 6 | [`figures::fig6`] | DoS curves at N = 256 vs N = 512 |
+//! | Fig. 7 | [`figures::fig7`] | N ∈ {128..2048}, dense H_SIZE = 128 |
+//! | Fig. 8 | [`figures::fig8`] | H_SIZE ∈ {512..4096}, dense, N = 128 |
+//! | Ablations | [`figures::ablations`] | mapping / layout / kernel / recursion / cluster |
+//!
+//! Timing semantics: CPU times come from the cache-aware Core i7 930 model
+//! ([`cpu::cpu_run_time`]); GPU times come from the Tesla C2050 device
+//! model priced over the exact kernel launches the engine performs. Both
+//! are *modeled* times at the paper's full parameter scale (see DESIGN.md
+//! §2 for why, and EXPERIMENTS.md for the measured-vs-paper comparison).
+//! The Criterion benches in `benches/` additionally measure real wall-time
+//! of the functional implementations at reduced scale.
+
+pub mod cpu;
+pub mod figures;
+pub mod report;
+
+pub use cpu::cpu_run_time;

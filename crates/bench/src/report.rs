@@ -1,0 +1,192 @@
+//! Terminal tables, ASCII plots, and CSV output for the repro binary.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple fixed-width table renderer.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                let _ = write!(out, "{cell:>w$}");
+                if i + 1 < ncols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the table as CSV.
+    ///
+    /// # Errors
+    /// I/O errors from file creation/writing.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut s = String::new();
+        s.push_str(&self.headers.join(","));
+        s.push('\n');
+        for row in &self.rows {
+            s.push_str(&row.join(","));
+            s.push('\n');
+        }
+        fs::write(path, s)
+    }
+}
+
+/// Renders an ASCII line plot of `series` (one or two curves over a shared
+/// x grid) of the given terminal size. Intended for quick visual checks of
+/// the Fig. 6 DoS curves.
+pub fn ascii_plot(
+    x: &[f64],
+    series: &[(&str, &[f64])],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 16 && height >= 4, "plot too small");
+    assert!(!x.is_empty() && !series.is_empty(), "nothing to plot");
+    let (xmin, xmax) = (x[0], *x.last().expect("nonempty"));
+    let mut ymin = f64::INFINITY;
+    let mut ymax = f64::NEG_INFINITY;
+    for (_, ys) in series {
+        for &v in ys.iter() {
+            ymin = ymin.min(v);
+            ymax = ymax.max(v);
+        }
+    }
+    if ymax <= ymin {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    let marks = ['*', '+', 'o', 'x'];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for (&xv, &yv) in x.iter().zip(ys.iter()) {
+            let cx = ((xv - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+            let cy = ((yv - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = mark;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "y: {ymin:.3} .. {ymax:.3}");
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    let _ = writeln!(out, "x: {xmin:.3} .. {xmax:.3}");
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {} = {}", marks[si % marks.len()], name);
+    }
+    out
+}
+
+/// Formats seconds adaptively (`ms` below 1 s).
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.1} ms", s * 1e3)
+    } else if s < 100.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{s:.0} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["N", "cpu", "gpu"]);
+        t.row(vec!["128".into(), "1.5".into(), "0.4".into()]);
+        t.row(vec!["1024".into(), "12.0".into(), "3.1".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('N'));
+        assert!(lines[1].starts_with('-'));
+        // Right-aligned numbers: both data rows same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_checks_arity() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new(&["x", "y"]);
+        t.row(vec!["1".into(), "2.5".into()]);
+        let dir = std::env::temp_dir().join("kpm_bench_test");
+        let path = dir.join("t.csv");
+        t.write_csv(&path).unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x,y\n1,2.5\n");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn plot_contains_marks_and_legend() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let y1: Vec<f64> = x.iter().map(|v| v.sin()).collect();
+        let y2: Vec<f64> = x.iter().map(|v| v.cos()).collect();
+        let p = ascii_plot(&x, &[("sin", &y1), ("cos", &y2)], 60, 12);
+        assert!(p.contains('*'));
+        assert!(p.contains('+'));
+        assert!(p.contains("sin"));
+        assert!(p.contains("y: "));
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(0.0123), "12.3 ms");
+        assert_eq!(fmt_secs(2.345), "2.35 s");
+        assert_eq!(fmt_secs(432.1), "432 s");
+    }
+}

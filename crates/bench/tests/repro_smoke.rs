@@ -1,0 +1,68 @@
+//! End-to-end smoke test of the `repro` binary: every model-based figure
+//! command runs, prints its table, and writes its CSV. (Fig. 6 is skipped
+//! here — it executes the full functional simulation and is covered by the
+//! library test `figures::tests::fig6_higher_order_resolves_sharper_structure`.)
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn model_figures_run_and_write_csv() {
+    let dir = std::env::temp_dir().join("kpm_repro_smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for (cmd, csv, header) in [
+        ("fig5", "fig5.csv", "N,cpu_s,gpu_s,speedup"),
+        ("fig7", "fig7.csv", "N,cpu_s,gpu_s,speedup"),
+        ("fig8", "fig8.csv", "H_SIZE,cpu_s,gpu_s,speedup"),
+    ] {
+        let out = repro()
+            .args([cmd, "--out", dir.to_str().unwrap()])
+            .output()
+            .expect("spawn repro");
+        assert!(out.status.success(), "{cmd} failed: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("speedup"), "{cmd} table missing:\n{stdout}");
+
+        let content = std::fs::read_to_string(dir.join(csv)).expect(csv);
+        assert!(content.starts_with(header), "{csv} header:\n{content}");
+        assert!(content.lines().count() >= 4, "{csv} too short");
+        // Every speedup in a sane band.
+        for line in content.lines().skip(1) {
+            let speedup: f64 = line.split(',').nth(3).unwrap().parse().unwrap();
+            assert!((1.5..=8.0).contains(&speedup), "{csv}: speedup {speedup}");
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ablations_run_and_report_all_comparisons() {
+    let dir = std::env::temp_dir().join("kpm_repro_smoke_abl");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = repro()
+        .args(["ablations", "--out", dir.to_str().unwrap()])
+        .output()
+        .expect("spawn repro");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["mapping", "layout", "recursion", "cluster", "precision", "streams", "jackson"] {
+        assert!(stdout.contains(needle), "missing '{needle}' in:\n{stdout}");
+    }
+    assert!(dir.join("ablations.csv").exists());
+    assert!(dir.join("kernel_quality.csv").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let out = repro().args(["fig99"]).output().expect("spawn repro");
+    assert!(!out.status.success());
+    let out = repro().output().expect("spawn repro");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

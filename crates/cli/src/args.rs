@@ -1,0 +1,165 @@
+//! Minimal `--key value` / `--flag` argument parser (no external
+//! dependencies, per the workspace policy).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Argument parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--key` had no value.
+    MissingValue(String),
+    /// A positional argument appeared where none is accepted.
+    UnexpectedPositional(String),
+    /// A value failed to parse.
+    BadValue {
+        /// Offending key.
+        key: String,
+        /// Raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A required key was absent.
+    Required(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue(k) => write!(f, "--{k} needs a value"),
+            ArgError::UnexpectedPositional(p) => write!(f, "unexpected argument: {p}"),
+            ArgError::BadValue { key, value, expected } => {
+                write!(f, "--{key} {value}: expected {expected}")
+            }
+            ArgError::Required(k) => write!(f, "missing required option --{k}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed `--key value` options plus boolean flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Keys that are boolean flags (no value).
+const FLAGS: &[&str] = &["full", "help", "quiet"];
+
+impl Args {
+    /// Parses raw arguments (after the subcommand).
+    ///
+    /// # Errors
+    /// [`ArgError`] on malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if FLAGS.contains(&key) {
+                    out.flags.push(key.to_string());
+                } else {
+                    let v = iter.next().ok_or_else(|| ArgError::MissingValue(key.into()))?;
+                    out.values.insert(key.to_string(), v);
+                }
+            } else {
+                return Err(ArgError::UnexpectedPositional(a));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Raw string value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// `true` if the flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Parsed value with a default.
+    ///
+    /// # Errors
+    /// [`ArgError::BadValue`] if present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.into(),
+                value: v.into(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// Required parsed value.
+    ///
+    /// # Errors
+    /// [`ArgError::Required`] if absent, [`ArgError::BadValue`] if
+    /// unparsable.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgError> {
+        let v = self.get(key).ok_or_else(|| ArgError::Required(key.into()))?;
+        v.parse().map_err(|_| ArgError::BadValue {
+            key: key.into(),
+            value: v.into(),
+            expected: std::any::type_name::<T>(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_key_values_and_flags() {
+        let a = parse(&["--moments", "256", "--full", "--seed", "7"]).unwrap();
+        assert_eq!(a.get("moments"), Some("256"));
+        assert!(a.flag("full"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.get_or::<usize>("seed", 0).unwrap(), 7);
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.get_or::<usize>("moments", 128).unwrap(), 128);
+        assert_eq!(a.get_or::<f64>("padding", 0.01).unwrap(), 0.01);
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        match parse(&["--moments"]) {
+            Err(ArgError::MissingValue(k)) => assert_eq!(k, "moments"),
+            other => panic!("expected MissingValue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(matches!(parse(&["oops"]), Err(ArgError::UnexpectedPositional(_))));
+    }
+
+    #[test]
+    fn bad_value_reports_key() {
+        let a = parse(&["--moments", "many"]).unwrap();
+        let e = a.require::<usize>("moments").unwrap_err();
+        assert!(matches!(e, ArgError::BadValue { .. }));
+        assert!(e.to_string().contains("moments"));
+    }
+
+    #[test]
+    fn required_missing_reports() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.require::<usize>("site").unwrap_err(), ArgError::Required("site".into()));
+    }
+}

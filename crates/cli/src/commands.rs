@@ -1,0 +1,482 @@
+//! Subcommand implementations.
+//!
+//! Each command returns its report as a `String` (testable) and optionally
+//! writes CSV output; `main.rs` only prints.
+
+use crate::args::{ArgError, Args};
+use crate::spec::{parse_boundary, LatticeSpec};
+use kpm::ldos::local_dos;
+use kpm::prelude::*;
+use kpm::propagate::{ComplexState, Propagator};
+use kpm::rescale::Boundable;
+use kpm_lattice::OnSite;
+use kpm_linalg::CsrMatrix;
+use kpm_stream::tune::tune_block_size;
+use kpm_stream::{Mapping, StreamKpmEngine};
+use kpm_streamsim::GpuSpec;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Command errors (parse, KPM, or I/O).
+#[derive(Debug)]
+pub enum CmdError {
+    /// Bad command-line usage.
+    Args(ArgError),
+    /// Bad lattice spec.
+    Spec(crate::spec::SpecError),
+    /// KPM pipeline failure.
+    Kpm(KpmError),
+    /// File output failure.
+    Io(std::io::Error),
+    /// Anything else (message).
+    Other(String),
+}
+
+impl fmt::Display for CmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmdError::Args(e) => write!(f, "{e}"),
+            CmdError::Spec(e) => write!(f, "{e}"),
+            CmdError::Kpm(e) => write!(f, "{e}"),
+            CmdError::Io(e) => write!(f, "{e}"),
+            CmdError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CmdError {}
+
+impl From<ArgError> for CmdError {
+    fn from(e: ArgError) -> Self {
+        CmdError::Args(e)
+    }
+}
+impl From<crate::spec::SpecError> for CmdError {
+    fn from(e: crate::spec::SpecError) -> Self {
+        CmdError::Spec(e)
+    }
+}
+impl From<KpmError> for CmdError {
+    fn from(e: KpmError) -> Self {
+        CmdError::Kpm(e)
+    }
+}
+impl From<std::io::Error> for CmdError {
+    fn from(e: std::io::Error) -> Self {
+        CmdError::Io(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+kpm — Kernel Polynomial Method toolkit
+
+USAGE: kpm <command> [--key value ...]
+
+COMMANDS:
+  dos       density of states
+  ldos      local density of states (--site N)
+  evolve    wavepacket evolution (--time T [--site N])
+  spectral  momentum-resolved A(k, omega) on a chain (--momenta K)
+  tune      block-size sweep for the simulated device
+  estimate  modeled CPU vs GPU run times at any scale
+  help      this text
+
+COMMON OPTIONS:
+  --lattice  chain:L | square:LX,LY | cubic:LX,LY,LZ | honeycomb:LX,LY
+             (default cubic:10,10,10 — the paper's workload)
+  --bc       open | periodic        (default periodic)
+  --hopping  t                      (default 1.0)
+  --disorder W [--dseed S]          (default none)
+  --moments  N                      (default 256)
+  --random   R  --sets S            (default 14, 2)
+  --kernel   jackson | lorentz | fejer | dirichlet   (default jackson)
+  --seed     master seed            (default 42)
+  --out      CSV path               (default none: table to stdout)
+";
+
+/// Shared workload assembled from common options.
+struct Workload {
+    h: CsrMatrix,
+    params: KpmParams,
+}
+
+fn workload(args: &Args) -> Result<Workload, CmdError> {
+    let spec = LatticeSpec::parse(args.get("lattice").unwrap_or("cubic:10,10,10"))?;
+    let bc = parse_boundary(args.get("bc").unwrap_or("periodic"))?;
+    let t: f64 = args.get_or("hopping", 1.0)?;
+    let onsite = match args.get("disorder") {
+        None => OnSite::Uniform(0.0),
+        Some(w) => OnSite::Disorder {
+            width: w.parse().map_err(|_| {
+                CmdError::Other(format!("--disorder {w}: expected a number"))
+            })?,
+            seed: args.get_or("dseed", 7u64)?,
+        },
+    };
+    let h = spec.build(t, onsite, bc);
+
+    let kernel = match args.get("kernel").unwrap_or("jackson") {
+        "jackson" => KernelType::Jackson,
+        "lorentz" => KernelType::Lorentz { lambda: args.get_or("lambda", 4.0)? },
+        "fejer" => KernelType::Fejer,
+        "dirichlet" => KernelType::Dirichlet,
+        other => return Err(CmdError::Other(format!("unknown kernel '{other}'"))),
+    };
+    let params = KpmParams::new(args.get_or("moments", 256)?)
+        .with_random_vectors(args.get_or("random", 14)?, args.get_or("sets", 2)?)
+        .with_seed(args.get_or("seed", 42u64)?)
+        .with_kernel(kernel);
+    Ok(Workload { h, params })
+}
+
+fn maybe_write_csv(
+    args: &Args,
+    header: &str,
+    rows: impl Iterator<Item = String>,
+) -> Result<Option<String>, CmdError> {
+    let Some(path) = args.get("out") else { return Ok(None) };
+    let mut s = String::from(header);
+    s.push('\n');
+    for r in rows {
+        s.push_str(&r);
+        s.push('\n');
+    }
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, s)?;
+    Ok(Some(path.to_string()))
+}
+
+fn dos_report(dos: &kpm::Dos, label: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{label}");
+    let _ = writeln!(out, "  grid points : {}", dos.len());
+    let _ = writeln!(out, "  band        : [{:.4}, {:.4}]", dos.energies[0], dos.energies.last().unwrap());
+    let _ = writeln!(out, "  integral    : {:.5}", dos.integrate());
+    let _ = writeln!(out, "  peak        : rho = {:.4} at E = {:.4}", {
+        dos.rho.iter().cloned().fold(0.0f64, f64::max)
+    }, dos.peak_energy());
+    out
+}
+
+/// `kpm dos`.
+pub fn dos(args: &Args) -> Result<String, CmdError> {
+    let w = workload(args)?;
+    let dos = DosEstimator::new(w.params).compute(&w.h)?;
+    let mut report = dos_report(
+        &dos,
+        &format!("DoS of a {} x {} Hamiltonian ({} stored entries)", w.h.nrows(), w.h.ncols(), w.h.nnz()),
+    );
+    if let Some(path) = maybe_write_csv(
+        args,
+        "energy,rho",
+        dos.energies.iter().zip(&dos.rho).map(|(e, r)| format!("{e},{r}")),
+    )? {
+        let _ = writeln!(report, "  wrote {path}");
+    }
+    Ok(report)
+}
+
+/// `kpm ldos`.
+pub fn ldos(args: &Args) -> Result<String, CmdError> {
+    let w = workload(args)?;
+    let site: usize = args.require("site")?;
+    let ldos = local_dos(&w.h, site, &w.params)?;
+    let mut report = dos_report(&ldos, &format!("LDoS at site {site}"));
+    if let Some(path) = maybe_write_csv(
+        args,
+        "energy,rho_local",
+        ldos.energies.iter().zip(&ldos.rho).map(|(e, r)| format!("{e},{r}")),
+    )? {
+        let _ = writeln!(report, "  wrote {path}");
+    }
+    Ok(report)
+}
+
+/// `kpm evolve`.
+pub fn evolve(args: &Args) -> Result<String, CmdError> {
+    let w = workload(args)?;
+    let time: f64 = args.get_or("time", 10.0)?;
+    let steps: usize = args.get_or("steps", 5)?;
+    if steps == 0 {
+        return Err(CmdError::Other("--steps must be positive".into()));
+    }
+    let site: usize = args.get_or("site", w.h.nrows() / 2)?;
+    if site >= w.h.nrows() {
+        return Err(CmdError::Other(format!("--site {site} out of range")));
+    }
+    let bounds = w.h.spectral_bounds(w.params.bounds)?;
+    let prop = Propagator::new(&w.h, bounds, 1e-10)?;
+    let mut re = vec![0.0; w.h.nrows()];
+    re[site] = 1.0;
+    let mut psi = ComplexState::from_real(re);
+
+    let mut report = format!("evolving |site {site}> for t = {time} in {steps} steps\n");
+    let _ = writeln!(report, "  {:>8} {:>12} {:>12}", "t", "return_prob", "norm");
+    let dt = time / steps as f64;
+    for k in 0..=steps {
+        let p_return = psi.re[site] * psi.re[site] + psi.im[site] * psi.im[site];
+        let _ = writeln!(report, "  {:>8.3} {:>12.6} {:>12.8}", k as f64 * dt, p_return, psi.norm_sqr());
+        if k < steps {
+            psi = prop.evolve(&psi, dt);
+        }
+    }
+    if let Some(path) = maybe_write_csv(
+        args,
+        "site,prob",
+        psi.density().iter().enumerate().map(|(i, p)| format!("{i},{p}")),
+    )? {
+        let _ = writeln!(report, "  wrote final density to {path}");
+    }
+    Ok(report)
+}
+
+/// `kpm spectral` — momentum-resolved A(k, omega) on a chain.
+pub fn spectral(args: &Args) -> Result<String, CmdError> {
+    let spec = LatticeSpec::parse(args.get("lattice").unwrap_or("chain:128"))?;
+    let LatticeSpec::Chain(l) = spec else {
+        return Err(CmdError::Other("spectral currently supports chain:L lattices".into()));
+    };
+    let w = workload(args)?; // rebuilds the same chain with common options
+    let k_count: usize = args.get_or("momenta", 8)?;
+    if k_count == 0 || k_count > l {
+        return Err(CmdError::Other(format!("--momenta must be in 1..={l}")));
+    }
+    let ks: Vec<usize> = (0..k_count).map(|i| i * l / (2 * k_count)).collect();
+    let spectra = kpm::spectral::chain_spectral_function(&w.h, l, &ks, &w.params)?;
+    let mut report = format!("A(k, omega) on a {l}-site chain:\n");
+    let _ = writeln!(report, "  {:>6} {:>10} {:>12}", "k_idx", "k/pi", "peak E");
+    for sp in &spectra {
+        let _ = writeln!(
+            report,
+            "  {:>6} {:>10.4} {:>12.4}",
+            sp.k_index,
+            2.0 * sp.k_index as f64 / l as f64,
+            sp.peak()
+        );
+    }
+    if let Some(path) = maybe_write_csv(
+        args,
+        "k_index,energy,a",
+        spectra.iter().flat_map(|sp| {
+            let k = sp.k_index;
+            sp.a.energies
+                .iter()
+                .zip(&sp.a.rho)
+                .map(move |(e, r)| format!("{k},{e},{r}"))
+                .collect::<Vec<_>>()
+        }),
+    )? {
+        let _ = writeln!(report, "  wrote {path}");
+    }
+    Ok(report)
+}
+
+/// `kpm tune`.
+pub fn tune(args: &Args) -> Result<String, CmdError> {
+    let spec = LatticeSpec::parse(args.get("lattice").unwrap_or("cubic:10,10,10"))?;
+    let d = spec.num_sites();
+    let n: usize = args.get_or("moments", 1024)?;
+    let realizations: usize = args.get_or("realizations", 1792)?;
+    let engine = StreamKpmEngine::new(GpuSpec::tesla_c2050());
+    let stored = 7 * d; // paper-style sparse estimate
+    let shape = engine.shape_for(d, stored, false, n, realizations);
+    let result = tune_block_size(engine.device().spec(), &shape, 0.2, None);
+    let mut report = format!(
+        "block-size sweep (D = {d}, N = {n}, S*R = {realizations}, thread-per-realization):\n"
+    );
+    let _ = writeln!(report, "  {:>10} {:>12}", "BLOCK_SIZE", "modeled (s)");
+    for p in &result.points {
+        let marker = if p.block_size == result.best { "  <= best" } else { "" };
+        let _ = writeln!(
+            report,
+            "  {:>10} {:>12.4}{marker}",
+            p.block_size,
+            p.time.as_secs_f64()
+        );
+    }
+    Ok(report)
+}
+
+/// `kpm estimate`.
+pub fn estimate(args: &Args) -> Result<String, CmdError> {
+    let spec = LatticeSpec::parse(args.get("lattice").unwrap_or("cubic:10,10,10"))?;
+    let d = spec.num_sites();
+    let n: usize = args.get_or("moments", 1024)?;
+    let realizations: usize = args.get_or("realizations", 1792)?;
+    let dense = args.get("storage").unwrap_or("sparse") == "dense";
+    let stored = if dense { d * d } else { 7 * d };
+
+    let w = kpm::workload::KpmWorkload {
+        dim: d,
+        stored_entries: stored,
+        num_moments: n,
+        realizations,
+    };
+    // CPU model.
+    let cpu_spec = kpm_streamsim::CpuSpec::core_i7_930();
+    let mut clock = kpm_streamsim::HostClock::new();
+    let conv = |p: kpm::workload::PhaseProfile| kpm_streamsim::MemTraffic {
+        flops: p.flops,
+        bytes: p.bytes,
+        working_set_bytes: p.working_set_bytes,
+    };
+    let rng = clock.charge(&cpu_spec, &conv(w.rng_profile())).as_secs_f64();
+    let mv = clock.charge(&cpu_spec, &conv(w.matvec_profile())).as_secs_f64();
+    let cd = clock.charge(&cpu_spec, &conv(w.combine_dot_profile())).as_secs_f64();
+    let cpu = realizations as f64 * (rng + mv * (n as f64 - 1.0) + cd * n as f64);
+
+    let mut report = format!(
+        "modeled times (D = {d}, {} storage, N = {n}, S*R = {realizations}):\n",
+        if dense { "dense" } else { "sparse" }
+    );
+    let _ = writeln!(report, "  CPU (Core i7 930 model)            : {cpu:.3} s");
+    for (label, mapping) in [
+        ("GPU, thread-per-realization (paper)", Mapping::ThreadPerRealization),
+        ("GPU, block-per-realization (ours)  ", Mapping::BlockPerRealization),
+    ] {
+        let engine = StreamKpmEngine::new(GpuSpec::tesla_c2050()).with_mapping(mapping);
+        let shape = engine.shape_for(d, stored, dense, n, realizations);
+        let gpu = engine.estimate(&shape).as_secs_f64();
+        let _ = writeln!(report, "  {label}: {gpu:.3} s  (speedup {:.2}x)", cpu / gpu);
+    }
+    Ok(report)
+}
+
+/// Dispatches a subcommand.
+///
+/// # Errors
+/// [`CmdError`] from parsing or execution.
+pub fn run(command: &str, args: &Args) -> Result<String, CmdError> {
+    match command {
+        "dos" => dos(args),
+        "ldos" => ldos(args),
+        "evolve" => evolve(args),
+        "spectral" => spectral(args),
+        "tune" => tune(args),
+        "estimate" => estimate(args),
+        "help" => Ok(USAGE.to_string()),
+        other => Err(CmdError::Other(format!("unknown command '{other}'\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn dos_on_small_lattice() {
+        let a = args(&["--lattice", "chain:64", "--moments", "64", "--sets", "1"]);
+        let report = dos(&a).unwrap();
+        assert!(report.contains("integral"), "{report}");
+        assert!(report.contains("64 x 64"));
+    }
+
+    #[test]
+    fn ldos_requires_site() {
+        let a = args(&["--lattice", "chain:16", "--moments", "32"]);
+        assert!(matches!(ldos(&a), Err(CmdError::Args(ArgError::Required(_)))));
+        let a = args(&["--lattice", "chain:16", "--moments", "32", "--site", "3"]);
+        assert!(ldos(&a).unwrap().contains("site 3"));
+    }
+
+    #[test]
+    fn evolve_reports_conserved_norm() {
+        let a = args(&["--lattice", "chain:32", "--time", "4", "--steps", "2"]);
+        let report = evolve(&a).unwrap();
+        // Norm column stays 1.00000000.
+        assert!(report.matches("1.00000000").count() >= 3, "{report}");
+    }
+
+    #[test]
+    fn evolve_validates_inputs() {
+        let a = args(&["--lattice", "chain:8", "--steps", "0"]);
+        assert!(evolve(&a).is_err());
+        let a = args(&["--lattice", "chain:8", "--site", "99"]);
+        assert!(evolve(&a).is_err());
+    }
+
+    #[test]
+    fn spectral_reports_band_dispersion() {
+        let a = args(&["--lattice", "chain:32", "--moments", "64", "--momenta", "4"]);
+        let report = spectral(&a).unwrap();
+        assert!(report.contains("peak E"), "{report}");
+        assert_eq!(report.lines().count(), 6, "{report}");
+        // k = 0 peak near the band bottom -2.
+        let k0_line = report.lines().nth(2).unwrap();
+        let peak: f64 = k0_line.split_whitespace().last().unwrap().parse().unwrap();
+        assert!((peak + 2.0).abs() < 0.3, "k=0 peak {peak}");
+    }
+
+    #[test]
+    fn spectral_rejects_non_chain() {
+        let a = args(&["--lattice", "square:4,4"]);
+        assert!(spectral(&a).is_err());
+        let a = args(&["--lattice", "chain:16", "--momenta", "0"]);
+        assert!(spectral(&a).is_err());
+    }
+
+    #[test]
+    fn tune_lists_candidates_and_best() {
+        let a = args(&["--moments", "128"]);
+        let report = tune(&a).unwrap();
+        assert!(report.contains("<= best"), "{report}");
+        assert!(report.contains("BLOCK_SIZE"));
+    }
+
+    #[test]
+    fn estimate_reports_both_mappings() {
+        let a = args(&["--moments", "256"]);
+        let report = estimate(&a).unwrap();
+        assert!(report.contains("paper"));
+        assert!(report.contains("speedup"));
+    }
+
+    #[test]
+    fn dispatch_and_usage() {
+        assert!(run("help", &args(&[])).unwrap().contains("USAGE"));
+        assert!(run("frobnicate", &args(&[])).is_err());
+    }
+
+    #[test]
+    fn csv_output_written() {
+        let dir = std::env::temp_dir().join("kpm_cli_test");
+        let path = dir.join("dos.csv");
+        let a = args(&[
+            "--lattice", "chain:32", "--moments", "32", "--sets", "1",
+            "--out", path.to_str().unwrap(),
+        ]);
+        let report = dos(&a).unwrap();
+        assert!(report.contains("wrote"));
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("energy,rho\n"));
+        assert!(content.lines().count() > 10);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn kernel_selection() {
+        for k in ["jackson", "lorentz", "fejer", "dirichlet"] {
+            let a = args(&["--lattice", "chain:16", "--moments", "16", "--kernel", k]);
+            assert!(dos(&a).is_ok(), "kernel {k}");
+        }
+        let a = args(&["--lattice", "chain:16", "--kernel", "gibbs"]);
+        assert!(dos(&a).is_err());
+    }
+
+    #[test]
+    fn disorder_option() {
+        let a = args(&["--lattice", "square:6,6", "--moments", "32", "--disorder", "3.0"]);
+        assert!(dos(&a).is_ok());
+        let a = args(&["--lattice", "square:6,6", "--disorder", "lots"]);
+        assert!(dos(&a).is_err());
+    }
+}

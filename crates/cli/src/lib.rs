@@ -1,0 +1,11 @@
+//! Library backing the `kpm` command-line tool.
+//!
+//! Kept as a library so argument parsing, lattice-spec parsing, and command
+//! execution are unit-testable; `main.rs` is a thin shim.
+
+pub mod args;
+pub mod commands;
+pub mod spec;
+
+pub use args::{ArgError, Args};
+pub use spec::{LatticeSpec, SpecError};

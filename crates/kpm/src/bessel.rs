@@ -1,0 +1,149 @@
+//! Bessel functions of the first kind, `J_n(x)`, for the Chebyshev
+//! propagator's expansion coefficients.
+//!
+//! Computed by Miller's downward-recurrence algorithm: start far above the
+//! needed order with an arbitrary tail, recur down through
+//! `J_{n-1} = (2n/x) J_n - J_{n+1}`, then normalize with the identity
+//! `J_0 + 2 sum_{k>=1} J_{2k} = 1`. Accurate to ~1e-14 for the argument
+//! ranges the propagator uses (|x| up to a few hundred).
+
+/// Values `J_0(x) .. J_{nmax-1}(x)`.
+///
+/// ```
+/// let j = kpm::bessel::j_all(3, 1.0);
+/// assert!((j[0] - 0.7651976865579666).abs() < 1e-13);
+/// assert!((j[1] - 0.4400505857449335).abs() < 1e-13);
+/// ```
+///
+/// # Panics
+/// Panics if `nmax == 0` or `x` is not finite.
+pub fn j_all(nmax: usize, x: f64) -> Vec<f64> {
+    assert!(nmax > 0, "need at least one order");
+    assert!(x.is_finite(), "argument must be finite");
+    if x == 0.0 {
+        let mut out = vec![0.0; nmax];
+        out[0] = 1.0;
+        return out;
+    }
+    // J_n(-x) = (-1)^n J_n(x): reduce to positive argument.
+    if x < 0.0 {
+        let mut out = j_all(nmax, -x);
+        for (n, v) in out.iter_mut().enumerate() {
+            if n % 2 == 1 {
+                *v = -*v;
+            }
+        }
+        return out;
+    }
+
+    // Start order: well above both nmax and the turning point ~x.
+    let start = (nmax + 16).max((x as usize) + (16.0 * (x + 20.0).sqrt()) as usize);
+    let mut jp = 0.0f64; // J_{start+1}
+    let mut jc = 1e-300f64; // J_{start} (arbitrary tiny tail)
+    let mut out = vec![0.0; nmax];
+    let mut norm = 0.0f64; // accumulates J_0 + 2 sum J_{2k}
+    for n in (0..=start).rev() {
+        let jm = (2.0 * (n as f64 + 1.0) / x) * jc - jp;
+        jp = jc;
+        jc = jm;
+        // jc now holds J_n.
+        if n < nmax {
+            out[n] = jc;
+        }
+        if n % 2 == 0 {
+            norm += if n == 0 { jc } else { 2.0 * jc };
+        }
+        // Rescale to avoid overflow of the unnormalized recurrence.
+        if jc.abs() > 1e250 {
+            let s = 1e-250;
+            jc *= s;
+            jp *= s;
+            norm *= s;
+            for v in out.iter_mut() {
+                *v *= s;
+            }
+        }
+    }
+    let inv = 1.0 / norm;
+    for v in out.iter_mut() {
+        *v *= inv;
+    }
+    out
+}
+
+/// Single value `J_n(x)`.
+pub fn j(n: usize, x: f64) -> f64 {
+    j_all(n + 1, x)[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference values from Abramowitz & Stegun / SciPy.
+    const J0_1: f64 = 0.765_197_686_557_966_6;
+    const J1_1: f64 = 0.440_050_585_744_933_5;
+    const J0_5: f64 = -0.177_596_771_314_338_3;
+    const J2_5: f64 = 0.046_565_116_277_752_2;
+    const J10_20: f64 = 0.186_482_558_023_945_9;
+
+    #[test]
+    fn known_values() {
+        assert!((j(0, 1.0) - J0_1).abs() < 1e-13);
+        assert!((j(1, 1.0) - J1_1).abs() < 1e-13);
+        assert!((j(0, 5.0) - J0_5).abs() < 1e-13);
+        assert!((j(2, 5.0) - J2_5).abs() < 1e-13);
+        assert!((j(10, 20.0) - J10_20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_argument() {
+        let v = j_all(5, 0.0);
+        assert_eq!(v, vec![1.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn negative_argument_parity() {
+        let pos = j_all(6, 3.7);
+        let neg = j_all(6, -3.7);
+        for n in 0..6 {
+            let expect = if n % 2 == 0 { pos[n] } else { -pos[n] };
+            assert!((neg[n] - expect).abs() < 1e-14, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn normalization_identity() {
+        // J_0 + 2 sum J_{2k} = 1 (for enough terms).
+        for &x in &[0.5, 2.0, 10.0, 50.0] {
+            let v = j_all(((x as usize) + 60).max(80), x);
+            let s: f64 = v[0] + 2.0 * v.iter().skip(2).step_by(2).sum::<f64>();
+            assert!((s - 1.0).abs() < 1e-12, "x = {x}: {s}");
+        }
+    }
+
+    #[test]
+    fn recurrence_consistency() {
+        // J_{n-1} + J_{n+1} = (2n/x) J_n.
+        let x = 7.3;
+        let v = j_all(20, x);
+        for n in 1..19 {
+            let lhs = v[n - 1] + v[n + 1];
+            let rhs = 2.0 * n as f64 / x * v[n];
+            assert!((lhs - rhs).abs() < 1e-12, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn tail_decays_superexponentially() {
+        let v = j_all(60, 5.0);
+        assert!(v[40].abs() < 1e-30);
+        assert!(v[59].abs() < v[40].abs());
+    }
+
+    #[test]
+    fn large_argument_stays_bounded() {
+        let v = j_all(32, 300.0);
+        assert!(v.iter().all(|x| x.is_finite() && x.abs() <= 1.0));
+    }
+}

@@ -1,0 +1,200 @@
+//! Chebyshev polynomials of the first kind.
+//!
+//! `T_n(x) = cos(n arccos x)` on `[-1, 1]` (the paper's Eq. 3), with the
+//! recursion `T_0 = 1`, `T_1 = x`, `T_{n+2} = 2 x T_{n+1} - T_n` (Eq. 4–5)
+//! that the whole KPM is built on.
+
+/// Evaluates `T_n(x)` by the three-term recursion.
+///
+/// Valid for any real `x` (outside `[-1, 1]` it grows like a hyperbolic
+/// cosine); the recursion is numerically stable on `[-1, 1]`.
+pub fn t(n: usize, x: f64) -> f64 {
+    match n {
+        0 => 1.0,
+        1 => x,
+        _ => {
+            let mut tm = 1.0; // T_0
+            let mut tc = x; // T_1
+            for _ in 2..=n {
+                let tn = 2.0 * x * tc - tm;
+                tm = tc;
+                tc = tn;
+            }
+            tc
+        }
+    }
+}
+
+/// Evaluates `T_n(x)` through the trigonometric definition
+/// `cos(n arccos x)` — only valid for `x` in `[-1, 1]`, used as an
+/// independent cross-check of the recursion.
+///
+/// # Panics
+/// Panics if `x` is outside `[-1, 1]`.
+pub fn t_trig(n: usize, x: f64) -> f64 {
+    assert!((-1.0..=1.0).contains(&x), "t_trig requires x in [-1, 1], got {x}");
+    (n as f64 * x.acos()).cos()
+}
+
+/// Evaluates `T_0(x) .. T_{nmax-1}(x)` in one pass.
+pub fn t_all(nmax: usize, x: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(nmax);
+    if nmax == 0 {
+        return out;
+    }
+    out.push(1.0);
+    if nmax == 1 {
+        return out;
+    }
+    out.push(x);
+    for n in 2..nmax {
+        let tn = 2.0 * x * out[n - 1] - out[n - 2];
+        out.push(tn);
+    }
+    out
+}
+
+/// The Chebyshev–Gauss grid of `k` points,
+/// `x_j = cos(pi (j + 1/2) / k)` for `j = 0..k` — the natural abscissas for
+/// KPM reconstruction (they are the zeros of `T_k` and make the
+/// reconstruction sum an exact DCT-III).
+///
+/// Points are returned in decreasing order of `x` (increasing `j`), i.e.
+/// from `+1` toward `-1`.
+pub fn gauss_grid(k: usize) -> Vec<f64> {
+    (0..k).map(|j| (std::f64::consts::PI * (j as f64 + 0.5) / k as f64).cos()).collect()
+}
+
+/// Evaluates the damped Chebyshev series of the paper's Eq. (6) at `x`:
+///
+/// `f(x) = (1 / (pi sqrt(1 - x^2))) * [c_0 + 2 sum_{n>=1} c_n T_n(x)]`
+///
+/// where `c_n = g_n mu_n` are the kernel-damped moments. Used as the naive
+/// (non-DCT) reconstruction path and as the reference in DCT tests.
+///
+/// # Panics
+/// Panics if `x` is outside `(-1, 1)` (the weight diverges at the ends).
+pub fn series_eval(coeffs: &[f64], x: f64) -> f64 {
+    assert!(x > -1.0 && x < 1.0, "series_eval requires x in (-1, 1), got {x}");
+    let mut sum = 0.0;
+    if coeffs.is_empty() {
+        return 0.0;
+    }
+    // Clenshaw would be marginally faster; the direct recursion mirrors the
+    // formula in the paper and is plenty stable for |x| < 1.
+    let mut tm = 1.0;
+    let mut tc = x;
+    sum += coeffs[0];
+    if coeffs.len() > 1 {
+        sum += 2.0 * coeffs[1] * tc;
+    }
+    for c in coeffs.iter().skip(2) {
+        let tn = 2.0 * x * tc - tm;
+        tm = tc;
+        tc = tn;
+        sum += 2.0 * c * tc;
+    }
+    sum / (std::f64::consts::PI * (1.0 - x * x).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_orders_explicit() {
+        for &x in &[-1.0, -0.3, 0.0, 0.5, 1.0] {
+            assert_eq!(t(0, x), 1.0);
+            assert_eq!(t(1, x), x);
+            assert!((t(2, x) - (2.0 * x * x - 1.0)).abs() < 1e-15);
+            assert!((t(3, x) - (4.0 * x * x * x - 3.0 * x)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn recursion_matches_trig_definition() {
+        for n in 0..64 {
+            for i in 0..21 {
+                let x = -1.0 + 0.1 * i as f64;
+                let x = x.clamp(-1.0, 1.0);
+                assert!(
+                    (t(n, x) - t_trig(n, x)).abs() < 1e-9,
+                    "n = {n}, x = {x}: {} vs {}",
+                    t(n, x),
+                    t_trig(n, x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn t_all_matches_t() {
+        let x = 0.37;
+        let all = t_all(20, x);
+        assert_eq!(all.len(), 20);
+        for (n, &v) in all.iter().enumerate() {
+            assert!((v - t(n, x)).abs() < 1e-12);
+        }
+        assert!(t_all(0, x).is_empty());
+        assert_eq!(t_all(1, x), vec![1.0]);
+    }
+
+    #[test]
+    fn endpoint_values() {
+        // T_n(1) = 1, T_n(-1) = (-1)^n.
+        for n in 0..50 {
+            assert!((t(n, 1.0) - 1.0).abs() < 1e-12);
+            let expect = if n % 2 == 0 { 1.0 } else { -1.0 };
+            assert!((t(n, -1.0) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gauss_grid_are_chebyshev_zeros() {
+        let k = 16;
+        let grid = gauss_grid(k);
+        assert_eq!(grid.len(), k);
+        for &x in &grid {
+            assert!(t(k, x).abs() < 1e-9, "T_k({x}) = {}", t(k, x));
+            assert!((-1.0..=1.0).contains(&x));
+        }
+        // Decreasing order.
+        for w in grid.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn series_of_delta_like_coeffs() {
+        // The moments of rho(x) = delta(x - a) are mu_n = T_n(a). With all
+        // coefficients undamped, the truncated series at x = a should peak.
+        let a = 0.2;
+        let coeffs: Vec<f64> = (0..128).map(|n| t(n, a)).collect();
+        let at_peak = series_eval(&coeffs, a);
+        let off_peak = series_eval(&coeffs, a + 0.4);
+        assert!(at_peak > 10.0 * off_peak.abs(), "{at_peak} vs {off_peak}");
+    }
+
+    #[test]
+    fn series_of_uniform_moments_is_constantish() {
+        // rho(x) = 1/(pi sqrt(1-x^2)) has mu_0 = 1, mu_n = 0 for n >= 1.
+        let mut coeffs = vec![0.0; 32];
+        coeffs[0] = 1.0;
+        let x = 0.3;
+        let v = series_eval(&coeffs, x);
+        let expect = 1.0 / (std::f64::consts::PI * (1.0 - x * x).sqrt());
+        assert!((v - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires x in (-1, 1)")]
+    fn series_rejects_endpoints() {
+        let _ = series_eval(&[1.0], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires x in [-1, 1]")]
+    fn trig_rejects_outside() {
+        let _ = t_trig(3, 1.5);
+    }
+}

@@ -1,0 +1,170 @@
+//! A minimal complex number type for the FFT and Green's functions.
+//!
+//! Implemented in-tree (no external `num-complex` dependency) per the
+//! workspace's dependency policy; only the operations the crate needs.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` parts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Zero.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Constructs from parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A real number.
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^{i theta}`.
+    pub fn cis(theta: f64) -> Self {
+        Self { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(&self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(&self, s: f64) -> Self {
+        Self { re: self.re * s, im: self.im * s }
+    }
+
+    /// Complex square root (principal branch).
+    pub fn sqrt(&self) -> Self {
+        let r = self.abs();
+        let re = ((r + self.re) / 2.0).sqrt();
+        let im = ((r - self.re) / 2.0).sqrt().copysign(self.im);
+        Self { re, im }
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: Complex64) -> Complex64 {
+        let d = rhs.norm_sqr();
+        Complex64::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a - b, Complex64::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+        let q = (a * b) / b;
+        assert!((q.re - a.re).abs() < 1e-14 && (q.im - a.im).abs() < 1e-14);
+        assert_eq!(-a, Complex64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex64::I * Complex64::I, Complex64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn cis_and_conj() {
+        let z = Complex64::cis(std::f64::consts::FRAC_PI_2);
+        assert!(z.re.abs() < 1e-15 && (z.im - 1.0).abs() < 1e-15);
+        assert_eq!(z.conj().im, -z.im);
+        assert!((Complex64::cis(0.7).abs() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sqrt_branches() {
+        let z = Complex64::new(-4.0, 0.0);
+        let r = z.sqrt();
+        assert!(r.re.abs() < 1e-12 && (r.im - 2.0).abs() < 1e-12);
+        // sqrt(z)^2 = z generally.
+        for &(re, im) in &[(3.0, 4.0), (-1.0, -1.0), (0.0, 2.0), (5.0, 0.0)] {
+            let z = Complex64::new(re, im);
+            let s = z.sqrt();
+            let back = s * s;
+            assert!((back.re - re).abs() < 1e-12 && (back.im - im).abs() < 1e-12, "{z:?}");
+        }
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut z = Complex64::ZERO;
+        z += Complex64::new(1.0, 1.0);
+        z += Complex64::new(2.0, -3.0);
+        assert_eq!(z, Complex64::new(3.0, -2.0));
+        assert_eq!(z.scale(2.0), Complex64::new(6.0, -4.0));
+        assert_eq!(z.norm_sqr(), 13.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! KPM reconstruction sums as a DCT-III.
+//!
+//! Evaluating the damped series on the Chebyshev–Gauss grid
+//! `x_k = cos(pi (k + 1/2) / K)` requires
+//!
+//! ```text
+//! S_k = c_0 + 2 sum_{n=1}^{N-1} c_n cos(pi n (k + 1/2) / K),   k = 0..K-1
+//! ```
+//!
+//! which is exactly a type-III discrete cosine transform of the
+//! (zero-padded) coefficient vector. For power-of-two `K` it is computed
+//! through a single complex FFT of length `2K`; other lengths fall back to
+//! the naive `O(K N)` sum.
+
+use crate::complex::Complex64;
+use crate::fft::{fft, Direction};
+
+/// Evaluates the KPM reconstruction sum `S_k` above for `k = 0..grid_len`.
+///
+/// `coeffs` holds `c_0 .. c_{N-1}` (kernel-damped moments); `N` may be
+/// smaller than `grid_len` (the usual case: reconstruct on a finer grid
+/// than the moment count) or larger (extra coefficients beyond the grid's
+/// resolving power are still summed, naively or via padding).
+///
+/// # Panics
+/// Panics if `grid_len == 0` or `coeffs` is empty.
+pub fn reconstruction_sums(coeffs: &[f64], grid_len: usize) -> Vec<f64> {
+    assert!(grid_len > 0, "grid must be nonempty");
+    assert!(!coeffs.is_empty(), "coefficients must be nonempty");
+    if grid_len.is_power_of_two() && coeffs.len() <= grid_len {
+        dct3_fft(coeffs, grid_len)
+    } else {
+        dct3_naive(coeffs, grid_len)
+    }
+}
+
+/// Naive `O(K N)` evaluation — reference path and fallback.
+pub fn dct3_naive(coeffs: &[f64], grid_len: usize) -> Vec<f64> {
+    let k_f = grid_len as f64;
+    (0..grid_len)
+        .map(|k| {
+            let phase = std::f64::consts::PI * (k as f64 + 0.5) / k_f;
+            let mut s = coeffs[0];
+            for (n, &c) in coeffs.iter().enumerate().skip(1) {
+                s += 2.0 * c * (n as f64 * phase).cos();
+            }
+            s
+        })
+        .collect()
+}
+
+/// FFT-backed evaluation for power-of-two `grid_len >= coeffs.len()`.
+///
+/// Derivation: with `a_0 = c_0`, `a_n = 2 c_n`,
+/// `S_k = Re[ sum_n a_n e^{i pi n / (2K)} e^{2 pi i n k / (2K)} ]`,
+/// i.e. the first `K` outputs of a `2K`-point inverse-sign DFT of
+/// `b_n = a_n e^{i pi n / (2K)}` zero-padded to `2K`.
+fn dct3_fft(coeffs: &[f64], grid_len: usize) -> Vec<f64> {
+    let two_k = 2 * grid_len;
+    let mut buf = vec![Complex64::ZERO; two_k];
+    for (n, &c) in coeffs.iter().enumerate() {
+        let a = if n == 0 { c } else { 2.0 * c };
+        let phase = std::f64::consts::PI * n as f64 / two_k as f64;
+        buf[n] = Complex64::cis(phase).scale(a);
+    }
+    // Positive-exponent transform = Inverse direction; undo its 1/N.
+    fft(Direction::Inverse, &mut buf);
+    buf[..grid_len].iter().map(|z| z.re * two_k as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chebyshev;
+
+    #[test]
+    fn fft_path_matches_naive() {
+        let coeffs: Vec<f64> = (0..48).map(|n| ((n as f64) * 0.37).sin() / (n as f64 + 1.0)).collect();
+        for k in [64usize, 128, 256] {
+            let fast = reconstruction_sums(&coeffs, k);
+            let slow = dct3_naive(&coeffs, k);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-10, "K = {k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_grid_works() {
+        let coeffs = vec![1.0, 0.5, 0.25];
+        let out = reconstruction_sums(&coeffs, 100);
+        assert_eq!(out.len(), 100);
+        let slow = dct3_naive(&coeffs, 100);
+        assert_eq!(out, slow);
+    }
+
+    #[test]
+    fn matches_series_eval_on_gauss_grid() {
+        // series_eval divides by the Chebyshev weight; the DCT sum is the
+        // bracketed part only. Cross-check on the grid.
+        let coeffs: Vec<f64> = (0..32).map(|n| chebyshev::t(n, 0.4) * 0.9f64.powi(n as i32)).collect();
+        let k = 64;
+        let grid = chebyshev::gauss_grid(k);
+        let sums = reconstruction_sums(&coeffs, k);
+        for (j, (&x, &s)) in grid.iter().zip(&sums).enumerate() {
+            let weight = std::f64::consts::PI * (1.0 - x * x).sqrt();
+            let expect = chebyshev::series_eval(&coeffs, x) * weight;
+            assert!((s - expect).abs() < 1e-9, "j = {j}: {s} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn constant_coefficient_gives_constant_sums() {
+        // Only c_0 nonzero: S_k = c_0 for every k.
+        let out = reconstruction_sums(&[3.5], 32);
+        assert!(out.iter().all(|&v| (v - 3.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn single_harmonic() {
+        // c_1 = 1 only: S_k = 2 cos(pi (k+1/2) / K).
+        let k = 16;
+        let out = reconstruction_sums(&[0.0, 1.0], k);
+        for (j, &v) in out.iter().enumerate() {
+            let expect = 2.0 * (std::f64::consts::PI * (j as f64 + 0.5) / k as f64).cos();
+            assert!((v - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn orthogonality_recovers_coefficients() {
+        // DCT-III followed by the matching DCT-II analysis recovers c_n:
+        // c_n = (1/K) sum_k S_k cos(pi n (k+1/2)/K).
+        let coeffs: Vec<f64> = vec![0.7, -0.3, 0.11, 0.05, -0.02];
+        let k = 64;
+        let sums = reconstruction_sums(&coeffs, k);
+        for (n, &c) in coeffs.iter().enumerate() {
+            let recovered: f64 = sums
+                .iter()
+                .enumerate()
+                .map(|(j, &s)| {
+                    s * (std::f64::consts::PI * n as f64 * (j as f64 + 0.5) / k as f64).cos()
+                })
+                .sum::<f64>()
+                / k as f64;
+            assert!((recovered - c).abs() < 1e-10, "n = {n}: {recovered} vs {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grid must be nonempty")]
+    fn zero_grid_rejected() {
+        let _ = reconstruction_sums(&[1.0], 0);
+    }
+}

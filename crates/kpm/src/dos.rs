@@ -1,0 +1,338 @@
+//! Density-of-states estimation — the paper's end-to-end pipeline.
+//!
+//! `rho(omega) = (1/D) sum_k delta(omega - E_k)` (Eq. 10) is reconstructed
+//! from kernel-damped Chebyshev moments on the Chebyshev–Gauss grid and
+//! mapped back to the original energy axis through the inverse of the
+//! rescaling (Eq. 12). The reconstruction is exact Gauss–Chebyshev
+//! quadrature, so `integrate()` returns `mu_0` up to kernel damping — i.e.
+//! ~1 for a true DoS.
+
+use crate::chebyshev;
+use crate::dct;
+use crate::error::KpmError;
+use crate::moments::{stochastic_moments, KpmParams, MomentStats};
+use crate::rescale::{rescale, Boundable};
+use kpm_linalg::gershgorin::SpectralBounds;
+use kpm_linalg::op::LinearOp;
+
+/// A reconstructed density of states.
+#[derive(Debug, Clone)]
+pub struct Dos {
+    /// Energies on the *original* (unscaled) axis, ascending.
+    pub energies: Vec<f64>,
+    /// Density values `rho(energies[i])`, normalized so that the full
+    /// integral is `~ mu_0 = 1`.
+    pub rho: Vec<f64>,
+    /// The raw (undamped) moment statistics behind this reconstruction.
+    pub moments: MomentStats,
+    /// Rescaling centre `a_+` used (Eq. 9).
+    pub a_plus: f64,
+    /// Rescaling half-width `a_-` used (Eq. 9).
+    pub a_minus: f64,
+    /// The bare reconstruction sums `S_k` on the Chebyshev grid (kept for
+    /// exact quadrature), in grid order (descending `x`).
+    series_sums: Vec<f64>,
+}
+
+impl Dos {
+    /// Exact Gauss–Chebyshev integral of the reconstructed density over the
+    /// whole band. For an exact DoS this is `g_0 mu_0 = 1`.
+    pub fn integrate(&self) -> f64 {
+        self.series_sums.iter().sum::<f64>() / self.series_sums.len() as f64
+    }
+
+    /// Trapezoid integral of the density between `lo` and `hi` on the
+    /// original energy axis (clipped to the reconstructed band).
+    pub fn integrate_range(&self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "integration range inverted");
+        let mut acc = 0.0;
+        for w in self.energies.windows(2) {
+            let (e0, e1) = (w[0], w[1]);
+            let i = self.energies.iter().position(|&e| e == e0).expect("window start");
+            let (r0, r1) = (self.rho[i], self.rho[i + 1]);
+            let a = e0.max(lo);
+            let b = e1.min(hi);
+            if a < b {
+                // Linear interpolation of rho at the clipped endpoints.
+                let f = |e: f64| r0 + (r1 - r0) * (e - e0) / (e1 - e0);
+                acc += 0.5 * (f(a) + f(b)) * (b - a);
+            }
+        }
+        acc
+    }
+
+    /// Linear interpolation of the density at energy `omega`; `None`
+    /// outside the reconstructed band.
+    pub fn value_at(&self, omega: f64) -> Option<f64> {
+        let first = *self.energies.first()?;
+        let last = *self.energies.last()?;
+        if omega < first || omega > last {
+            return None;
+        }
+        let idx = match self.energies.binary_search_by(|e| e.total_cmp(&omega)) {
+            Ok(i) => return Some(self.rho[i]),
+            Err(i) => i,
+        };
+        let (e0, e1) = (self.energies[idx - 1], self.energies[idx]);
+        let (r0, r1) = (self.rho[idx - 1], self.rho[idx]);
+        Some(r0 + (r1 - r0) * (omega - e0) / (e1 - e0))
+    }
+
+    /// Energy of the maximum of the reconstructed density.
+    pub fn peak_energy(&self) -> f64 {
+        let (i, _) = self
+            .rho
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("nonempty DoS");
+        self.energies[i]
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.energies.len()
+    }
+
+    /// `true` if empty (never produced by the estimator).
+    pub fn is_empty(&self) -> bool {
+        self.energies.is_empty()
+    }
+}
+
+/// End-to-end DoS estimator: bounds → rescale → stochastic moments →
+/// kernel damping → DCT reconstruction.
+#[derive(Debug, Clone)]
+pub struct DosEstimator {
+    params: KpmParams,
+}
+
+impl DosEstimator {
+    /// Creates an estimator with the given parameters.
+    pub fn new(params: KpmParams) -> Self {
+        Self { params }
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &KpmParams {
+        &self.params
+    }
+
+    /// Runs the full pipeline on an operator whose bounds we can find.
+    ///
+    /// # Errors
+    /// Parameter validation, bounds computation, or degenerate-spectrum
+    /// errors.
+    pub fn compute<A: Boundable + Sync>(&self, op: &A) -> Result<Dos, KpmError> {
+        self.params.validate()?;
+        let bounds = op.spectral_bounds(self.params.bounds)?;
+        self.compute_with_bounds(op, bounds)
+    }
+
+    /// Runs the pipeline with caller-supplied spectral bounds.
+    ///
+    /// # Errors
+    /// Parameter validation or degenerate-spectrum errors.
+    pub fn compute_with_bounds<A: LinearOp + Sync>(
+        &self,
+        op: A,
+        bounds: SpectralBounds,
+    ) -> Result<Dos, KpmError> {
+        self.params.validate()?;
+        let rescaled = rescale(op, bounds, self.params.padding)?;
+        let (a_plus, a_minus) = (rescaled.a_plus(), rescaled.a_minus());
+        let stats = stochastic_moments(&rescaled, &self.params);
+        Ok(self.reconstruct(stats, a_plus, a_minus))
+    }
+
+    /// Reconstructs a [`Dos`] from externally computed moments (e.g. the
+    /// GPU engine's) and the rescaling coefficients that produced them.
+    pub fn reconstruct(&self, moments: MomentStats, a_plus: f64, a_minus: f64) -> Dos {
+        let damped = self.params.kernel.damp(&moments.mean);
+        let k = self.params.grid_points;
+        let sums = dct::reconstruction_sums(&damped, k);
+        let grid = chebyshev::gauss_grid(k);
+        // rho~(x) = S(x) / (pi sqrt(1 - x^2)); rho(omega) = rho~(x)/a_-.
+        // Grid is descending in x; reverse for ascending energies.
+        let mut energies = Vec::with_capacity(k);
+        let mut rho = Vec::with_capacity(k);
+        for j in (0..k).rev() {
+            let x = grid[j];
+            let weight = std::f64::consts::PI * (1.0 - x * x).sqrt();
+            energies.push(a_minus * x + a_plus);
+            rho.push(sums[j] / (weight * a_minus));
+        }
+        Dos { energies, rho, moments, a_plus, a_minus, series_sums: sums }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::KernelType;
+    use kpm_linalg::op::DiagonalOp;
+    use kpm_linalg::DenseMatrix;
+
+    fn flat_band_op(d: usize, lo: f64, hi: f64) -> (DiagonalOp, Vec<f64>) {
+        let eigs: Vec<f64> =
+            (0..d).map(|i| lo + (hi - lo) * i as f64 / (d - 1) as f64).collect();
+        (DiagonalOp::new(eigs.clone()), eigs)
+    }
+
+    fn default_estimator(n: usize) -> DosEstimator {
+        DosEstimator::new(KpmParams::new(n).with_random_vectors(16, 4).with_seed(3))
+    }
+
+    #[test]
+    fn dos_integrates_to_one() {
+        let (op, _) = flat_band_op(200, -3.0, 5.0);
+        let est = default_estimator(64);
+        let dos = est
+            .compute_with_bounds(&op, SpectralBounds::new(-3.0, 5.0))
+            .unwrap();
+        assert!((dos.integrate() - 1.0).abs() < 0.02, "integral = {}", dos.integrate());
+    }
+
+    #[test]
+    fn energies_cover_original_axis_ascending() {
+        let (op, _) = flat_band_op(100, -2.0, 2.0);
+        let dos = default_estimator(32)
+            .compute_with_bounds(&op, SpectralBounds::new(-2.0, 2.0))
+            .unwrap();
+        assert!(dos.energies.windows(2).all(|w| w[0] < w[1]));
+        assert!(*dos.energies.first().unwrap() > -2.1);
+        assert!(*dos.energies.last().unwrap() < 2.1);
+        assert!(!dos.is_empty());
+        assert_eq!(dos.len(), dos.rho.len());
+    }
+
+    #[test]
+    fn flat_band_gives_flat_density() {
+        // Uniform spectrum on [-1, 1] (with padding) -> rho ~ 1/width in the
+        // interior.
+        let (op, _) = flat_band_op(400, -1.0, 1.0);
+        let dos = default_estimator(128)
+            .compute_with_bounds(&op, SpectralBounds::new(-1.0, 1.0))
+            .unwrap();
+        let mid = dos.value_at(0.0).unwrap();
+        let q1 = dos.value_at(-0.5).unwrap();
+        let q3 = dos.value_at(0.5).unwrap();
+        let expect = 0.5; // 1 / width
+        for v in [mid, q1, q3] {
+            assert!((v - expect).abs() < 0.06, "rho = {v}, expected ~{expect}");
+        }
+    }
+
+    #[test]
+    fn two_level_system_peaks_at_levels() {
+        // Spectrum {-1, +1} (100 copies each): two peaks.
+        let eigs: Vec<f64> = (0..200).map(|i| if i < 100 { -1.0 } else { 1.0 }).collect();
+        let op = DiagonalOp::new(eigs);
+        let est = default_estimator(128);
+        let dos = est
+            .compute_with_bounds(&op, SpectralBounds::new(-1.0, 1.0))
+            .unwrap();
+        // Peaks near +-1 (inside because of padding), valley at 0.
+        let peak = dos.peak_energy();
+        assert!(peak.abs() > 0.8, "peak at {peak}");
+        let valley = dos.value_at(0.0).unwrap();
+        let shoulder = dos.value_at(peak).unwrap();
+        assert!(shoulder > 5.0 * valley.max(1e-6), "{shoulder} vs {valley}");
+    }
+
+    #[test]
+    fn matches_exact_diagonalization_histogram() {
+        // Dense symmetric matrix, D = 64: compare KPM rho against the exact
+        // spectrum binned with the same resolution.
+        let d = 64;
+        let h = kpm_lattice::dense_random_symmetric(d, 1.0, 21);
+        let eig = kpm_linalg::eigen::jacobi_eigenvalues(&h).unwrap();
+        let est = DosEstimator::new(
+            KpmParams::new(64).with_random_vectors(32, 8).with_seed(5),
+        );
+        let dos = est.compute(&h).unwrap();
+        assert!((dos.integrate() - 1.0).abs() < 0.03);
+        // Fraction of states below 0 must match.
+        let below_exact = eig.iter().filter(|&&e| e < 0.0).count() as f64 / d as f64;
+        let lo = dos.energies[0];
+        let below_kpm = dos.integrate_range(lo, 0.0);
+        assert!(
+            (below_exact - below_kpm).abs() < 0.08,
+            "{below_exact} vs {below_kpm}"
+        );
+    }
+
+    #[test]
+    fn value_at_outside_band_is_none() {
+        let (op, _) = flat_band_op(50, -1.0, 1.0);
+        let dos = default_estimator(16)
+            .compute_with_bounds(&op, SpectralBounds::new(-1.0, 1.0))
+            .unwrap();
+        assert!(dos.value_at(5.0).is_none());
+        assert!(dos.value_at(-5.0).is_none());
+        assert!(dos.value_at(0.0).is_some());
+    }
+
+    #[test]
+    fn higher_n_sharpens_two_level_peaks() {
+        // The paper's Fig. 6 claim: N = 512 resolves more structure than
+        // N = 256. Measure peak height of a delta-like level.
+        let eigs = vec![0.5; 32];
+        let op = DiagonalOp::new(eigs);
+        let bounds = SpectralBounds::new(-1.0, 1.0);
+        let peak_height = |n: usize| {
+            let est = DosEstimator::new(KpmParams::new(n).with_random_vectors(4, 2));
+            let dos = est.compute_with_bounds(&op, bounds).unwrap();
+            dos.value_at(0.5).unwrap()
+        };
+        let h256 = peak_height(256);
+        let h512 = peak_height(512);
+        assert!(h512 > 1.5 * h256, "N=512 peak {h512} vs N=256 peak {h256}");
+    }
+
+    #[test]
+    fn dirichlet_oscillates_jackson_does_not() {
+        let eigs = vec![0.0; 16];
+        let op = DiagonalOp::new(eigs);
+        let bounds = SpectralBounds::new(-1.0, 1.0);
+        let min_rho = |kernel: KernelType| {
+            let est = DosEstimator::new(
+                KpmParams::new(64).with_random_vectors(4, 1).with_kernel(kernel),
+            );
+            let dos = est.compute_with_bounds(&op, bounds).unwrap();
+            dos.rho.iter().fold(f64::INFINITY, |m, &v| m.min(v))
+        };
+        assert!(min_rho(KernelType::Jackson) > -1e-6, "Jackson must stay nonnegative");
+        assert!(min_rho(KernelType::Dirichlet) < -1e-3, "Dirichlet must undershoot");
+    }
+
+    #[test]
+    fn integrate_range_sums_to_total() {
+        let (op, _) = flat_band_op(100, -2.0, 2.0);
+        let dos = default_estimator(64)
+            .compute_with_bounds(&op, SpectralBounds::new(-2.0, 2.0))
+            .unwrap();
+        let lo = dos.energies[0];
+        let hi = *dos.energies.last().unwrap();
+        let total = dos.integrate_range(lo, hi);
+        let left = dos.integrate_range(lo, 0.0);
+        let right = dos.integrate_range(0.0, hi);
+        assert!((left + right - total).abs() < 1e-10);
+        assert!((total - dos.integrate()).abs() < 0.02);
+    }
+
+    #[test]
+    fn gershgorin_pipeline_on_dense_matrix() {
+        let h = DenseMatrix::from_fn(32, 32, |i, j| {
+            if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        });
+        let dos = default_estimator(48).compute(&h).unwrap();
+        // Chain DoS is symmetric: peak density at band edges, min at centre
+        // is still positive; integral ~ 1.
+        assert!((dos.integrate() - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,57 @@
+//! KPM error type.
+
+use kpm_linalg::LinalgError;
+use std::fmt;
+
+/// Errors from the KPM pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KpmError {
+    /// A parameter was out of range (message explains which).
+    InvalidParameter(String),
+    /// The spectral-bounds stage failed.
+    Bounds(LinalgError),
+    /// The operator has a degenerate (single-point) spectrum and zero
+    /// padding was requested, so rescaling is impossible.
+    DegenerateSpectrum,
+}
+
+impl fmt::Display for KpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KpmError::InvalidParameter(msg) => write!(f, "invalid KPM parameter: {msg}"),
+            KpmError::Bounds(e) => write!(f, "spectral bounds failed: {e}"),
+            KpmError::DegenerateSpectrum => {
+                write!(f, "degenerate spectrum: rescaling needs nonzero half-width (add padding)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KpmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KpmError::Bounds(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for KpmError {
+    fn from(e: LinalgError) -> Self {
+        KpmError::Bounds(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = KpmError::InvalidParameter("N must be >= 2".into());
+        assert!(e.to_string().contains("N must be >= 2"));
+        let e: KpmError = LinalgError::NotSymmetric.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(KpmError::DegenerateSpectrum.to_string().contains("padding"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Iterative radix-2 complex FFT, implemented in-tree.
+//!
+//! Used by [`crate::dct`] to turn the KPM reconstruction sum into an
+//! `O(K log K)` transform. Only power-of-two lengths are supported — the
+//! DCT layer falls back to the naive sum otherwise.
+
+use crate::complex::Complex64;
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `X_k = sum_n x_n e^{-2 pi i n k / N}`.
+    Forward,
+    /// `x_n = (1/N) sum_k X_k e^{+2 pi i n k / N}` (normalized here).
+    Inverse,
+}
+
+/// In-place radix-2 FFT.
+///
+/// The inverse direction applies the `1/N` normalization, so
+/// `fft(Inverse, fft(Forward, x)) == x`.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two (zero-length included).
+pub fn fft(direction: Direction, data: &mut [Complex64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two, got {n}");
+    if n == 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    let sign = match direction {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+
+    // Butterfly passes.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex64::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex64::ONE;
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2] * w;
+                data[start + k] = a + b;
+                data[start + k + len / 2] = a - b;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+
+    if direction == Direction::Inverse {
+        let inv = 1.0 / n as f64;
+        for z in data.iter_mut() {
+            *z = z.scale(inv);
+        }
+    }
+}
+
+/// Naive `O(N^2)` DFT, any length — the reference implementation for tests.
+pub fn dft_naive(direction: Direction, data: &[Complex64]) -> Vec<Complex64> {
+    let n = data.len();
+    let sign = match direction {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (j, &x) in data.iter().enumerate() {
+            let ang = sign * 2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+            acc += x * Complex64::cis(ang);
+        }
+        *o = if direction == Direction::Inverse { acc.scale(1.0 / n as f64) } else { acc };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[Complex64], b: &[Complex64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (*x - *y).abs() < tol)
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        fft(Direction::Forward, &mut x);
+        assert!(x.iter().all(|z| (z.re - 1.0).abs() < 1e-14 && z.im.abs() < 1e-14));
+    }
+
+    #[test]
+    fn forward_then_inverse_roundtrips() {
+        for log_n in 0..8 {
+            let n = 1usize << log_n;
+            let orig: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.9).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let mut x = orig.clone();
+            fft(Direction::Forward, &mut x);
+            fft(Direction::Inverse, &mut x);
+            assert!(close(&x, &orig, 1e-11), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let n = 32;
+        let orig: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.31).cos(), (i as f64 * 0.7).sin() * 0.5))
+            .collect();
+        for dir in [Direction::Forward, Direction::Inverse] {
+            let mut fast = orig.clone();
+            fft(dir, &mut fast);
+            let slow = dft_naive(dir, &orig);
+            assert!(close(&fast, &slow, 1e-10), "{dir:?}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 64;
+        let x: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i as f64).sin(), 0.0)).collect();
+        let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut f = x.clone();
+        fft(Direction::Forward, &mut f);
+        let freq_energy: f64 = f.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_tone_has_single_bin() {
+        let n = 16;
+        let k0 = 3usize;
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::cis(2.0 * std::f64::consts::PI * (k0 * i) as f64 / n as f64))
+            .collect();
+        let mut f = x;
+        fft(Direction::Forward, &mut f);
+        for (k, z) in f.iter().enumerate() {
+            if k == k0 {
+                assert!((z.re - n as f64).abs() < 1e-10);
+            } else {
+                assert!(z.abs() < 1e-10, "leakage at bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut x = vec![Complex64::ZERO; 12];
+        fft(Direction::Forward, &mut x);
+    }
+}

@@ -1,0 +1,263 @@
+//! Chebyshev application of operator functions: `|phi> = f(H) |psi>`.
+//!
+//! The third classic use of the KPM machinery (after spectral densities and
+//! time evolution): expand a scalar function `f` in Chebyshev polynomials
+//! on the rescaled spectrum and apply the series through the three-term
+//! recursion,
+//!
+//! ```text
+//! f(H) |psi> = sum_n c_n T_n(H~) |psi>,
+//! c_n = (2 - delta_{n0})/K * sum_k f(E(x_k)) T_n(x_k)
+//! ```
+//!
+//! with the coefficients computed by Chebyshev–Gauss quadrature (a DCT-II
+//! of the sampled function). With `f = exp(-beta (. - mu))`-style weights
+//! this is the Fermi-operator expansion of linear-scaling electronic
+//! structure; with indicator-like `f` it is a spectral filter.
+//!
+//! Cost: one matvec per kept coefficient — the same `O(N D)` budget as a
+//! DoS run, for a completely different capability.
+
+use crate::chebyshev;
+use crate::error::KpmError;
+use kpm_linalg::gershgorin::SpectralBounds;
+use kpm_linalg::op::{LinearOp, RescaledOp};
+use kpm_linalg::vecops;
+
+/// A Chebyshev expansion of a scalar function over a spectral interval,
+/// ready to be applied to vectors.
+#[derive(Debug, Clone)]
+pub struct FunctionExpansion<A> {
+    op: RescaledOp<A>,
+    /// Chebyshev coefficients `c_0 .. c_{N-1}` (already carrying the
+    /// `(2 - delta_{n0})` factors).
+    coeffs: Vec<f64>,
+}
+
+impl<A: LinearOp> FunctionExpansion<A> {
+    /// Expands `f` (a function of the *original* energy) to `order` terms
+    /// over the (padded) spectral bounds of `op`.
+    ///
+    /// The coefficients are computed by `2 * order`-point Chebyshev–Gauss
+    /// quadrature, exact for the truncated series of any `f` smooth on the
+    /// interval.
+    ///
+    /// # Errors
+    /// [`KpmError::InvalidParameter`] if `order < 1`;
+    /// [`KpmError::DegenerateSpectrum`] for zero-width bounds without
+    /// padding (the built-in 1% pad normally prevents this).
+    pub fn new(
+        op: A,
+        bounds: SpectralBounds,
+        order: usize,
+        f: impl Fn(f64) -> f64,
+    ) -> Result<Self, KpmError> {
+        if order == 0 {
+            return Err(KpmError::InvalidParameter("order must be at least 1".into()));
+        }
+        let padded = bounds.padded(0.01);
+        if padded.a_minus() <= 0.0 {
+            return Err(KpmError::DegenerateSpectrum);
+        }
+        let rescaled = RescaledOp::new(op, padded.a_plus(), padded.a_minus());
+
+        // Quadrature nodes x_k = cos(pi (k + 1/2)/K), K = 2 * order.
+        let k_quad = 2 * order;
+        let nodes = chebyshev::gauss_grid(k_quad);
+        let samples: Vec<f64> =
+            nodes.iter().map(|&x| f(rescaled.to_original(x))).collect();
+        // c_n = (2 - delta_n0)/K sum_k f_k T_n(x_k) — accumulate T_n by the
+        // recursion per node.
+        let mut coeffs = vec![0.0; order];
+        for (&x, &fx) in nodes.iter().zip(&samples) {
+            let mut tm = 1.0;
+            let mut tc = x;
+            coeffs[0] += fx;
+            if order > 1 {
+                coeffs[1] += fx * x;
+            }
+            for c in coeffs.iter_mut().skip(2) {
+                let tn = 2.0 * x * tc - tm;
+                tm = tc;
+                tc = tn;
+                *c += fx * tn;
+            }
+        }
+        let kf = k_quad as f64;
+        for (n, c) in coeffs.iter_mut().enumerate() {
+            *c *= if n == 0 { 1.0 } else { 2.0 } / kf;
+        }
+        Ok(Self { op: rescaled, coeffs })
+    }
+
+    /// The expansion coefficients.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Evaluates the truncated expansion at a scalar energy (useful to
+    /// inspect the approximation quality before paying for matvecs).
+    pub fn eval_scalar(&self, energy: f64) -> f64 {
+        let x = self.op.to_rescaled(energy);
+        let t = chebyshev::t_all(self.coeffs.len(), x);
+        self.coeffs.iter().zip(&t).map(|(c, tn)| c * tn).sum()
+    }
+
+    /// Applies `f(H)` to a vector: `order - 1` matvecs.
+    ///
+    /// # Panics
+    /// Panics if `psi.len() != dim`.
+    pub fn apply(&self, psi: &[f64]) -> Vec<f64> {
+        let d = self.op.dim();
+        assert_eq!(psi.len(), d, "state dimension");
+        let n = self.coeffs.len();
+        let mut out: Vec<f64> = psi.iter().map(|&v| v * self.coeffs[0]).collect();
+        if n == 1 {
+            return out;
+        }
+        let mut prev = psi.to_vec();
+        let mut cur = vec![0.0; d];
+        self.op.apply(&prev, &mut cur);
+        vecops::axpy(self.coeffs[1], &cur, &mut out);
+        let mut scratch = vec![0.0; d];
+        for &c in self.coeffs.iter().skip(2) {
+            self.op.apply(&cur, &mut scratch);
+            vecops::chebyshev_combine_inplace(&scratch, &mut prev);
+            std::mem::swap(&mut prev, &mut cur);
+            vecops::axpy(c, &cur, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpm_linalg::gershgorin::gershgorin_dense;
+    use kpm_linalg::op::DiagonalOp;
+
+    fn diag_expansion(
+        eigs: Vec<f64>,
+        order: usize,
+        f: impl Fn(f64) -> f64,
+    ) -> FunctionExpansion<DiagonalOp> {
+        let lo = eigs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = eigs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        FunctionExpansion::new(DiagonalOp::new(eigs), SpectralBounds::new(lo, hi), order, f)
+            .unwrap()
+    }
+
+    #[test]
+    fn identity_function_reproduces_h() {
+        // f(E) = E: f(H) psi = H psi.
+        let eigs = vec![-1.5, 0.2, 0.9, 2.0];
+        let exp = diag_expansion(eigs.clone(), 8, |e| e);
+        let psi = vec![1.0, -0.5, 2.0, 0.3];
+        let out = exp.apply(&psi);
+        for i in 0..4 {
+            assert!(
+                (out[i] - eigs[i] * psi[i]).abs() < 1e-10,
+                "component {i}: {} vs {}",
+                out[i],
+                eigs[i] * psi[i]
+            );
+        }
+    }
+
+    #[test]
+    fn polynomial_functions_are_exact_at_matching_order() {
+        // f(E) = E^3 is degree 3: order >= 4 captures it exactly.
+        let eigs = vec![-2.0, -0.7, 0.4, 1.3];
+        let exp = diag_expansion(eigs.clone(), 6, |e| e * e * e);
+        let psi = vec![0.2, 1.0, -1.0, 0.5];
+        let out = exp.apply(&psi);
+        for i in 0..4 {
+            let expect = eigs[i].powi(3) * psi[i];
+            assert!((out[i] - expect).abs() < 1e-9, "component {i}");
+        }
+    }
+
+    #[test]
+    fn exponential_converges_with_order() {
+        // e^{-H} on a diagonal operator vs exact, at two orders.
+        let eigs: Vec<f64> = (0..16).map(|i| -2.0 + 0.25 * i as f64).collect();
+        let psi: Vec<f64> = (0..16).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let err_at = |order: usize| {
+            let exp = diag_expansion(eigs.clone(), order, |e| (-e).exp());
+            let out = exp.apply(&psi);
+            eigs.iter()
+                .zip(&psi)
+                .zip(&out)
+                .map(|((&e, &p), &o)| (o - (-e).exp() * p).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let coarse = err_at(8);
+        let fine = err_at(24);
+        assert!(fine < 1e-10, "order 24 error {fine}");
+        assert!(fine < coarse / 100.0, "convergence: {coarse} -> {fine}");
+    }
+
+    #[test]
+    fn fermi_operator_projects_occupied_states() {
+        // Zero-temperature-ish Fermi function at mu = 0: states below the
+        // chemical potential pass, above are suppressed.
+        let eigs = vec![-1.8, -0.9, 0.8, 1.7];
+        let beta = 30.0;
+        let exp = diag_expansion(eigs.clone(), 256, |e| {
+            crate::thermal::fermi(e, 0.0, 1.0 / beta)
+        });
+        let psi = vec![1.0, 1.0, 1.0, 1.0];
+        let out = exp.apply(&psi);
+        assert!((out[0] - 1.0).abs() < 1e-4, "deep state passes: {}", out[0]);
+        assert!((out[1] - 1.0).abs() < 1e-4);
+        assert!(out[2].abs() < 1e-4, "empty state blocked: {}", out[2]);
+        assert!(out[3].abs() < 1e-4);
+    }
+
+    #[test]
+    fn eval_scalar_matches_apply_on_eigenstates() {
+        let eigs = vec![-1.0, 0.5, 1.5];
+        let f = |e: f64| (0.8 * e).cos();
+        let exp = diag_expansion(eigs.clone(), 32, f);
+        for (k, &e) in eigs.iter().enumerate() {
+            let mut psi = vec![0.0; 3];
+            psi[k] = 1.0;
+            let out = exp.apply(&psi);
+            assert!((out[k] - exp.eval_scalar(e)).abs() < 1e-12);
+            assert!((out[k] - f(e)).abs() < 1e-10, "f(e) = {} vs {}", f(e), out[k]);
+        }
+    }
+
+    #[test]
+    fn works_on_dense_matrices_against_exact_diag() {
+        let h = kpm_lattice::dense_random_symmetric(20, 1.0, 33);
+        let bounds = gershgorin_dense(&h);
+        // An entire function (Gaussian weight): Chebyshev converges
+        // superexponentially, so order 96 reaches near machine precision
+        // even on this wide Gershgorin interval. (A Lorentzian 1/(1+E^2)
+        // would converge painfully slowly here — its poles at +-i sit
+        // close to the rescaled interval.)
+        let f = |e: f64| (-(e / 4.0) * (e / 4.0)).exp();
+        let exp = FunctionExpansion::new(&h, bounds, 96, f).unwrap();
+        let psi: Vec<f64> = (0..20).map(|i| (i as f64 * 0.37).cos()).collect();
+        let out = exp.apply(&psi);
+
+        // Exact: V f(diag) V^T psi.
+        let (eigs, vecs) = kpm_linalg::eigen::jacobi_eigen(&h).unwrap();
+        let mut exact = vec![0.0; 20];
+        for (k, &ek) in eigs.iter().enumerate() {
+            let vk: Vec<f64> = (0..20).map(|i| vecs.get(i, k)).collect();
+            let amp = vecops::dot(&vk, &psi) * f(ek);
+            vecops::axpy(amp, &vk, &mut exact);
+        }
+        for i in 0..20 {
+            assert!((out[i] - exact[i]).abs() < 1e-8, "site {i}: {} vs {}", out[i], exact[i]);
+        }
+    }
+
+    #[test]
+    fn invalid_order_rejected() {
+        let op = DiagonalOp::new(vec![0.0]);
+        assert!(FunctionExpansion::new(op, SpectralBounds::new(-1.0, 1.0), 0, |e| e).is_err());
+    }
+}

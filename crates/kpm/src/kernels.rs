@@ -1,0 +1,237 @@
+//! Damping kernels `g_n` for truncated Chebyshev expansions.
+//!
+//! Truncating the expansion at `N` terms produces Gibbs oscillations; the
+//! KPM multiplies the moments by kernel coefficients `g_n` chosen so that
+//! the reconstruction converges uniformly (the paper's Eq. 6–7). The
+//! Jackson kernel is the paper's (and the field's) default for densities of
+//! states; the Lorentz kernel is the right choice for Green's functions;
+//! Fejér and Dirichlet are included for comparison/ablation.
+//!
+//! Formulas follow Weiße et al., Rev. Mod. Phys. 78, 275 (2006), Sec. II.C.
+
+use std::f64::consts::PI;
+
+/// Which damping kernel to apply to the moments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelType {
+    /// Jackson kernel — optimal (in the sup-norm sense) positive kernel;
+    /// approximates a delta function by a near-Gaussian of width
+    /// `pi / N`. The paper's choice for the DoS.
+    Jackson,
+    /// Lorentz kernel with resolution parameter `lambda` (typically 3–5);
+    /// approximates a delta by a Lorentzian — the natural kernel for
+    /// Green's functions because it preserves analyticity.
+    Lorentz {
+        /// Resolution parameter λ.
+        lambda: f64,
+    },
+    /// Fejér kernel `g_n = 1 - n/N` — simple, positive, but wider than
+    /// Jackson.
+    Fejer,
+    /// No damping (`g_n = 1`): the raw truncated series, exhibiting Gibbs
+    /// oscillations. Included as the baseline the other kernels beat.
+    Dirichlet,
+}
+
+impl KernelType {
+    /// The damping coefficients `g_0 .. g_{n_moments - 1}`.
+    ///
+    /// # Panics
+    /// Panics if `n_moments == 0` or a Lorentz `lambda <= 0`.
+    pub fn coefficients(&self, n_moments: usize) -> Vec<f64> {
+        assert!(n_moments > 0, "kernel needs at least one moment");
+        let nf = n_moments as f64;
+        match *self {
+            KernelType::Jackson => {
+                // g_n = [(N - n + 1) cos(pi n / (N+1))
+                //        + sin(pi n / (N+1)) cot(pi / (N+1))] / (N + 1)
+                let np1 = nf + 1.0;
+                let cot = 1.0 / (PI / np1).tan();
+                (0..n_moments)
+                    .map(|n| {
+                        let a = PI * n as f64 / np1;
+                        ((nf - n as f64 + 1.0) * a.cos() + a.sin() * cot) / np1
+                    })
+                    .collect()
+            }
+            KernelType::Lorentz { lambda } => {
+                assert!(lambda > 0.0, "Lorentz kernel needs lambda > 0");
+                (0..n_moments)
+                    .map(|n| (lambda * (1.0 - n as f64 / nf)).sinh() / lambda.sinh())
+                    .collect()
+            }
+            KernelType::Fejer => (0..n_moments).map(|n| 1.0 - n as f64 / nf).collect(),
+            KernelType::Dirichlet => vec![1.0; n_moments],
+        }
+    }
+
+    /// Applies the kernel to a moment vector, returning `g_n * mu_n`.
+    ///
+    /// # Panics
+    /// Panics if `moments` is empty.
+    pub fn damp(&self, moments: &[f64]) -> Vec<f64> {
+        let g = self.coefficients(moments.len());
+        g.iter().zip(moments).map(|(gn, mu)| gn * mu).collect()
+    }
+
+    /// Energy resolution (width of the smeared delta function) of this
+    /// kernel at expansion order `n_moments`, on the rescaled `[-1, 1]`
+    /// axis at band centre. Jackson: `pi / N`; Lorentz: `lambda / N`;
+    /// Fejér/Dirichlet: `O(1/N)` (returned as `pi / N` and `1 / N`).
+    pub fn resolution(&self, n_moments: usize) -> f64 {
+        let nf = n_moments as f64;
+        match *self {
+            KernelType::Jackson => PI / nf,
+            KernelType::Lorentz { lambda } => lambda / nf,
+            KernelType::Fejer => PI / nf,
+            KernelType::Dirichlet => 1.0 / nf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chebyshev;
+
+    const KERNELS: [KernelType; 4] = [
+        KernelType::Jackson,
+        KernelType::Lorentz { lambda: 4.0 },
+        KernelType::Fejer,
+        KernelType::Dirichlet,
+    ];
+
+    #[test]
+    fn g0_is_one_for_all_kernels() {
+        for k in KERNELS {
+            for n in [1usize, 2, 16, 257] {
+                let g = k.coefficients(n);
+                assert!((g[0] - 1.0).abs() < 1e-12, "{k:?} N={n}: g0 = {}", g[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn coefficients_decay_monotonically() {
+        for k in KERNELS {
+            let g = k.coefficients(64);
+            for w in g.windows(2) {
+                assert!(
+                    w[1] <= w[0] + 1e-12,
+                    "{k:?}: coefficients must be non-increasing ({} then {})",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jackson_matches_closed_form_small_n() {
+        // For N = 2: g_0 = 1, g_1 = [2 cos(pi/3) + sin(pi/3) cot(pi/3)] / 3
+        //                        = [1 + cos(pi/3)] / 3 ... compute directly.
+        let g = KernelType::Jackson.coefficients(2);
+        let np1 = 3.0f64;
+        let a = PI / np1;
+        let expect = (2.0 * a.cos() + a.sin() / a.tan()) / np1;
+        assert!((g[1] - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    fn jackson_last_coefficient_is_small() {
+        let n = 128;
+        let g = KernelType::Jackson.coefficients(n);
+        assert!(g[n - 1] < 1e-3, "Jackson tail must vanish: {}", g[n - 1]);
+        assert!(g[n - 1] > 0.0, "Jackson is a positive kernel");
+    }
+
+    #[test]
+    fn jackson_reconstruction_is_nonnegative() {
+        // Jackson is a positive kernel: the smeared delta must be >= 0
+        // everywhere (up to rounding), unlike Dirichlet.
+        let n = 64;
+        let a = 0.3;
+        let mu: Vec<f64> = (0..n).map(|k| chebyshev::t(k, a)).collect();
+        let jackson = KernelType::Jackson.damp(&mu);
+        let dirichlet = KernelType::Dirichlet.damp(&mu);
+        let mut dirichlet_went_negative = false;
+        for i in 1..200 {
+            let x = -0.995 + 0.01 * i as f64;
+            if x >= 1.0 {
+                break;
+            }
+            let j = chebyshev::series_eval(&jackson, x);
+            assert!(j > -1e-8, "Jackson went negative at {x}: {j}");
+            if chebyshev::series_eval(&dirichlet, x) < -1e-3 {
+                dirichlet_went_negative = true;
+            }
+        }
+        assert!(dirichlet_went_negative, "Dirichlet should oscillate below zero");
+    }
+
+    #[test]
+    fn jackson_delta_width_shrinks_with_n() {
+        // Full width at half max of the smeared delta ~ pi/N.
+        let a = 0.0;
+        let width_at = |n: usize| {
+            let mu: Vec<f64> = (0..n).map(|k| chebyshev::t(k, a)).collect();
+            let damped = KernelType::Jackson.damp(&mu);
+            let peak = chebyshev::series_eval(&damped, a);
+            // Scan right for half-max crossing.
+            let mut x = a;
+            while chebyshev::series_eval(&damped, x) > peak / 2.0 {
+                x += 1e-4;
+            }
+            2.0 * (x - a)
+        };
+        let w64 = width_at(64);
+        let w128 = width_at(128);
+        assert!(w128 < w64, "width must shrink: {w64} -> {w128}");
+        assert!((w64 / w128 - 2.0).abs() < 0.3, "width ~ 1/N: ratio {}", w64 / w128);
+    }
+
+    #[test]
+    fn lorentz_matches_sinh_formula() {
+        let lambda = 3.0;
+        let n = 16;
+        let g = KernelType::Lorentz { lambda }.coefficients(n);
+        for (i, &gi) in g.iter().enumerate() {
+            let expect = (lambda * (1.0 - i as f64 / n as f64)).sinh() / lambda.sinh();
+            assert!((gi - expect).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn fejer_is_linear_ramp() {
+        let g = KernelType::Fejer.coefficients(4);
+        assert_eq!(g, vec![1.0, 0.75, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn damp_multiplies_componentwise() {
+        let mu = vec![1.0, 2.0, 3.0, 4.0];
+        let damped = KernelType::Fejer.damp(&mu);
+        assert_eq!(damped, vec![1.0, 1.5, 1.5, 1.0]);
+        let undamped = KernelType::Dirichlet.damp(&mu);
+        assert_eq!(undamped, mu);
+    }
+
+    #[test]
+    fn resolution_decreases_with_order() {
+        for k in KERNELS {
+            assert!(k.resolution(256) < k.resolution(64));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda > 0")]
+    fn lorentz_validates_lambda() {
+        let _ = KernelType::Lorentz { lambda: 0.0 }.coefficients(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one moment")]
+    fn zero_moments_rejected() {
+        let _ = KernelType::Jackson.coefficients(0);
+    }
+}

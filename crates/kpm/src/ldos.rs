@@ -1,0 +1,139 @@
+//! Local density of states (LDoS).
+//!
+//! `rho_i(omega) = sum_k |<i|k>|^2 delta(omega - E_k)` needs the moments
+//! `mu_n^i = <i|T_n(H~)|i>` — the same recursion as the trace estimator but
+//! with the deterministic start vector `e_i` instead of random vectors, so
+//! no stochastic average is involved. This is the standard KPM application
+//! beyond the paper's global DoS (Weiße et al. 2006, Sec. III.A) and is
+//! exercised by the disorder example.
+
+use crate::dos::{Dos, DosEstimator};
+use crate::error::KpmError;
+use crate::moments::{single_vector_moments, KpmParams, MomentStats};
+use crate::rescale::{rescale, Boundable};
+
+/// Computes the LDoS at `site`.
+///
+/// Uses `params` for the moment count, kernel, bounds method, padding and
+/// grid; the stochastic fields (`R`, `S`, distribution) are ignored.
+///
+/// # Errors
+/// Bounds or validation failures, or `site` out of range.
+pub fn local_dos<A: Boundable + Sync>(
+    op: &A,
+    site: usize,
+    params: &KpmParams,
+) -> Result<Dos, KpmError> {
+    params.validate()?;
+    if site >= op.dim() {
+        return Err(KpmError::InvalidParameter(format!(
+            "site {site} out of range for dimension {}",
+            op.dim()
+        )));
+    }
+    let bounds = op.spectral_bounds(params.bounds)?;
+    let rescaled = rescale(op, bounds, params.padding)?;
+    let (a_plus, a_minus) = (rescaled.a_plus(), rescaled.a_minus());
+
+    let mut e_i = vec![0.0; op.dim()];
+    e_i[site] = 1.0;
+    let mu = single_vector_moments(&rescaled, &e_i, params.num_moments, params.recursion);
+    // <e_i|T_n|e_i> is already the LDoS moment: no 1/D, no averaging.
+    let stats = MomentStats { std_err: vec![0.0; mu.len()], samples: 1, mean: mu };
+    Ok(DosEstimator::new(params.clone()).reconstruct(stats, a_plus, a_minus))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::KpmParams;
+    use kpm_lattice::{Boundary, HypercubicLattice, OnSite, TightBinding};
+    use kpm_linalg::DenseMatrix;
+
+    #[test]
+    fn ldos_integrates_to_one_per_site() {
+        // sum_k |<i|k>|^2 = 1 for each site.
+        let h = kpm_lattice::dense_random_symmetric(24, 1.0, 3);
+        let params = KpmParams::new(64);
+        for site in [0usize, 7, 23] {
+            let ldos = local_dos(&h, site, &params).unwrap();
+            assert!(
+                (ldos.integrate() - 1.0).abs() < 0.02,
+                "site {site}: {}",
+                ldos.integrate()
+            );
+        }
+    }
+
+    #[test]
+    fn ldos_of_isolated_level_peaks_there() {
+        // Block-diagonal: site 0 decoupled with energy 0.5 — its LDoS is a
+        // single smeared delta at 0.5.
+        let mut h = DenseMatrix::zeros(8, 8);
+        h.set(0, 0, 0.5);
+        for i in 1..7 {
+            h.set(i, i + 1, -1.0);
+            h.set(i + 1, i, -1.0);
+        }
+        let params = KpmParams::new(128);
+        let ldos = local_dos(&h, 0, &params).unwrap();
+        assert!((ldos.peak_energy() - 0.5).abs() < 0.05, "peak at {}", ldos.peak_energy());
+        // And essentially no weight away from it.
+        let away = ldos.value_at(-1.5).unwrap_or(0.0);
+        assert!(away.abs() < 0.05 * ldos.value_at(0.5).unwrap());
+    }
+
+    #[test]
+    fn translation_invariant_lattice_has_uniform_ldos() {
+        let tb = TightBinding::new(
+            HypercubicLattice::chain(16, Boundary::Periodic),
+            1.0,
+            OnSite::Uniform(0.0),
+        );
+        let h = tb.build_csr();
+        let params = KpmParams::new(48);
+        let a = local_dos(&h, 0, &params).unwrap();
+        let b = local_dos(&h, 7, &params).unwrap();
+        for (x, y) in a.rho.iter().zip(&b.rho) {
+            assert!((x - y).abs() < 1e-9, "LDoS must be site-independent under PBC");
+        }
+    }
+
+    #[test]
+    fn site_out_of_range_rejected() {
+        let h = DenseMatrix::identity(4);
+        let e = local_dos(&h, 4, &KpmParams::new(8));
+        assert!(matches!(e, Err(KpmError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn average_ldos_equals_global_dos_moments() {
+        // (1/D) sum_i mu_n^i = mu_n exactly.
+        let h = kpm_lattice::dense_random_symmetric(12, 1.0, 9);
+        let params = KpmParams::new(16);
+        let bounds =
+            crate::rescale::Boundable::spectral_bounds(&h, params.bounds).unwrap();
+        let rescaled = rescale(&h, bounds, params.padding).unwrap();
+        let eig = kpm_linalg::eigen::jacobi_eigenvalues(&h).unwrap();
+        let scaled_eigs: Vec<f64> = eig.iter().map(|&e| rescaled.to_rescaled(e)).collect();
+        let exact = crate::moments::exact_moments(&scaled_eigs, 16);
+
+        let mut avg = [0.0f64; 16];
+        for site in 0..12 {
+            let mut e_i = vec![0.0; 12];
+            e_i[site] = 1.0;
+            let mu = single_vector_moments(&rescaled, &e_i, 16, crate::moments::Recursion::Plain);
+            for (a, m) in avg.iter_mut().zip(&mu) {
+                *a += m / 12.0;
+            }
+        }
+        for n in 0..16 {
+            assert!(
+                (avg[n] - exact[n]).abs() < 1e-10,
+                "n = {n}: {} vs {}",
+                avg[n],
+                exact[n]
+            );
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Chebyshev time evolution: `|psi(t)> = e^{-i H t} |psi(0)>`.
+//!
+//! The same three-term recursion that powers the DoS also gives the most
+//! accurate polynomial propagator known for Hermitian Hamiltonians
+//! (Tal-Ezer & Kosloff 1984; reviewed alongside KPM in Weiße et al. 2006,
+//! Sec. VII):
+//!
+//! ```text
+//! e^{-i H t} = e^{-i a_+ t} [ J_0(a_- t) + 2 sum_{n>=1} (-i)^n J_n(a_- t) T_n(H~) ]
+//! ```
+//!
+//! with `H~ = (H - a_+)/a_-` rescaled exactly as for the DoS and `J_n` the
+//! Bessel functions ([`crate::bessel`]). The Bessel tail decays
+//! super-exponentially once `n > a_- t`, so the series is truncated at a
+//! machine-precision tolerance.
+//!
+//! States are complex; they are stored as split real/imaginary arrays so
+//! the real-valued [`LinearOp`] machinery applies to each component.
+
+//!
+//! # Example
+//!
+//! ```
+//! use kpm::propagate::{ComplexState, Propagator};
+//! use kpm_linalg::gershgorin::SpectralBounds;
+//! use kpm_linalg::op::DiagonalOp;
+//!
+//! // H = diag(0.5): an eigenstate just rotates in phase.
+//! let h = DiagonalOp::new(vec![0.5]);
+//! let prop = Propagator::new(h, SpectralBounds::new(-1.0, 1.0), 1e-12)?;
+//! let psi = ComplexState::from_real(vec![1.0]);
+//! let out = prop.evolve(&psi, 2.0);
+//! assert!((out.re[0] - (1.0f64).cos()).abs() < 1e-10);
+//! assert!((out.im[0] + (1.0f64).sin()).abs() < 1e-10);
+//! # Ok::<(), kpm::KpmError>(())
+//! ```
+
+use crate::bessel;
+use crate::error::KpmError;
+use kpm_linalg::gershgorin::SpectralBounds;
+use kpm_linalg::op::{LinearOp, RescaledOp};
+use kpm_linalg::vecops;
+
+/// A complex state vector in split representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexState {
+    /// Real parts.
+    pub re: Vec<f64>,
+    /// Imaginary parts.
+    pub im: Vec<f64>,
+}
+
+impl ComplexState {
+    /// A purely real state.
+    pub fn from_real(re: Vec<f64>) -> Self {
+        let im = vec![0.0; re.len()];
+        Self { re, im }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.re.len()
+    }
+
+    /// Squared norm `<psi|psi>`.
+    pub fn norm_sqr(&self) -> f64 {
+        vecops::dot(&self.re, &self.re) + vecops::dot(&self.im, &self.im)
+    }
+
+    /// Overlap `<self|other>` returned as `(re, im)`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn overlap(&self, other: &ComplexState) -> (f64, f64) {
+        let re = vecops::dot(&self.re, &other.re) + vecops::dot(&self.im, &other.im);
+        let im = vecops::dot(&self.re, &other.im) - vecops::dot(&self.im, &other.re);
+        (re, im)
+    }
+
+    /// Per-site probability density `|psi_i|^2`.
+    pub fn density(&self) -> Vec<f64> {
+        self.re.iter().zip(&self.im).map(|(r, i)| r * r + i * i).collect()
+    }
+}
+
+/// Chebyshev propagator for a fixed Hamiltonian and spectral bounds.
+#[derive(Debug)]
+pub struct Propagator<A> {
+    op: RescaledOp<A>,
+    tolerance: f64,
+}
+
+impl<A: LinearOp> Propagator<A> {
+    /// Builds a propagator. `bounds` must enclose the spectrum (Gershgorin
+    /// or padded Lanczos — same rule as the DoS pipeline); `tolerance` is
+    /// the truncation threshold on the Bessel coefficients (e.g. `1e-12`).
+    ///
+    /// # Errors
+    /// [`KpmError::DegenerateSpectrum`] for a zero-width interval;
+    /// [`KpmError::InvalidParameter`] for a non-positive tolerance.
+    pub fn new(op: A, bounds: SpectralBounds, tolerance: f64) -> Result<Self, KpmError> {
+        if tolerance.is_nan() || tolerance <= 0.0 {
+            return Err(KpmError::InvalidParameter(format!(
+                "tolerance must be positive, got {tolerance}"
+            )));
+        }
+        let padded = bounds.padded(0.01);
+        if padded.a_minus() <= 0.0 {
+            return Err(KpmError::DegenerateSpectrum);
+        }
+        Ok(Self { op: RescaledOp::new(op, padded.a_plus(), padded.a_minus()), tolerance })
+    }
+
+    /// Number of expansion terms needed for a time step `t`.
+    pub fn terms_for(&self, t: f64) -> usize {
+        let tau = (self.op.a_minus() * t).abs();
+        // Bessel tail dies once n > tau; add a safety margin that scales
+        // with the tolerance (empirically ~ tau + 20 + 10 log10(1/tol)).
+        let margin = 20.0 + 10.0 * (1.0 / self.tolerance).log10().max(0.0);
+        (tau + margin * (1.0 + tau).sqrt().min(margin)) as usize + 8
+    }
+
+    /// Evolves `psi` forward by time `t` (any sign), returning the new
+    /// state. The input is untouched.
+    ///
+    /// # Panics
+    /// Panics if `psi.dim() != op.dim()`.
+    pub fn evolve(&self, psi: &ComplexState, t: f64) -> ComplexState {
+        let d = self.op.dim();
+        assert_eq!(psi.dim(), d, "state dimension");
+        let tau = self.op.a_minus() * t;
+        let nmax = self.terms_for(t).max(2);
+        let jn = bessel::j_all(nmax, tau);
+
+        // Accumulator starts with J_0 * T_0 |psi> = J_0 |psi|.
+        let mut out = ComplexState {
+            re: psi.re.iter().map(|&v| v * jn[0]).collect(),
+            im: psi.im.iter().map(|&v| v * jn[0]).collect(),
+        };
+
+        // Chebyshev vectors on the complex state: apply H~ to re and im
+        // independently (H~ is real).
+        let mut prev = psi.clone(); // T_0 |psi>
+        let mut cur = ComplexState { re: vec![0.0; d], im: vec![0.0; d] };
+        self.op.apply(&prev.re, &mut cur.re);
+        self.op.apply(&prev.im, &mut cur.im);
+
+        let mut scratch_re = vec![0.0; d];
+        let mut scratch_im = vec![0.0; d];
+        for n in 1..nmax {
+            let c = 2.0 * jn[n];
+            if c.abs() > self.tolerance || n < 2 {
+                // (-i)^n cycles 1, -i, -1, i: add c * (-i)^n * cur.
+                match n % 4 {
+                    0 => {
+                        vecops::axpy(c, &cur.re, &mut out.re);
+                        vecops::axpy(c, &cur.im, &mut out.im);
+                    }
+                    1 => {
+                        // (-i) * (re + i im) = im - i re
+                        vecops::axpy(c, &cur.im, &mut out.re);
+                        vecops::axpy(-c, &cur.re, &mut out.im);
+                    }
+                    2 => {
+                        vecops::axpy(-c, &cur.re, &mut out.re);
+                        vecops::axpy(-c, &cur.im, &mut out.im);
+                    }
+                    _ => {
+                        vecops::axpy(-c, &cur.im, &mut out.re);
+                        vecops::axpy(c, &cur.re, &mut out.im);
+                    }
+                }
+            } else if jn[n..].iter().all(|v| v.abs() <= self.tolerance) {
+                break; // the entire remaining tail is negligible
+            }
+            if n + 1 < nmax {
+                // T_{n+1} = 2 H~ T_n - T_{n-1}.
+                self.op.apply(&cur.re, &mut scratch_re);
+                self.op.apply(&cur.im, &mut scratch_im);
+                vecops::chebyshev_combine_inplace(&scratch_re, &mut prev.re);
+                vecops::chebyshev_combine_inplace(&scratch_im, &mut prev.im);
+                std::mem::swap(&mut prev, &mut cur);
+            }
+        }
+
+        // Global phase e^{-i a_+ t}.
+        let (cp, sp) = ((self.op.a_plus() * t).cos(), -(self.op.a_plus() * t).sin());
+        for (r, i) in out.re.iter_mut().zip(out.im.iter_mut()) {
+            let (nr, ni) = (*r * cp - *i * sp, *r * sp + *i * cp);
+            *r = nr;
+            *i = ni;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpm_linalg::op::DiagonalOp;
+
+    fn diag_prop(eigs: Vec<f64>) -> Propagator<DiagonalOp> {
+        let lo = eigs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = eigs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Propagator::new(DiagonalOp::new(eigs), SpectralBounds::new(lo, hi), 1e-13).unwrap()
+    }
+
+    #[test]
+    fn eigenstate_acquires_exact_phase() {
+        // H = diag(e): e^{-iHt} e_k = e^{-i e_k t} e_k.
+        let eigs = vec![-1.3, 0.4, 2.2];
+        let p = diag_prop(eigs.clone());
+        for (k, &e) in eigs.iter().enumerate() {
+            let mut re = vec![0.0; 3];
+            re[k] = 1.0;
+            let psi = ComplexState::from_real(re);
+            for &t in &[0.1, 1.0, 7.5, -3.0] {
+                let out = p.evolve(&psi, t);
+                let expect_re = (e * t).cos();
+                let expect_im = -(e * t).sin();
+                assert!(
+                    (out.re[k] - expect_re).abs() < 1e-10
+                        && (out.im[k] - expect_im).abs() < 1e-10,
+                    "k = {k}, t = {t}: ({}, {}) vs ({expect_re}, {expect_im})",
+                    out.re[k],
+                    out.im[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn norm_is_conserved() {
+        let h = kpm_lattice::dense_random_symmetric(24, 1.0, 5);
+        let bounds = kpm_linalg::gershgorin::gershgorin_dense(&h);
+        let p = Propagator::new(&h, bounds, 1e-12).unwrap();
+        let mut re = vec![0.0; 24];
+        crate::random::fill_random_vector(crate::random::Distribution::Gaussian, 1, 0, 0, &mut re);
+        let mut psi = ComplexState::from_real(re);
+        let n0 = psi.norm_sqr();
+        for _ in 0..5 {
+            psi = p.evolve(&psi, 0.7);
+        }
+        assert!((psi.norm_sqr() - n0).abs() < 1e-9 * n0, "{} vs {n0}", psi.norm_sqr());
+    }
+
+    #[test]
+    fn evolution_composes() {
+        // U(t1 + t2) = U(t2) U(t1).
+        let h = kpm_lattice::dense_random_symmetric(16, 1.0, 9);
+        let bounds = kpm_linalg::gershgorin::gershgorin_dense(&h);
+        let p = Propagator::new(&h, bounds, 1e-13).unwrap();
+        let psi = ComplexState::from_real((0..16).map(|i| (i as f64 * 0.3).sin()).collect());
+        let once = p.evolve(&psi, 1.9);
+        let twice = p.evolve(&p.evolve(&psi, 1.2), 0.7);
+        for i in 0..16 {
+            assert!((once.re[i] - twice.re[i]).abs() < 1e-9);
+            assert!((once.im[i] - twice.im[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forward_backward_is_identity() {
+        let h = kpm_lattice::dense_random_symmetric(12, 1.0, 3);
+        let bounds = kpm_linalg::gershgorin::gershgorin_dense(&h);
+        let p = Propagator::new(&h, bounds, 1e-13).unwrap();
+        let psi = ComplexState::from_real((0..12).map(|i| 1.0 / (i + 1) as f64).collect());
+        let back = p.evolve(&p.evolve(&psi, 2.5), -2.5);
+        for i in 0..12 {
+            assert!((back.re[i] - psi.re[i]).abs() < 1e-9);
+            assert!(back.im[i].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index spans several arrays in assertions
+    fn matches_exact_diagonalization() {
+        // U = V e^{-i diag(E) t} V^T against the Chebyshev propagator.
+        let h = kpm_lattice::dense_random_symmetric(10, 1.0, 77);
+        let (eigs, vecs) = kpm_linalg::eigen::jacobi_eigen(&h).unwrap();
+        let bounds = kpm_linalg::gershgorin::gershgorin_dense(&h);
+        let p = Propagator::new(&h, bounds, 1e-13).unwrap();
+
+        let psi0: Vec<f64> = (0..10).map(|i| ((i * i) as f64 * 0.17).cos()).collect();
+        let t = 3.3;
+        let cheb = p.evolve(&ComplexState::from_real(psi0.clone()), t);
+
+        // Exact: psi(t) = sum_k v_k e^{-i E_k t} <v_k|psi0>.
+        let mut exact_re = [0.0f64; 10];
+        let mut exact_im = [0.0f64; 10];
+        for k in 0..10 {
+            let vk: Vec<f64> = (0..10).map(|i| vecs.get(i, k)).collect();
+            let amp = vecops::dot(&vk, &psi0);
+            let (c, s) = ((eigs[k] * t).cos(), -(eigs[k] * t).sin());
+            for i in 0..10 {
+                exact_re[i] += vk[i] * amp * c;
+                exact_im[i] += vk[i] * amp * s;
+            }
+        }
+        for i in 0..10 {
+            assert!(
+                (cheb.re[i] - exact_re[i]).abs() < 1e-9
+                    && (cheb.im[i] - exact_im[i]).abs() < 1e-9,
+                "site {i}: ({}, {}) vs ({}, {})",
+                cheb.re[i],
+                cheb.im[i],
+                exact_re[i],
+                exact_im[i]
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_and_density() {
+        let a = ComplexState { re: vec![1.0, 0.0], im: vec![0.0, 1.0] };
+        let b = ComplexState { re: vec![0.0, 1.0], im: vec![0.0, 0.0] };
+        let (re, im) = a.overlap(&b);
+        // <a|b> = conj(a) . b = (1, -i*1) . (0,1) -> component 2: conj(i)*1 = -i.
+        assert_eq!(re, 0.0);
+        assert_eq!(im, -1.0);
+        assert_eq!(a.density(), vec![1.0, 1.0]);
+        assert_eq!(a.norm_sqr(), 2.0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let op = DiagonalOp::new(vec![1.0]);
+        assert!(Propagator::new(op.clone(), SpectralBounds::new(0.0, 2.0), 0.0).is_err());
+        assert!(Propagator::new(op.clone(), SpectralBounds::new(0.0, 2.0), -1.0).is_err());
+        // A degenerate interval is rescued by the built-in 1% padding.
+        let p = Propagator::new(op, SpectralBounds::new(1.0, 1.0), 1e-12).unwrap();
+        let out = p.evolve(&ComplexState::from_real(vec![1.0]), 2.0);
+        assert!((out.re[0] - (2.0f64).cos()).abs() < 1e-10);
+        assert!((out.im[0] + (2.0f64).sin()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn long_time_evolution_stays_accurate() {
+        // tau = a_- * t ~ 100: exercises the large-argument Bessel path.
+        let eigs: Vec<f64> = (0..8).map(|i| i as f64 - 3.5).collect();
+        let p = diag_prop(eigs.clone());
+        let mut re = vec![0.0; 8];
+        re[2] = 1.0;
+        let out = p.evolve(&ComplexState::from_real(re), 25.0);
+        let expect_re = (eigs[2] * 25.0).cos();
+        let expect_im = -(eigs[2] * 25.0).sin();
+        assert!((out.re[2] - expect_re).abs() < 1e-8);
+        assert!((out.im[2] - expect_im).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,233 @@
+//! Finite-temperature observables from a KPM density of states.
+//!
+//! Once `rho(E)` is known, single-particle thermodynamics of the
+//! non-interacting system follow by Fermi–Dirac integrals:
+//!
+//! * electron filling `n(mu, T) = ∫ rho(E) f((E - mu)/T) dE`,
+//! * internal energy `u(mu, T) = ∫ E rho(E) f(...) dE`,
+//! * and the chemical potential for a target filling by bisection.
+//!
+//! This is the standard downstream use of the paper's DoS pipeline (the
+//! simulation one actually runs after the moments are in hand), so it
+//! belongs in the library. All integrals are Gauss–Chebyshev sums over the
+//! reconstruction grid — the same quadrature that makes
+//! [`Dos::integrate`](crate::dos::Dos::integrate) exact.
+
+//!
+//! # Example
+//!
+//! ```
+//! use kpm::prelude::*;
+//! use kpm::thermal;
+//! use kpm_linalg::DenseMatrix;
+//!
+//! let h = DenseMatrix::from_diag(&(0..64).map(|i| i as f64 / 16.0 - 2.0).collect::<Vec<_>>());
+//! let dos = DosEstimator::new(KpmParams::new(64)).compute(&h)?;
+//! // Half filling sits at the band centre for this symmetric spectrum.
+//! let mu = thermal::chemical_potential(&dos, 0.5, 0.05)?;
+//! assert!(mu.abs() < 0.15, "mu = {mu}");
+//! # Ok::<(), kpm::KpmError>(())
+//! ```
+
+use crate::dos::Dos;
+use crate::error::KpmError;
+
+/// Fermi–Dirac occupation `1 / (e^{(e - mu)/t} + 1)`.
+///
+/// `t = 0` is handled exactly (step function, with value 1/2 at `e == mu`).
+///
+/// # Panics
+/// Panics if `t < 0`.
+pub fn fermi(e: f64, mu: f64, t: f64) -> f64 {
+    assert!(t >= 0.0, "temperature must be nonnegative");
+    if t == 0.0 {
+        return match e.partial_cmp(&mu).expect("finite energies") {
+            std::cmp::Ordering::Less => 1.0,
+            std::cmp::Ordering::Equal => 0.5,
+            std::cmp::Ordering::Greater => 0.0,
+        };
+    }
+    let x = (e - mu) / t;
+    // Numerically stable for both signs.
+    if x >= 0.0 {
+        let ex = (-x).exp();
+        ex / (1.0 + ex)
+    } else {
+        1.0 / (1.0 + x.exp())
+    }
+}
+
+/// Electron filling per site at `(mu, T)`:
+/// `n = ∫ rho(E) f(E; mu, T) dE` over the reconstructed band.
+pub fn filling(dos: &Dos, mu: f64, t: f64) -> f64 {
+    weighted_integral(dos, |e| fermi(e, mu, t))
+}
+
+/// Internal energy per site at `(mu, T)`:
+/// `u = ∫ E rho(E) f(E; mu, T) dE`.
+pub fn internal_energy(dos: &Dos, mu: f64, t: f64) -> f64 {
+    weighted_integral(dos, |e| e * fermi(e, mu, t))
+}
+
+/// Electronic specific heat per site `c_v = du/dT` at fixed `mu`, by a
+/// symmetric finite difference with step `dt`.
+///
+/// # Panics
+/// Panics if `t <= 0` or `dt <= 0` or `dt >= t`.
+pub fn specific_heat(dos: &Dos, mu: f64, t: f64, dt: f64) -> f64 {
+    assert!(t > 0.0 && dt > 0.0 && dt < t, "need 0 < dt < t");
+    (internal_energy(dos, mu, t + dt) - internal_energy(dos, mu, t - dt)) / (2.0 * dt)
+}
+
+/// Chemical potential that produces the target filling at temperature `t`,
+/// found by bisection over the reconstructed band.
+///
+/// # Errors
+/// [`KpmError::InvalidParameter`] if `target` is outside `(0, total)` where
+/// `total = dos.integrate()` (cannot fill beyond the band).
+pub fn chemical_potential(dos: &Dos, target: f64, t: f64) -> Result<f64, KpmError> {
+    let total = dos.integrate();
+    if !(target > 0.0 && target < total) {
+        return Err(KpmError::InvalidParameter(format!(
+            "target filling {target} outside (0, {total})"
+        )));
+    }
+    let band = dos.energies.last().expect("nonempty") - dos.energies[0];
+    let mut lo = dos.energies[0] - band - 20.0 * t.max(1e-12);
+    let mut hi = *dos.energies.last().expect("nonempty") + band + 20.0 * t.max(1e-12);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if filling(dos, mid, t) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-13 * band.max(1.0) {
+            break;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Gauss–Chebyshev weighted integral `∫ w(E) rho(E) dE` over the band.
+fn weighted_integral(dos: &Dos, w: impl Fn(f64) -> f64) -> f64 {
+    // rho was reconstructed on the Chebyshev grid x_k; with
+    // E = a_- x + a_+ the quadrature is
+    // ∫ g(E) dE = (pi a_- / K) sum_k sqrt(1 - x_k^2) g(E_k).
+    let k = dos.len() as f64;
+    dos.energies
+        .iter()
+        .zip(&dos.rho)
+        .map(|(&e, &r)| {
+            let x = (e - dos.a_plus) / dos.a_minus;
+            (1.0 - x * x).max(0.0).sqrt() * r * w(e)
+        })
+        .sum::<f64>()
+        * std::f64::consts::PI
+        * dos.a_minus
+        / k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dos::DosEstimator;
+    use crate::moments::KpmParams;
+    use kpm_linalg::gershgorin::SpectralBounds;
+    use kpm_linalg::op::DiagonalOp;
+
+    fn flat_dos() -> Dos {
+        // Uniform spectrum on [-2, 2]: rho = 1/4 in the bulk.
+        let eigs: Vec<f64> = (0..600).map(|i| -2.0 + 4.0 * i as f64 / 599.0).collect();
+        let op = DiagonalOp::new(eigs);
+        DosEstimator::new(KpmParams::new(128).with_random_vectors(16, 4))
+            .compute_with_bounds(&op, SpectralBounds::new(-2.0, 2.0))
+            .unwrap()
+    }
+
+    #[test]
+    fn fermi_function_limits() {
+        assert_eq!(fermi(-1.0, 0.0, 0.0), 1.0);
+        assert_eq!(fermi(1.0, 0.0, 0.0), 0.0);
+        assert_eq!(fermi(0.0, 0.0, 0.0), 0.5);
+        assert!((fermi(0.0, 0.0, 0.5) - 0.5).abs() < 1e-15);
+        // Symmetry: f(mu + d) + f(mu - d) = 1.
+        for &d in &[0.1, 1.0, 30.0] {
+            let s = fermi(d, 0.0, 0.7) + fermi(-d, 0.0, 0.7);
+            assert!((s - 1.0).abs() < 1e-12, "d = {d}");
+        }
+        // No overflow at extreme arguments.
+        assert_eq!(fermi(1e6, 0.0, 1e-3), 0.0);
+        assert_eq!(fermi(-1e6, 0.0, 1e-3), 1.0);
+    }
+
+    #[test]
+    fn filling_spans_zero_to_one() {
+        let dos = flat_dos();
+        assert!(filling(&dos, -10.0, 0.01) < 1e-6);
+        assert!((filling(&dos, 10.0, 0.01) - 1.0).abs() < 0.01);
+        // Half filling at band centre for the symmetric band.
+        assert!((filling(&dos, 0.0, 0.05) - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_temperature_filling_is_cumulative_dos() {
+        let dos = flat_dos();
+        // Flat band on [-2, 2]: n(mu) = (mu + 2)/4.
+        for &mu in &[-1.5, -0.5, 0.5, 1.5] {
+            let n = filling(&dos, mu, 0.0);
+            let expect = (mu + 2.0) / 4.0;
+            assert!((n - expect).abs() < 0.015, "mu = {mu}: {n} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn internal_energy_of_half_filled_symmetric_band_is_negative() {
+        let dos = flat_dos();
+        let u = internal_energy(&dos, 0.0, 0.01);
+        // Filling only E < 0 states: u = ∫_{-2}^0 E/4 dE = -0.5.
+        assert!((u + 0.5).abs() < 0.02, "u = {u}");
+    }
+
+    #[test]
+    fn chemical_potential_inverts_filling() {
+        let dos = flat_dos();
+        for &target in &[0.25, 0.5, 0.8] {
+            for &t in &[0.01, 0.3] {
+                let mu = chemical_potential(&dos, target, t).unwrap();
+                let back = filling(&dos, mu, t);
+                assert!((back - target).abs() < 1e-6, "target {target}, t {t}: {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn chemical_potential_rejects_impossible_fillings() {
+        let dos = flat_dos();
+        assert!(chemical_potential(&dos, 0.0, 0.1).is_err());
+        assert!(chemical_potential(&dos, 1.5, 0.1).is_err());
+    }
+
+    #[test]
+    fn specific_heat_is_linear_at_low_temperature() {
+        // Sommerfeld: c_v ~ (pi^2/3) rho(mu) T for T << bandwidth.
+        let dos = flat_dos();
+        let rho_mu = 0.25;
+        for &t in &[0.05, 0.1] {
+            let cv = specific_heat(&dos, 0.0, t, t * 0.2);
+            let sommerfeld = std::f64::consts::PI.powi(2) / 3.0 * rho_mu * t;
+            assert!(
+                (cv - sommerfeld).abs() < 0.25 * sommerfeld,
+                "t = {t}: cv {cv} vs Sommerfeld {sommerfeld}"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_increases_with_temperature_at_fixed_mu() {
+        let dos = flat_dos();
+        let u_cold = internal_energy(&dos, 0.0, 0.05);
+        let u_warm = internal_energy(&dos, 0.0, 0.5);
+        assert!(u_warm > u_cold, "{u_warm} vs {u_cold}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Work and traffic accounting for a KPM run — the CPU side of the paper's
+//! timing comparison.
+//!
+//! The benchmark harness prices the paper's *CPU version* by feeding these
+//! profiles to `kpm_streamsim::CpuSpec`-style models. Keeping the formulas
+//! here (next to the algorithm) means the bench crate never re-derives
+//! operation counts.
+
+/// Describes a KPM workload: the paper's parameter set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KpmWorkload {
+    /// Operator dimension `D` (the paper's `H_SIZE`).
+    pub dim: usize,
+    /// Stored matrix entries (dense: `D^2`; the paper's lattice: `7 D`).
+    pub stored_entries: usize,
+    /// Moments `N`.
+    pub num_moments: usize,
+    /// Total realizations `S * R`.
+    pub realizations: usize,
+}
+
+/// Work/traffic of one phase, mirroring
+/// `kpm_streamsim::MemTraffic` without depending on that crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Double-precision operations.
+    pub flops: u64,
+    /// Bytes moved between core and memory system.
+    pub bytes: u64,
+    /// Working-set size driving the cache level.
+    pub working_set_bytes: usize,
+}
+
+impl KpmWorkload {
+    /// One matrix–vector product: `2 * stored_entries` flops; traffic is
+    /// the matrix (streamed once) plus source and destination vectors; the
+    /// working set is matrix + a handful of vectors.
+    pub fn matvec_profile(&self) -> PhaseProfile {
+        let flops = 2 * self.stored_entries as u64;
+        // Sparse rows also load the column indices (4 B each); harmless
+        // overestimate for dense.
+        let matrix_bytes = 8 * self.stored_entries as u64
+            + if self.is_sparse() { 4 * self.stored_entries as u64 } else { 0 };
+        let vector_bytes = 16 * self.dim as u64; // read x, write y
+        PhaseProfile {
+            flops,
+            bytes: matrix_bytes + vector_bytes,
+            working_set_bytes: (matrix_bytes + 4 * 8 * self.dim as u64) as usize,
+        }
+    }
+
+    /// One fused Chebyshev combine + dot product
+    /// (`r_next = 2 h - prev`, `mu~ = <r_0|r_next>`): `4 D` flops, four
+    /// vector streams.
+    pub fn combine_dot_profile(&self) -> PhaseProfile {
+        PhaseProfile {
+            flops: 4 * self.dim as u64,
+            bytes: 4 * 8 * self.dim as u64,
+            working_set_bytes: 4 * 8 * self.dim,
+        }
+    }
+
+    /// Random-vector generation for one realization (`D` draws, ~10 ops
+    /// each for the generator + store traffic).
+    pub fn rng_profile(&self) -> PhaseProfile {
+        PhaseProfile {
+            flops: 10 * self.dim as u64,
+            bytes: 8 * self.dim as u64,
+            working_set_bytes: 8 * self.dim,
+        }
+    }
+
+    /// Whether the workload is sparse (fewer stored entries than `D^2`).
+    pub fn is_sparse(&self) -> bool {
+        self.stored_entries < self.dim * self.dim
+    }
+
+    /// Total profile of the whole KPM run on one CPU:
+    /// `realizations * [rng + (N-1) * matvec + N * combine_dot]`.
+    ///
+    /// The working set of the combined profile is the matvec's (it
+    /// dominates); phase-resolved pricing should use the individual
+    /// profiles instead.
+    pub fn total_profile(&self) -> PhaseProfile {
+        let m = self.matvec_profile();
+        let c = self.combine_dot_profile();
+        let g = self.rng_profile();
+        let n = self.num_moments as u64;
+        let reps = self.realizations as u64;
+        PhaseProfile {
+            flops: reps * (g.flops + (n - 1) * m.flops + n * c.flops),
+            bytes: reps * (g.bytes + (n - 1) * m.bytes + n * c.bytes),
+            working_set_bytes: m.working_set_bytes,
+        }
+    }
+
+    /// Matvecs per realization for the plain recursion (`N - 1`).
+    pub fn matvecs_per_realization(&self) -> usize {
+        self.num_moments.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_fig5() -> KpmWorkload {
+        KpmWorkload { dim: 1000, stored_entries: 7000, num_moments: 256, realizations: 1792 }
+    }
+
+    fn paper_fig8(d: usize) -> KpmWorkload {
+        KpmWorkload { dim: d, stored_entries: d * d, num_moments: 128, realizations: 1792 }
+    }
+
+    #[test]
+    fn sparse_detection() {
+        assert!(paper_fig5().is_sparse());
+        assert!(!paper_fig8(512).is_sparse());
+    }
+
+    #[test]
+    fn matvec_flops_are_2nnz() {
+        assert_eq!(paper_fig5().matvec_profile().flops, 14_000);
+        assert_eq!(paper_fig8(512).matvec_profile().flops, 2 * 512 * 512);
+    }
+
+    #[test]
+    fn dense_working_set_crosses_l3_at_the_right_size() {
+        // 8 MB L3: D = 1024 gives exactly 8 MB of matrix + vectors (just
+        // over); D = 512 is 2 MB.
+        let small = paper_fig8(512).matvec_profile().working_set_bytes;
+        let large = paper_fig8(2048).matvec_profile().working_set_bytes;
+        assert!(small < 8 * 1024 * 1024);
+        assert!(large > 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn total_scales_linearly_in_n_and_realizations() {
+        let base = paper_fig5();
+        let double_n = KpmWorkload { num_moments: 512, ..base };
+        let double_r = KpmWorkload { realizations: 3584, ..base };
+        let t0 = base.total_profile().flops as f64;
+        let tn = double_n.total_profile().flops as f64;
+        let tr = double_r.total_profile().flops as f64;
+        assert!((tn / t0 - 2.0).abs() < 0.02, "N scaling {}", tn / t0);
+        assert!((tr / t0 - 2.0).abs() < 1e-12, "R scaling {}", tr / t0);
+    }
+
+    #[test]
+    fn matvec_count_matches_plain_recursion() {
+        assert_eq!(paper_fig5().matvecs_per_realization(), 255);
+    }
+
+    #[test]
+    fn sparse_traffic_includes_indices() {
+        let p = paper_fig5().matvec_profile();
+        assert_eq!(p.bytes, 8 * 7000 + 4 * 7000 + 16 * 1000);
+    }
+}

@@ -1,0 +1,227 @@
+//! Honeycomb (graphene) lattice.
+//!
+//! The flagship application of KPM in the modern literature (KITE,
+//! pybinding) is graphene: a two-site unit cell on a triangular Bravais
+//! lattice, whose tight-binding DoS vanishes linearly at the Dirac point
+//! `E = 0`, has van Hove singularities at `E = ±t`, and band edges at
+//! `E = ±3t`. Included as the domain extension beyond the paper's cubic
+//! lattice; exercised by the `graphene_dos` example.
+
+use crate::hypercubic::Boundary;
+use kpm_linalg::coo::CooMatrix;
+use kpm_linalg::csr::CsrMatrix;
+
+/// Sublattice label within the two-site unit cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sublattice {
+    /// The "A" site.
+    A,
+    /// The "B" site.
+    B,
+}
+
+/// An `lx x ly` honeycomb lattice (unit cells), with the same boundary
+/// condition along both primitive directions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoneycombLattice {
+    lx: usize,
+    ly: usize,
+    boundary: Boundary,
+}
+
+impl HoneycombLattice {
+    /// Builds the lattice.
+    ///
+    /// # Panics
+    /// Panics if either extent is zero.
+    pub fn new(lx: usize, ly: usize, boundary: Boundary) -> Self {
+        assert!(lx > 0 && ly > 0, "extents must be positive");
+        Self { lx, ly, boundary }
+    }
+
+    /// Unit cells per direction.
+    pub fn cells(&self) -> (usize, usize) {
+        (self.lx, self.ly)
+    }
+
+    /// Total sites `D = 2 lx ly`.
+    pub fn num_sites(&self) -> usize {
+        2 * self.lx * self.ly
+    }
+
+    /// Site index of `(x, y, sublattice)`; A sites come first within each
+    /// cell (`index = 2 (x + lx y) + s`).
+    ///
+    /// # Panics
+    /// Panics if the cell coordinate is out of range.
+    pub fn site_index(&self, x: usize, y: usize, s: Sublattice) -> usize {
+        assert!(x < self.lx && y < self.ly, "cell ({x}, {y}) out of range");
+        2 * (x + self.lx * y) + if s == Sublattice::B { 1 } else { 0 }
+    }
+
+    /// Inverse of [`HoneycombLattice::site_index`].
+    pub fn site_coords(&self, index: usize) -> (usize, usize, Sublattice) {
+        assert!(index < self.num_sites(), "site {index} out of range");
+        let s = if index % 2 == 1 { Sublattice::B } else { Sublattice::A };
+        let cell = index / 2;
+        (cell % self.lx, cell / self.lx, s)
+    }
+
+    /// Nearest neighbours of a site. An A site at cell `(x, y)` bonds to
+    /// the B sites of cells `(x, y)`, `(x-1, y)`, `(x, y-1)` (and
+    /// conversely), with wrapping controlled by the boundary condition.
+    pub fn neighbors(&self, index: usize) -> Vec<usize> {
+        let (x, y, s) = self.site_coords(index);
+        let mut out = Vec::with_capacity(3);
+        let deltas: [(isize, isize); 3] = [(0, 0), (-1, 0), (0, -1)];
+        for (dx, dy) in deltas {
+            let (dx, dy) = match s {
+                Sublattice::A => (dx, dy),
+                Sublattice::B => (-dx, -dy),
+            };
+            let nx = x as isize + dx;
+            let ny = y as isize + dy;
+            let wrap = |v: isize, l: usize| -> Option<usize> {
+                if (0..l as isize).contains(&v) {
+                    Some(v as usize)
+                } else if self.boundary == Boundary::Periodic {
+                    Some(v.rem_euclid(l as isize) as usize)
+                } else {
+                    None
+                }
+            };
+            if let (Some(nx), Some(ny)) = (wrap(nx, self.lx), wrap(ny, self.ly)) {
+                let other = match s {
+                    Sublattice::A => Sublattice::B,
+                    Sublattice::B => Sublattice::A,
+                };
+                let j = self.site_index(nx, ny, other);
+                if j != index && !out.contains(&j) {
+                    out.push(j);
+                }
+            }
+        }
+        out
+    }
+
+    /// The nearest-neighbour tight-binding Hamiltonian with hopping `t`
+    /// (entries `-t`) and zero on-site energy.
+    pub fn hamiltonian(&self, t: f64) -> CsrMatrix {
+        let n = self.num_sites();
+        let mut coo = CooMatrix::with_capacity(n, n, 3 * n);
+        for i in 0..n {
+            for j in self.neighbors(i) {
+                coo.push(i, j, -t).expect("in range");
+            }
+        }
+        coo.to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpm_linalg::eigen::jacobi_eigenvalues;
+    use kpm_linalg::gershgorin::gershgorin_csr;
+
+    #[test]
+    fn index_roundtrip() {
+        let lat = HoneycombLattice::new(4, 3, Boundary::Periodic);
+        assert_eq!(lat.num_sites(), 24);
+        for i in 0..lat.num_sites() {
+            let (x, y, s) = lat.site_coords(i);
+            assert_eq!(lat.site_index(x, y, s), i);
+        }
+    }
+
+    #[test]
+    fn periodic_sites_have_three_neighbors_on_other_sublattice() {
+        let lat = HoneycombLattice::new(4, 4, Boundary::Periodic);
+        for i in 0..lat.num_sites() {
+            let ns = lat.neighbors(i);
+            assert_eq!(ns.len(), 3, "site {i}");
+            let (_, _, s) = lat.site_coords(i);
+            for j in ns {
+                let (_, _, sj) = lat.site_coords(j);
+                assert_ne!(s, sj, "honeycomb is bipartite");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        for bc in [Boundary::Open, Boundary::Periodic] {
+            let lat = HoneycombLattice::new(3, 4, bc);
+            for i in 0..lat.num_sites() {
+                for j in lat.neighbors(i) {
+                    assert!(lat.neighbors(j).contains(&i), "{i} <-> {j} ({bc:?})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn open_boundary_edges_have_fewer_neighbors() {
+        let lat = HoneycombLattice::new(3, 3, Boundary::Open);
+        let counts: Vec<usize> = (0..lat.num_sites()).map(|i| lat.neighbors(i).len()).collect();
+        assert!(counts.iter().any(|&c| c < 3), "open edges must exist");
+        assert!(counts.iter().all(|&c| (1..=3).contains(&c)));
+    }
+
+    #[test]
+    fn hamiltonian_is_symmetric_with_expected_band() {
+        let lat = HoneycombLattice::new(4, 4, Boundary::Periodic);
+        let h = lat.hamiltonian(1.0);
+        assert!(h.is_symmetric(0.0));
+        assert_eq!(h.nnz(), 3 * lat.num_sites());
+        // Gershgorin: zero diagonal + three |−1| entries => [-3, 3].
+        let b = gershgorin_csr(&h);
+        assert_eq!((b.lower, b.upper), (-3.0, 3.0));
+    }
+
+    #[test]
+    fn spectrum_is_particle_hole_symmetric() {
+        // Bipartite lattice: eigenvalues come in +-E pairs.
+        let lat = HoneycombLattice::new(3, 3, Boundary::Periodic);
+        let eig = jacobi_eigenvalues(&lat.hamiltonian(1.0).to_dense()).unwrap();
+        let n = eig.len();
+        for k in 0..n {
+            assert!(
+                (eig[k] + eig[n - 1 - k]).abs() < 1e-9,
+                "pair ({}, {})",
+                eig[k],
+                eig[n - 1 - k]
+            );
+        }
+    }
+
+    #[test]
+    fn spectrum_matches_analytic_dispersion() {
+        // E(k) = ±|1 + e^{ik1} + e^{ik2}| for the periodic lattice.
+        let (lx, ly) = (4, 3);
+        let lat = HoneycombLattice::new(lx, ly, Boundary::Periodic);
+        let eig = jacobi_eigenvalues(&lat.hamiltonian(1.0).to_dense()).unwrap();
+        let mut expected = Vec::new();
+        for m in 0..lx {
+            for n in 0..ly {
+                let k1 = 2.0 * std::f64::consts::PI * m as f64 / lx as f64;
+                let k2 = 2.0 * std::f64::consts::PI * n as f64 / ly as f64;
+                let re = 1.0 + k1.cos() + k2.cos();
+                let im = k1.sin() + k2.sin();
+                let e = re.hypot(im);
+                expected.push(e);
+                expected.push(-e);
+            }
+        }
+        expected.sort_by(f64::total_cmp);
+        for (a, b) in eig.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "extents must be positive")]
+    fn zero_extent_rejected() {
+        let _ = HoneycombLattice::new(0, 3, Boundary::Open);
+    }
+}

@@ -1,0 +1,25 @@
+//! Tight-binding lattice Hamiltonian builders.
+//!
+//! The paper evaluates the KPM on "a lattice model made of cubes in
+//! 10×10×10 where an electron is placed in each corner" — a simple-cubic
+//! tight-binding model whose Hamiltonian is sparse, symmetric, has a zero
+//! diagonal (stored explicitly) and `-1` hopping to each nearest neighbour.
+//! This crate builds that model, its 1D/2D relatives, and disordered
+//! (Anderson) variants used by the example applications.
+//!
+//! The builders produce [`kpm_linalg::CsrMatrix`] Hamiltonians; dense copies
+//! for the paper's Figs. 7–8 "CRS not applied" runs are obtained with
+//! [`kpm_linalg::CsrMatrix::to_dense`] or generated directly as random dense
+//! symmetric matrices via [`dense_random_symmetric`].
+
+pub mod honeycomb;
+pub mod hypercubic;
+pub mod model;
+pub mod paper;
+pub mod random;
+
+pub use honeycomb::{HoneycombLattice, Sublattice};
+pub use hypercubic::{Boundary, HypercubicLattice};
+pub use model::{OnSite, TightBinding};
+pub use paper::{paper_cubic_hamiltonian, paper_cubic_lattice, PAPER_CUBIC_SIDE};
+pub use random::dense_random_symmetric;

@@ -1,0 +1,93 @@
+//! Property-based tests for lattice geometry and Hamiltonian assembly.
+
+use kpm_lattice::{Boundary, HypercubicLattice, OnSite, TightBinding};
+use proptest::prelude::*;
+
+fn boundary() -> impl Strategy<Value = Boundary> {
+    prop_oneof![Just(Boundary::Open), Just(Boundary::Periodic)]
+}
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..5, 1..4)
+}
+
+proptest! {
+    #[test]
+    fn site_index_roundtrip(dims in small_dims(), bc in boundary()) {
+        let lat = HypercubicLattice::new(&dims, bc);
+        for i in 0..lat.num_sites() {
+            prop_assert_eq!(lat.site_index(&lat.coordinates(i)), i);
+        }
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric(dims in small_dims(), bc in boundary()) {
+        let lat = HypercubicLattice::new(&dims, bc);
+        for i in 0..lat.num_sites() {
+            for j in lat.neighbors(i) {
+                prop_assert!(lat.neighbors(j).contains(&i),
+                    "site {} lists {} but not vice versa", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_contain_no_duplicates_or_self(dims in small_dims(), bc in boundary()) {
+        let lat = HypercubicLattice::new(&dims, bc);
+        for i in 0..lat.num_sites() {
+            let ns = lat.neighbors(i);
+            let mut sorted = ns.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), ns.len(), "duplicates at site {}", i);
+            prop_assert!(!ns.contains(&i), "self-loop at site {}", i);
+        }
+    }
+
+    #[test]
+    fn degree_bounded_by_2d(dims in small_dims(), bc in boundary()) {
+        let lat = HypercubicLattice::new(&dims, bc);
+        for i in 0..lat.num_sites() {
+            prop_assert!(lat.neighbors(i).len() <= 2 * lat.ndim());
+        }
+    }
+
+    #[test]
+    fn hamiltonian_is_symmetric(
+        dims in small_dims(),
+        bc in boundary(),
+        t in 0.1..3.0f64,
+        seed in 0u64..100,
+    ) {
+        let lat = HypercubicLattice::new(&dims, bc);
+        let h = TightBinding::new(lat, t, OnSite::Disorder { width: 2.0, seed }).build_csr();
+        prop_assert!(h.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn hamiltonian_row_sums_match_degree(
+        dims in small_dims(),
+        bc in boundary(),
+    ) {
+        // With t = 1 and zero on-site term, row sum = -degree.
+        let lat = HypercubicLattice::new(&dims, bc);
+        let h = TightBinding::new(lat.clone(), 1.0, OnSite::Uniform(0.0)).build_csr();
+        for i in 0..h.nrows() {
+            let sum: f64 = h.row_entries(i).map(|(_, v)| v).sum();
+            prop_assert!((sum + lat.neighbors(i).len() as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stored_zero_diagonal_adds_exactly_n_entries(
+        dims in small_dims(),
+        bc in boundary(),
+    ) {
+        let lat = HypercubicLattice::new(&dims, bc);
+        let plain = TightBinding::new(lat.clone(), 1.0, OnSite::Uniform(0.0)).build_csr();
+        let stored = TightBinding::new(lat.clone(), 1.0, OnSite::Uniform(0.0))
+            .store_zero_diagonal(true)
+            .build_csr();
+        prop_assert_eq!(stored.nnz(), plain.nnz() + lat.num_sites());
+    }
+}

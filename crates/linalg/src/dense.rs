@@ -1,0 +1,270 @@
+//! Row-major dense matrix.
+//!
+//! Figures 7 and 8 of the paper run the KPM with the Hamiltonian stored
+//! *dense* ("all the elements in the H~ matrix are applied to all the
+//! calculations"), so the dense matvec is a first-class code path here, not
+//! just a debugging aid.
+
+use crate::error::LinalgError;
+use crate::op::LinearOp;
+
+/// A dense `nrows x ncols` matrix of `f64`, stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// Identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a generator function `f(row, col)`.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                data.push(f(i, j));
+            }
+        }
+        Self { nrows, ncols, data }
+    }
+
+    /// Builds from a row-major data vector.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if
+    /// `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != nrows * ncols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: nrows * ncols,
+                found: data.len(),
+                what: "data",
+            });
+        }
+        Ok(Self { nrows, ncols, data })
+    }
+
+    /// Builds a diagonal matrix from its diagonal.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.data[i * n + i] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.nrows == self.ncols
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= nrows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.nrows, "row {i} out of bounds ({} rows)", self.nrows);
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.nrows && j < self.ncols, "({i}, {j}) out of bounds");
+        self.data[i * self.ncols + j]
+    }
+
+    /// Element assignment.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.nrows && j < self.ncols, "({i}, {j}) out of bounds");
+        self.data[i * self.ncols + j] = v;
+    }
+
+    /// Dense matrix-vector product `y = A x`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "matvec: x length");
+        assert_eq!(y.len(), self.nrows, "matvec: y length");
+        for (yi, row) in y.iter_mut().zip(self.data.chunks_exact(self.ncols)) {
+            *yi = crate::vecops::dot(row, x);
+        }
+    }
+
+    /// Symmetry check within absolute tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.nrows {
+            for j in (i + 1)..self.ncols {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.ncols, self.nrows);
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                t.data[j * self.nrows + i] = self.data[i * self.ncols + j];
+            }
+        }
+        t
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        crate::vecops::norm2(&self.data)
+    }
+
+    /// Sum of diagonal entries.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.nrows).map(|i| self.data[i * self.ncols + i]).sum()
+    }
+}
+
+impl LinearOp for DenseMatrix {
+    fn dim(&self) -> usize {
+        assert!(self.is_square(), "LinearOp requires a square matrix");
+        self.nrows
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.matvec(x, y);
+    }
+
+    fn stored_entries(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = DenseMatrix::zeros(2, 3);
+        assert_eq!(z.nrows(), 2);
+        assert_eq!(z.ncols(), 3);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+
+        let id = DenseMatrix::identity(3);
+        assert_eq!(id.trace(), 3.0);
+        assert!(id.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        let m = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn matvec_known_result() {
+        let m = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let mut y = vec![0.0; 2];
+        m.matvec(&[1.0, 0.0, -1.0], &mut y);
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_identity_is_noop() {
+        let id = DenseMatrix::identity(5);
+        let x: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        assert_eq!(id.apply_alloc(&x), x);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = DenseMatrix::from_fn(3, 4, |i, j| (i * 7 + j) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(2, 1), m.get(1, 2));
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let sym = DenseMatrix::from_fn(3, 3, |i, j| (i + j) as f64);
+        assert!(sym.is_symmetric(0.0));
+        let mut asym = sym.clone();
+        asym.set(0, 1, 99.0);
+        assert!(!asym.is_symmetric(1e-12));
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(!rect.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn from_diag_and_trace() {
+        let m = DenseMatrix::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.trace(), 6.0);
+        assert_eq!(m.get(1, 1), 2.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let m = DenseMatrix::from_vec(1, 2, vec![3.0, 4.0]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_bounds_checked() {
+        let m = DenseMatrix::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type shared by the linear-algebra substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or operating on matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// An index `(row, col)` fell outside the matrix shape `(nrows, ncols)`.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Number of rows of the target matrix.
+        nrows: usize,
+        /// Number of columns of the target matrix.
+        ncols: usize,
+    },
+    /// Two operands had incompatible dimensions (e.g. matvec with a vector of
+    /// the wrong length).
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was supplied.
+        found: usize,
+        /// Short label of the operand that was wrong ("x", "y", ...).
+        what: &'static str,
+    },
+    /// CSR structural invariants were violated (non-monotone row pointers,
+    /// column index out of range, wrong `row_ptr` length, ...).
+    InvalidStructure(String),
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the algorithm that gave up.
+        algorithm: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Rows of the offending matrix.
+        nrows: usize,
+        /// Columns of the offending matrix.
+        ncols: usize,
+    },
+    /// The operation requires a symmetric matrix and the input was not
+    /// symmetric within the stated tolerance.
+    NotSymmetric,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
+            ),
+            LinalgError::DimensionMismatch { expected, found, what } => {
+                write!(f, "dimension mismatch for {what}: expected {expected}, found {found}")
+            }
+            LinalgError::InvalidStructure(msg) => write!(f, "invalid sparse structure: {msg}"),
+            LinalgError::NoConvergence { algorithm, iterations } => {
+                write!(f, "{algorithm} failed to converge after {iterations} iterations")
+            }
+            LinalgError::NotSquare { nrows, ncols } => {
+                write!(f, "operation requires a square matrix, got {nrows}x{ncols}")
+            }
+            LinalgError::NotSymmetric => write!(f, "operation requires a symmetric matrix"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::IndexOutOfBounds { row: 5, col: 7, nrows: 3, ncols: 4 };
+        assert_eq!(e.to_string(), "index (5, 7) out of bounds for 3x4 matrix");
+
+        let e = LinalgError::DimensionMismatch { expected: 10, found: 9, what: "x" };
+        assert!(e.to_string().contains("expected 10"));
+        assert!(e.to_string().contains("found 9"));
+
+        let e = LinalgError::NoConvergence { algorithm: "jacobi", iterations: 100 };
+        assert!(e.to_string().contains("jacobi"));
+
+        let e = LinalgError::NotSquare { nrows: 2, ncols: 3 };
+        assert!(e.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LinalgError::NotSymmetric);
+    }
+}

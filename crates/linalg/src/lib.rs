@@ -1,0 +1,39 @@
+//! Dense and sparse linear-algebra substrate for the KPM reproduction suite.
+//!
+//! The Kernel Polynomial Method needs only a narrow slice of linear algebra,
+//! but the paper (Zhang et al., 2011) depends on all of it:
+//!
+//! * BLAS-1 style vector kernels ([`vecops`]) — the dot products and fused
+//!   Chebyshev update `r_{n+2} = 2 H r_{n+1} - r_n` are the hot loops of the
+//!   whole method.
+//! * A row-major dense matrix ([`DenseMatrix`]) — the paper's Figs. 7 and 8
+//!   deliberately run the Hamiltonian *dense* ("the simple case when the CRS
+//!   format is not applied").
+//! * Compressed Sparse Row storage ([`CsrMatrix`], built via [`CooMatrix`]) —
+//!   the paper's Fig. 5 lattice Hamiltonian is sparse/symmetric with seven
+//!   stored entries per row; CSR is the CRS format the paper names.
+//! * Spectral bounds ([`gershgorin`], [`lanczos`]) — Eq. (8)–(9) of the paper
+//!   rescale the Hamiltonian into `[-1, 1]` using Gershgorin's theorem.
+//! * Exact eigensolvers ([`eigen`]) — ground truth for validating the KPM
+//!   density of states on small systems (cyclic Jacobi for dense symmetric
+//!   matrices, implicit-shift QL for symmetric tridiagonals from Lanczos).
+//!
+//! Everything is `f64`: the paper performs all KPM calculations in double
+//! precision, and so do we.
+
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod eigen;
+pub mod error;
+pub mod gershgorin;
+pub mod lanczos;
+pub mod op;
+pub mod vecops;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use error::LinalgError;
+pub use gershgorin::SpectralBounds;
+pub use op::LinearOp;

@@ -1,0 +1,202 @@
+//! BLAS-1 style vector kernels.
+//!
+//! These are the innermost loops of the KPM recursion. They are written over
+//! slices with iterator zips so the compiler can elide bounds checks and
+//! vectorize; all panic on length mismatch (a programming error, not a
+//! recoverable condition).
+
+/// Dot product `x · y`.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    // Four-way unrolled accumulation: reduces the sequential FP dependency
+    // chain, which matters for a loop this hot, and incidentally makes the
+    // summation order deterministic and platform-independent.
+    let mut acc = [0.0f64; 4];
+    let (xc, xr) = x.split_at(x.len() - x.len() % 4);
+    let (yc, yr) = y.split_at(xc.len());
+    for (xs, ys) in xc.chunks_exact(4).zip(yc.chunks_exact(4)) {
+        acc[0] += xs[0] * ys[0];
+        acc[1] += xs[1] * ys[1];
+        acc[2] += xs[2] * ys[2];
+        acc[3] += xs[3] * ys[3];
+    }
+    let tail: f64 = xr.iter().zip(yr).map(|(a, b)| a * b).sum();
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// `x += alpha` (element-wise shift; used by the spectral rescaling
+/// `H~ = (H - a_+ I)/a_-` applied to a vector as `(H x - a_+ x)/a_-`).
+#[inline]
+pub fn shift(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi += alpha;
+    }
+}
+
+/// Euclidean norm `||x||_2`, computed with scaling to avoid overflow for
+/// extreme magnitudes.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    let amax = x.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if amax == 0.0 || !amax.is_finite() {
+        return amax;
+    }
+    let inv = 1.0 / amax;
+    let ssq: f64 = x.iter().map(|&v| (v * inv) * (v * inv)).sum();
+    amax * ssq.sqrt()
+}
+
+/// Fused Chebyshev step: `out[i] = 2.0 * hx[i] - prev[i]`.
+///
+/// This is Eq. (18) of the paper, `|r_{n+2}> = 2 H~ |r_{n+1}> - |r_n>`, with
+/// `hx = H~ r_{n+1}` already formed. Fusing the scale and subtract halves the
+/// memory traffic relative to two separate BLAS-1 passes.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn chebyshev_combine(hx: &[f64], prev: &[f64], out: &mut [f64]) {
+    assert_eq!(hx.len(), prev.len(), "chebyshev_combine: length mismatch");
+    assert_eq!(hx.len(), out.len(), "chebyshev_combine: length mismatch");
+    for ((o, &h), &p) in out.iter_mut().zip(hx).zip(prev) {
+        *o = 2.0 * h - p;
+    }
+}
+
+/// In-place fused Chebyshev step: `prev[i] = 2.0 * hx[i] - prev[i]`.
+///
+/// Lets the caller recycle the `r_n` buffer as the `r_{n+2}` buffer, which is
+/// exactly the pointer-swap scheme the paper uses on the GPU (Sec. III-B-1).
+#[inline]
+pub fn chebyshev_combine_inplace(hx: &[f64], prev: &mut [f64]) {
+    assert_eq!(hx.len(), prev.len(), "chebyshev_combine_inplace: length mismatch");
+    for (p, &h) in prev.iter_mut().zip(hx) {
+        *p = 2.0 * h - *p;
+    }
+}
+
+/// Copies `src` into `dst`.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn copy(src: &[f64], dst: &mut [f64]) {
+    dst.copy_from_slice(src);
+}
+
+/// Maximum absolute difference between two vectors; `inf` norm of `x - y`.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "max_abs_diff: length mismatch");
+    x.iter().zip(y).fold(0.0f64, |m, (a, b)| m.max((a - b).abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive_for_various_lengths() {
+        // Exercise the unroll remainder handling: lengths 0..=9 cover every
+        // residue class mod 4.
+        for n in 0..10usize {
+            let x: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
+            let y: Vec<f64> = (0..n).map(|i| 2.0 - i as f64).collect();
+            let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            assert!((dot(&x, &y) - naive).abs() < 1e-12, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        let x = [1.0, 0.0, 1.0, 0.0];
+        let y = [0.0, 3.0, 0.0, -7.0];
+        assert_eq!(dot(&x, &y), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn scale_and_shift() {
+        let mut x = [1.0, -2.0, 4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, [0.5, -1.0, 2.0]);
+        shift(1.0, &mut x);
+        assert_eq!(x, [1.5, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn norm2_basics() {
+        assert_eq!(norm2(&[]), 0.0);
+        assert_eq!(norm2(&[0.0, 0.0]), 0.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn norm2_does_not_overflow_for_huge_entries() {
+        let big = 1e300;
+        let n = norm2(&[big, big]);
+        assert!(n.is_finite());
+        assert!((n - big * std::f64::consts::SQRT_2).abs() / n < 1e-15);
+    }
+
+    #[test]
+    fn chebyshev_combine_matches_formula() {
+        let hx = [1.0, 2.0, 3.0];
+        let prev = [0.5, 0.5, 0.5];
+        let mut out = [0.0; 3];
+        chebyshev_combine(&hx, &prev, &mut out);
+        assert_eq!(out, [1.5, 3.5, 5.5]);
+
+        let mut prev2 = prev;
+        chebyshev_combine_inplace(&hx, &mut prev2);
+        assert_eq!(prev2, out);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_worst_component() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [1.0, 2.5, 2.0];
+        assert_eq!(max_abs_diff(&x, &y), 1.0);
+        assert_eq!(max_abs_diff(&x, &x), 0.0);
+    }
+}

@@ -1,0 +1,534 @@
+//! The simulated device: memory management, transfers, kernel launches,
+//! and the modeled clock.
+
+use crate::dim::{Dim3, LaunchDims};
+use crate::error::SimError;
+use crate::kernel::{AccessCounts, BlockKernel, BlockScope, KernelCost};
+use crate::mem::{DeviceMemory, GlobalBuffer};
+use crate::model::{GpuSpec, SimTime};
+use rayon::prelude::*;
+
+/// Record of one kernel launch, kept for reporting and tests.
+#[derive(Debug, Clone)]
+pub struct LaunchRecord {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Launch dimensions.
+    pub dims: LaunchDims,
+    /// Cost declared by the kernel.
+    pub declared: KernelCost,
+    /// Accesses actually performed by the functional execution (summed over
+    /// blocks).
+    pub counted: AccessCounts,
+    /// Modeled duration of this launch.
+    pub time: SimTime,
+}
+
+/// Aggregated statistics for one kernel across a device's launch history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSummary {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Number of launches.
+    pub launches: usize,
+    /// Total modeled time across launches.
+    pub total_time: SimTime,
+    /// Total declared FLOPs.
+    pub flops: u64,
+    /// Total declared DRAM bytes (reads + writes).
+    pub dram_bytes: u64,
+}
+
+impl KernelSummary {
+    /// Achieved FLOP rate under the model, FLOP/s.
+    pub fn flop_rate(&self) -> f64 {
+        self.flops as f64 / self.total_time.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// A simulated stream-computing device.
+///
+/// All state mutation goes through `&mut self`, so a `Device` behaves like a
+/// single CUDA context used from one host thread (which is how the paper's
+/// host code drives the GPU). Kernel *blocks* execute concurrently on the
+/// host via rayon — the simulator's analogue of the SMs running blocks in
+/// parallel — which is sound because global memory is relaxed-atomic and
+/// blocks may not synchronize with each other anyway.
+pub struct Device {
+    spec: GpuSpec,
+    mem: DeviceMemory,
+    clock: SimTime,
+    launches: Vec<LaunchRecord>,
+    transfer_bytes: u64,
+    /// Default compute-efficiency knob applied to launches (see
+    /// [`GpuSpec::kernel_time`]); kernels may override per launch.
+    compute_efficiency: f64,
+}
+
+impl Device {
+    /// Creates a device with the given hardware spec.
+    pub fn new(spec: GpuSpec) -> Self {
+        let mem = DeviceMemory::new(spec.global_mem_bytes);
+        Self {
+            spec,
+            mem,
+            clock: SimTime::ZERO,
+            launches: Vec::new(),
+            transfer_bytes: 0,
+            compute_efficiency: 0.2,
+        }
+    }
+
+    /// Sets the default compute-efficiency knob.
+    ///
+    /// # Panics
+    /// Panics if outside `(0, 1]`.
+    pub fn set_compute_efficiency(&mut self, eff: f64) {
+        assert!(eff > 0.0 && eff <= 1.0, "compute efficiency must be in (0, 1]");
+        self.compute_efficiency = eff;
+    }
+
+    /// The hardware spec.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Total modeled time elapsed on this device.
+    pub fn elapsed(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Adds modeled time from outside (e.g. host-side work in a pipeline).
+    pub fn advance_clock(&mut self, t: SimTime) {
+        self.clock += t;
+    }
+
+    /// Resets the modeled clock and launch records (memory is untouched).
+    pub fn reset_clock(&mut self) {
+        self.clock = SimTime::ZERO;
+        self.launches.clear();
+        self.transfer_bytes = 0;
+    }
+
+    /// Device memory currently allocated, in bytes.
+    pub fn mem_in_use(&self) -> usize {
+        self.mem.in_use_bytes()
+    }
+
+    /// Total device memory capacity, in bytes.
+    pub fn mem_capacity(&self) -> usize {
+        self.mem.capacity_bytes()
+    }
+
+    /// High-water mark of allocated device memory, in bytes.
+    pub fn mem_peak(&self) -> usize {
+        self.mem.peak_bytes()
+    }
+
+    /// Total bytes moved over the simulated PCIe link.
+    pub fn transferred_bytes(&self) -> u64 {
+        self.transfer_bytes
+    }
+
+    /// Launch records so far.
+    pub fn launches(&self) -> &[LaunchRecord] {
+        &self.launches
+    }
+
+    /// Per-kernel aggregate of the launch history, ordered by total time
+    /// (descending) — the device-side profile a `nvprof`-style tool would
+    /// print.
+    pub fn kernel_summaries(&self) -> Vec<KernelSummary> {
+        let mut map: std::collections::BTreeMap<&'static str, KernelSummary> =
+            std::collections::BTreeMap::new();
+        for rec in &self.launches {
+            let entry = map.entry(rec.name).or_insert(KernelSummary {
+                name: rec.name,
+                launches: 0,
+                total_time: SimTime::ZERO,
+                flops: 0,
+                dram_bytes: 0,
+            });
+            entry.launches += 1;
+            entry.total_time += rec.time;
+            entry.flops += rec.declared.flops;
+            entry.dram_bytes +=
+                rec.declared.global_read_bytes + rec.declared.global_write_bytes;
+        }
+        let mut out: Vec<KernelSummary> = map.into_values().collect();
+        out.sort_by(|a, b| b.total_time.as_secs_f64().total_cmp(&a.total_time.as_secs_f64()));
+        out
+    }
+
+    /// Allocates `len` f64 elements of global memory.
+    ///
+    /// # Errors
+    /// [`SimError::OutOfMemory`] when the device capacity (3 GB on the
+    /// C2050 preset) is exhausted — the same wall the paper's Sec. III-B-2
+    /// memory analysis is about.
+    pub fn alloc(&mut self, len: usize) -> Result<GlobalBuffer, SimError> {
+        self.mem.alloc(len)
+    }
+
+    /// Frees a buffer.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidBuffer`] on double-free or foreign handle.
+    pub fn free(&mut self, buf: GlobalBuffer) -> Result<(), SimError> {
+        self.mem.free(buf)
+    }
+
+    /// Copies host data into a device buffer, charging PCIe time.
+    ///
+    /// # Errors
+    /// [`SimError::CopyLengthMismatch`] if lengths differ.
+    pub fn copy_to_device(&mut self, src: &[f64], dst: GlobalBuffer) -> Result<(), SimError> {
+        self.mem.copy_in(dst, src)?;
+        self.clock += self.spec.transfer_time(src.len() * 8);
+        self.transfer_bytes += (src.len() * 8) as u64;
+        Ok(())
+    }
+
+    /// Copies a device buffer back to host memory, charging PCIe time.
+    ///
+    /// # Errors
+    /// [`SimError::CopyLengthMismatch`] if lengths differ.
+    pub fn copy_to_host(&mut self, src: GlobalBuffer, dst: &mut [f64]) -> Result<(), SimError> {
+        self.mem.copy_out(src, dst)?;
+        self.clock += self.spec.transfer_time(dst.len() * 8);
+        self.transfer_bytes += (dst.len() * 8) as u64;
+        Ok(())
+    }
+
+    /// Reads a device buffer **without charging PCIe time** — a
+    /// verification/debug facility for tests and statistics that the real
+    /// program would not transfer (modeled timing stays faithful).
+    ///
+    /// # Errors
+    /// [`SimError::CopyLengthMismatch`] if lengths differ.
+    pub fn peek(&self, src: GlobalBuffer, dst: &mut [f64]) -> Result<(), SimError> {
+        self.mem.copy_out(src, dst)
+    }
+
+    /// Launches a kernel with the default compute efficiency.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidLaunch`] if the configuration violates device
+    /// limits (threads per block, shared memory per block).
+    pub fn launch<K: BlockKernel>(
+        &mut self,
+        kernel: &K,
+        grid: Dim3,
+        block: Dim3,
+    ) -> Result<SimTime, SimError> {
+        let eff = self.compute_efficiency;
+        self.launch_with_efficiency(kernel, grid, block, eff)
+    }
+
+    /// Launches a kernel with an explicit compute-efficiency knob.
+    ///
+    /// # Errors
+    /// See [`Device::launch`].
+    pub fn launch_with_efficiency<K: BlockKernel>(
+        &mut self,
+        kernel: &K,
+        grid: Dim3,
+        block: Dim3,
+        compute_efficiency: f64,
+    ) -> Result<SimTime, SimError> {
+        let dims = LaunchDims::new(grid, block);
+        if dims.threads_per_block() == 0 || dims.num_blocks() == 0 {
+            return Err(SimError::InvalidLaunch("empty grid or block".into()));
+        }
+        if dims.threads_per_block() > self.spec.max_threads_per_block {
+            return Err(SimError::InvalidLaunch(format!(
+                "{} threads per block exceeds device limit {}",
+                dims.threads_per_block(),
+                self.spec.max_threads_per_block
+            )));
+        }
+        let shared_words = kernel.shared_words(&dims);
+        if shared_words * 8 > self.spec.shared_mem_per_sm {
+            return Err(SimError::InvalidLaunch(format!(
+                "{} B shared memory per block exceeds {} B per SM",
+                shared_words * 8,
+                self.spec.shared_mem_per_sm
+            )));
+        }
+
+        // Functional execution: blocks in parallel (they are independent by
+        // construction of the programming model).
+        let mem = &self.mem;
+        let counted = (0..dims.num_blocks())
+            .into_par_iter()
+            .map(|lin| {
+                let block_idx = dims.grid.delinearize(lin);
+                let mut scope = BlockScope::new(mem, block_idx, dims, shared_words);
+                kernel.execute(&mut scope);
+                scope.counts()
+            })
+            .reduce(AccessCounts::default, |a, b| AccessCounts {
+                global_loads: a.global_loads + b.global_loads,
+                global_stores: a.global_stores + b.global_stores,
+                shared_accesses: a.shared_accesses + b.shared_accesses,
+                barriers: a.barriers + b.barriers,
+            });
+
+        // Performance layer.
+        let declared = kernel.cost(&dims);
+        let time = self.spec.kernel_time(
+            &declared,
+            dims.num_blocks(),
+            dims.threads_per_block(),
+            compute_efficiency,
+        );
+        self.clock += time;
+        self.launches.push(LaunchRecord {
+            name: kernel.name(),
+            dims,
+            declared,
+            counted,
+            time,
+        });
+        Ok(time)
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("spec", &self.spec.name)
+            .field("elapsed_s", &self.clock.as_secs_f64())
+            .field("mem_in_use", &self.mem.in_use_bytes())
+            .field("launches", &self.launches.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y[i] = x[i] + 1 over n elements, one element per global thread.
+    struct AddOne {
+        x: GlobalBuffer,
+        y: GlobalBuffer,
+        n: usize,
+    }
+
+    impl BlockKernel for AddOne {
+        fn name(&self) -> &'static str {
+            "add_one"
+        }
+        fn execute(&self, scope: &mut BlockScope<'_>) {
+            let x = scope.global(self.x);
+            let y = scope.global(self.y);
+            for t in scope.threads() {
+                let i = scope.global_thread_id(t);
+                if i < self.n {
+                    y.store(i, x.load(i) + 1.0);
+                }
+            }
+        }
+        fn cost(&self, _dims: &LaunchDims) -> KernelCost {
+            KernelCost::new()
+                .flops(self.n as u64)
+                .global_read(8 * self.n as u64)
+                .global_write(8 * self.n as u64)
+        }
+    }
+
+    /// Shared-memory tree reduction of one block over x, sum into out[block].
+    struct BlockSum {
+        x: GlobalBuffer,
+        out: GlobalBuffer,
+    }
+
+    impl BlockKernel for BlockSum {
+        fn name(&self) -> &'static str {
+            "block_sum"
+        }
+        fn execute(&self, scope: &mut BlockScope<'_>) {
+            let bsize = scope.block_dim().count();
+            // Phase 1: each thread loads one element into shared memory.
+            let vals: Vec<f64> = {
+                let x = scope.global(self.x);
+                scope
+                    .threads()
+                    .map(|t| x.load(scope.global_thread_id(t)))
+                    .collect()
+            };
+            for (i, v) in vals.into_iter().enumerate() {
+                scope.shared_store(i, v);
+            }
+            scope.barrier();
+            // Phase 2: tree reduction, exactly as a CUDA kernel would.
+            let mut stride = bsize / 2;
+            while stride > 0 {
+                for t in 0..stride {
+                    let a = scope.shared_load(t);
+                    let b = scope.shared_load(t + stride);
+                    scope.shared_store(t, a + b);
+                }
+                scope.barrier();
+                stride /= 2;
+            }
+            let total = scope.shared_load(0);
+            let block = scope.block_id();
+            scope.global(self.out).store(block, total);
+        }
+        fn cost(&self, dims: &LaunchDims) -> KernelCost {
+            let n = dims.total_threads() as u64;
+            KernelCost::new()
+                .flops(n)
+                .global_read(8 * n)
+                .global_write(8 * dims.num_blocks() as u64)
+                .barriers((dims.threads_per_block().trailing_zeros() as u64) + 1)
+        }
+        fn shared_words(&self, dims: &LaunchDims) -> usize {
+            dims.threads_per_block()
+        }
+    }
+
+    #[test]
+    fn elementwise_kernel_computes_and_charges_time() {
+        let mut dev = Device::new(GpuSpec::test_gpu());
+        let n = 100;
+        let x = dev.alloc(n).unwrap();
+        let y = dev.alloc(n).unwrap();
+        dev.copy_to_device(&vec![1.5; n], x).unwrap();
+        let before = dev.elapsed();
+        dev.launch(&AddOne { x, y, n }, Dim3::x(4), Dim3::x(32)).unwrap();
+        assert!(dev.elapsed().as_secs_f64() > before.as_secs_f64());
+        let mut out = vec![0.0; n];
+        dev.copy_to_host(y, &mut out).unwrap();
+        assert!(out.iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn launch_records_track_declared_and_counted() {
+        let mut dev = Device::new(GpuSpec::test_gpu());
+        let n = 128;
+        let x = dev.alloc(n).unwrap();
+        let y = dev.alloc(n).unwrap();
+        dev.launch(&AddOne { x, y, n }, Dim3::x(4), Dim3::x(32)).unwrap();
+        let rec = &dev.launches()[0];
+        assert_eq!(rec.name, "add_one");
+        assert_eq!(rec.counted.global_loads, n as u64);
+        assert_eq!(rec.counted.global_stores, n as u64);
+        // Declared read bytes = counted loads * 8 for this kernel.
+        assert_eq!(rec.declared.global_read_bytes, rec.counted.global_loads * 8);
+    }
+
+    #[test]
+    fn block_reduction_is_correct_across_blocks() {
+        let mut dev = Device::new(GpuSpec::test_gpu());
+        let blocks = 4;
+        let bsize = 64;
+        let n = blocks * bsize;
+        let x = dev.alloc(n).unwrap();
+        let out = dev.alloc(blocks).unwrap();
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        dev.copy_to_device(&data, x).unwrap();
+        dev.launch(&BlockSum { x, out }, Dim3::x(blocks), Dim3::x(bsize)).unwrap();
+        let mut sums = vec![0.0; blocks];
+        dev.copy_to_host(out, &mut sums).unwrap();
+        for (b, &got) in sums.iter().enumerate() {
+            let expect: f64 = (b * bsize..(b + 1) * bsize).map(|i| i as f64).sum();
+            assert_eq!(got, expect, "block {b}");
+        }
+        // Barriers counted: log2(64) + 1 per block * 4 blocks.
+        let rec = &dev.launches()[0];
+        assert_eq!(rec.counted.barriers, 7 * 4);
+    }
+
+    #[test]
+    fn launch_validation() {
+        let mut dev = Device::new(GpuSpec::test_gpu());
+        let x = dev.alloc(1).unwrap();
+        let y = dev.alloc(1).unwrap();
+        let k = AddOne { x, y, n: 1 };
+        assert!(matches!(
+            dev.launch(&k, Dim3::x(1), Dim3::x(1024)),
+            Err(SimError::InvalidLaunch(_))
+        ));
+        assert!(matches!(
+            dev.launch(&k, Dim3::x(0), Dim3::x(32)),
+            Err(SimError::InvalidLaunch(_))
+        ));
+        // Shared memory over the per-SM limit.
+        struct Hog;
+        impl BlockKernel for Hog {
+            fn name(&self) -> &'static str {
+                "hog"
+            }
+            fn execute(&self, _s: &mut BlockScope<'_>) {}
+            fn cost(&self, _d: &LaunchDims) -> KernelCost {
+                KernelCost::new()
+            }
+            fn shared_words(&self, _d: &LaunchDims) -> usize {
+                1 << 20
+            }
+        }
+        assert!(matches!(
+            dev.launch(&Hog, Dim3::x(1), Dim3::x(32)),
+            Err(SimError::InvalidLaunch(_))
+        ));
+    }
+
+    #[test]
+    fn transfers_charge_pcie_time_and_count_bytes() {
+        let mut dev = Device::new(GpuSpec::test_gpu());
+        let buf = dev.alloc(1000).unwrap();
+        dev.copy_to_device(&[0.0; 1000], buf).unwrap();
+        let t1 = dev.elapsed().as_secs_f64();
+        assert!(t1 >= 8000.0 / 1e9, "PCIe time missing: {t1}");
+        assert_eq!(dev.transferred_bytes(), 8000);
+        let mut out = vec![0.0; 1000];
+        dev.copy_to_host(buf, &mut out).unwrap();
+        assert_eq!(dev.transferred_bytes(), 16000);
+    }
+
+    #[test]
+    fn reset_clock_clears_records_not_memory() {
+        let mut dev = Device::new(GpuSpec::test_gpu());
+        let buf = dev.alloc(10).unwrap();
+        dev.copy_to_device(&[3.0; 10], buf).unwrap();
+        dev.reset_clock();
+        assert_eq!(dev.elapsed(), SimTime::ZERO);
+        assert!(dev.launches().is_empty());
+        let mut out = vec![0.0; 10];
+        dev.copy_to_host(buf, &mut out).unwrap();
+        assert_eq!(out, vec![3.0; 10]);
+    }
+
+    #[test]
+    fn kernel_summaries_aggregate_by_name() {
+        let mut dev = Device::new(GpuSpec::test_gpu());
+        let n = 64;
+        let x = dev.alloc(n).unwrap();
+        let y = dev.alloc(n).unwrap();
+        let k = AddOne { x, y, n };
+        dev.launch(&k, Dim3::x(2), Dim3::x(32)).unwrap();
+        dev.launch(&k, Dim3::x(2), Dim3::x(32)).unwrap();
+        dev.launch(&BlockSum { x, out: y }, Dim3::x(2), Dim3::x(32)).unwrap();
+        let summaries = dev.kernel_summaries();
+        assert_eq!(summaries.len(), 2);
+        let add = summaries.iter().find(|s| s.name == "add_one").unwrap();
+        assert_eq!(add.launches, 2);
+        assert_eq!(add.flops, 2 * n as u64);
+        assert!(add.total_time.as_secs_f64() > 0.0);
+        assert!(add.flop_rate() > 0.0);
+        // Sorted by total time descending.
+        assert!(
+            summaries[0].total_time.as_secs_f64() >= summaries[1].total_time.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn oom_is_surfaced() {
+        let mut dev = Device::new(GpuSpec::test_gpu());
+        let too_big = dev.spec().global_mem_bytes / 8 + 1;
+        assert!(matches!(dev.alloc(too_big), Err(SimError::OutOfMemory { .. })));
+    }
+}

@@ -1,0 +1,156 @@
+//! Grid and block dimensions, mirroring CUDA's `dim3`.
+
+/// A three-component extent, like CUDA's `dim3`. Components default to 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// Extent along x (fastest-varying).
+    pub x: usize,
+    /// Extent along y.
+    pub y: usize,
+    /// Extent along z (slowest-varying).
+    pub z: usize,
+}
+
+impl Dim3 {
+    /// A 1-D extent `(n, 1, 1)`.
+    pub const fn x(n: usize) -> Self {
+        Self { x: n, y: 1, z: 1 }
+    }
+
+    /// A 2-D extent `(nx, ny, 1)`.
+    pub const fn xy(nx: usize, ny: usize) -> Self {
+        Self { x: nx, y: ny, z: 1 }
+    }
+
+    /// A full 3-D extent.
+    pub const fn xyz(nx: usize, ny: usize, nz: usize) -> Self {
+        Self { x: nx, y: ny, z: nz }
+    }
+
+    /// Total number of elements `x * y * z`.
+    pub const fn count(&self) -> usize {
+        self.x * self.y * self.z
+    }
+
+    /// Linearizes an index triple within this extent (x fastest).
+    ///
+    /// # Panics
+    /// Panics (debug) if any component is out of range.
+    #[inline]
+    pub fn linearize(&self, idx: Dim3) -> usize {
+        debug_assert!(idx.x < self.x && idx.y < self.y && idx.z < self.z);
+        (idx.z * self.y + idx.y) * self.x + idx.x
+    }
+
+    /// Inverse of [`Dim3::linearize`].
+    #[inline]
+    pub fn delinearize(&self, lin: usize) -> Dim3 {
+        debug_assert!(lin < self.count());
+        let x = lin % self.x;
+        let rest = lin / self.x;
+        Dim3 { x, y: rest % self.y, z: rest / self.y }
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Self {
+        Self { x: 1, y: 1, z: 1 }
+    }
+}
+
+impl From<usize> for Dim3 {
+    fn from(n: usize) -> Self {
+        Dim3::x(n)
+    }
+}
+
+/// The dimensions of one kernel launch: grid of thread blocks, threads per
+/// block. Mirrors the `<<<grid, block>>>` pair of CUDA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchDims {
+    /// Number of thread blocks along each axis.
+    pub grid: Dim3,
+    /// Number of threads per block along each axis.
+    pub block: Dim3,
+}
+
+impl LaunchDims {
+    /// Creates launch dimensions.
+    pub fn new(grid: Dim3, block: Dim3) -> Self {
+        Self { grid, block }
+    }
+
+    /// Total number of thread blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.grid.count()
+    }
+
+    /// Threads per block.
+    pub fn threads_per_block(&self) -> usize {
+        self.block.count()
+    }
+
+    /// Total number of threads in the launch.
+    pub fn total_threads(&self) -> usize {
+        self.num_blocks() * self.threads_per_block()
+    }
+}
+
+/// Computes the 1-D grid size needed to cover `n` items with `block_size`
+/// threads per block — the ubiquitous `(n + b - 1) / b` of CUDA host code.
+pub fn grid_for(n: usize, block_size: usize) -> usize {
+    assert!(block_size > 0, "block size must be positive");
+    n.div_ceil(block_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_count() {
+        assert_eq!(Dim3::x(5).count(), 5);
+        assert_eq!(Dim3::xy(3, 4).count(), 12);
+        assert_eq!(Dim3::xyz(2, 3, 4).count(), 24);
+        assert_eq!(Dim3::default().count(), 1);
+        let d: Dim3 = 7usize.into();
+        assert_eq!(d, Dim3::x(7));
+    }
+
+    #[test]
+    fn linearize_roundtrip() {
+        let ext = Dim3::xyz(3, 4, 5);
+        for lin in 0..ext.count() {
+            assert_eq!(ext.linearize(ext.delinearize(lin)), lin);
+        }
+    }
+
+    #[test]
+    fn linearize_x_fastest() {
+        let ext = Dim3::xy(4, 3);
+        assert_eq!(ext.linearize(Dim3 { x: 1, y: 0, z: 0 }), 1);
+        assert_eq!(ext.linearize(Dim3 { x: 0, y: 1, z: 0 }), 4);
+    }
+
+    #[test]
+    fn launch_dims_totals() {
+        let d = LaunchDims::new(Dim3::x(14), Dim3::x(128));
+        assert_eq!(d.num_blocks(), 14);
+        assert_eq!(d.threads_per_block(), 128);
+        assert_eq!(d.total_threads(), 14 * 128);
+    }
+
+    #[test]
+    fn grid_for_covers_exactly() {
+        assert_eq!(grid_for(1000, 128), 8);
+        assert_eq!(grid_for(1024, 128), 8);
+        assert_eq!(grid_for(1025, 128), 9);
+        assert_eq!(grid_for(0, 128), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn grid_for_rejects_zero_block() {
+        let _ = grid_for(10, 0);
+    }
+}

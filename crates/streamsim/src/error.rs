@@ -1,0 +1,59 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors raised by the device simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Device global memory exhausted.
+    OutOfMemory {
+        /// Bytes requested by the allocation.
+        requested: usize,
+        /// Bytes still available on the device.
+        available: usize,
+    },
+    /// A buffer handle did not belong to this device or was already freed.
+    InvalidBuffer,
+    /// Host/device copy length did not match the buffer length.
+    CopyLengthMismatch {
+        /// Buffer length in elements.
+        buffer: usize,
+        /// Host slice length in elements.
+        host: usize,
+    },
+    /// Launch configuration violates a device limit.
+    InvalidLaunch(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory { requested, available } => {
+                write!(f, "device out of memory: requested {requested} B, {available} B free")
+            }
+            SimError::InvalidBuffer => write!(f, "invalid or stale device buffer handle"),
+            SimError::CopyLengthMismatch { buffer, host } => {
+                write!(f, "copy length mismatch: buffer holds {buffer} elements, host slice {host}")
+            }
+            SimError::InvalidLaunch(msg) => write!(f, "invalid launch configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(SimError::OutOfMemory { requested: 10, available: 5 }
+            .to_string()
+            .contains("10 B"));
+        assert!(SimError::CopyLengthMismatch { buffer: 4, host: 3 }.to_string().contains('4'));
+        assert!(SimError::InvalidLaunch("block too large".into())
+            .to_string()
+            .contains("block too large"));
+    }
+}

@@ -1,0 +1,313 @@
+//! Simulated device global memory.
+//!
+//! Global memory is a flat arena of `f64` words stored as relaxed atomics so
+//! that thread blocks may execute concurrently on the host while kernels
+//! write arbitrary locations, exactly as CUDA permits. (Races remain logical
+//! bugs in the *kernel*, as on real hardware, but they are not undefined
+//! behaviour in the simulator.)
+//!
+//! Allocation uses a first-fit free list with coalescing on free, and
+//! enforces the device capacity — the paper's Sec. III-B-2 memory-consumption
+//! analysis is checked against this accounting in the `kpm-stream` tests.
+
+use crate::error::SimError;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Handle to a device allocation: `len` f64 elements starting at word
+/// offset `offset`. Copyable and cheap, like a raw device pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalBuffer {
+    pub(crate) offset: usize,
+    pub(crate) len: usize,
+    pub(crate) generation: u64,
+}
+
+impl GlobalBuffer {
+    /// Number of f64 elements in the buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.len * 8
+    }
+
+    /// A sub-buffer covering `range` (element indices relative to this
+    /// buffer). Useful for carving one big allocation into per-realization
+    /// vectors, as the paper's implementation does.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the buffer.
+    pub fn slice(&self, start: usize, len: usize) -> GlobalBuffer {
+        assert!(start + len <= self.len, "slice out of bounds");
+        GlobalBuffer { offset: self.offset + start, len, generation: self.generation }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Region {
+    offset: usize,
+    len: usize,
+    free: bool,
+}
+
+/// The arena plus its allocator.
+#[derive(Debug)]
+pub(crate) struct DeviceMemory {
+    words: Vec<AtomicU64>,
+    regions: Vec<Region>,
+    capacity_words: usize,
+    in_use_words: usize,
+    generation: u64,
+    /// High-water mark of allocated words, for reporting.
+    peak_words: usize,
+}
+
+impl DeviceMemory {
+    pub fn new(capacity_bytes: usize) -> Self {
+        let capacity_words = capacity_bytes / 8;
+        Self {
+            words: Vec::new(),
+            regions: vec![Region { offset: 0, len: capacity_words, free: true }],
+            capacity_words,
+            in_use_words: 0,
+            generation: 0,
+            peak_words: 0,
+        }
+    }
+
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_words * 8
+    }
+
+    pub fn in_use_bytes(&self) -> usize {
+        self.in_use_words * 8
+    }
+
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_words * 8
+    }
+
+    /// Allocates `len` f64 words, first-fit.
+    pub fn alloc(&mut self, len: usize) -> Result<GlobalBuffer, SimError> {
+        if len == 0 {
+            return Ok(GlobalBuffer { offset: 0, len: 0, generation: self.generation });
+        }
+        let slot = self
+            .regions
+            .iter()
+            .position(|r| r.free && r.len >= len)
+            .ok_or(SimError::OutOfMemory {
+                requested: len * 8,
+                available: (self.capacity_words - self.in_use_words) * 8,
+            })?;
+        let region = self.regions[slot];
+        let buf = GlobalBuffer { offset: region.offset, len, generation: self.generation };
+        if region.len == len {
+            self.regions[slot].free = false;
+        } else {
+            self.regions[slot] = Region { offset: region.offset, len, free: false };
+            self.regions.insert(
+                slot + 1,
+                Region { offset: region.offset + len, len: region.len - len, free: true },
+            );
+        }
+        self.in_use_words += len;
+        self.peak_words = self.peak_words.max(self.in_use_words);
+        // Grow the backing store lazily up to the high-water mark.
+        let needed = buf.offset + len;
+        if self.words.len() < needed {
+            self.words.resize_with(needed, || AtomicU64::new(0));
+        }
+        // Fresh allocations are zeroed (like cudaMemset right after malloc;
+        // deterministic and convenient for accumulation buffers).
+        for w in &self.words[buf.offset..buf.offset + len] {
+            w.store(0, Ordering::Relaxed);
+        }
+        Ok(buf)
+    }
+
+    /// Frees a buffer, coalescing adjacent free regions.
+    pub fn free(&mut self, buf: GlobalBuffer) -> Result<(), SimError> {
+        if buf.len == 0 {
+            return Ok(());
+        }
+        let slot = self
+            .regions
+            .iter()
+            .position(|r| !r.free && r.offset == buf.offset && r.len == buf.len)
+            .ok_or(SimError::InvalidBuffer)?;
+        self.regions[slot].free = true;
+        self.in_use_words -= buf.len;
+        // Coalesce with the right neighbour, then the left.
+        if slot + 1 < self.regions.len() && self.regions[slot + 1].free {
+            self.regions[slot].len += self.regions[slot + 1].len;
+            self.regions.remove(slot + 1);
+        }
+        if slot > 0 && self.regions[slot - 1].free {
+            self.regions[slot - 1].len += self.regions[slot].len;
+            self.regions.remove(slot);
+        }
+        Ok(())
+    }
+
+    /// Validates that a handle points inside the arena.
+    pub fn check(&self, buf: GlobalBuffer) -> Result<(), SimError> {
+        if buf.offset + buf.len <= self.capacity_words {
+            Ok(())
+        } else {
+            Err(SimError::InvalidBuffer)
+        }
+    }
+
+    #[inline]
+    pub fn load(&self, word: usize) -> f64 {
+        f64::from_bits(self.words[word].load(Ordering::Relaxed))
+    }
+
+    #[inline]
+    pub fn store(&self, word: usize, value: f64) {
+        self.words[word].store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn copy_in(&self, buf: GlobalBuffer, src: &[f64]) -> Result<(), SimError> {
+        self.check(buf)?;
+        if src.len() != buf.len {
+            return Err(SimError::CopyLengthMismatch { buffer: buf.len, host: src.len() });
+        }
+        for (i, &v) in src.iter().enumerate() {
+            self.store(buf.offset + i, v);
+        }
+        Ok(())
+    }
+
+    pub fn copy_out(&self, buf: GlobalBuffer, dst: &mut [f64]) -> Result<(), SimError> {
+        self.check(buf)?;
+        if dst.len() != buf.len {
+            return Err(SimError::CopyLengthMismatch { buffer: buf.len, host: dst.len() });
+        }
+        for (i, d) in dst.iter_mut().enumerate() {
+            *d = self.load(buf.offset + i);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_copy_roundtrip() {
+        let mut mem = DeviceMemory::new(1 << 16);
+        let buf = mem.alloc(10).unwrap();
+        let data: Vec<f64> = (0..10).map(|i| i as f64 * 1.5).collect();
+        mem.copy_in(buf, &data).unwrap();
+        let mut out = vec![0.0; 10];
+        mem.copy_out(buf, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn fresh_allocations_are_zeroed() {
+        let mut mem = DeviceMemory::new(1 << 12);
+        let a = mem.alloc(8).unwrap();
+        mem.copy_in(a, &[7.0; 8]).unwrap();
+        mem.free(a).unwrap();
+        let b = mem.alloc(8).unwrap();
+        let mut out = vec![1.0; 8];
+        mem.copy_out(b, &mut out).unwrap();
+        assert_eq!(out, vec![0.0; 8]);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut mem = DeviceMemory::new(64); // 8 words
+        assert!(mem.alloc(8).is_ok());
+        let e = mem.alloc(1);
+        assert!(matches!(e, Err(SimError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn free_allows_reuse_and_coalesces() {
+        let mut mem = DeviceMemory::new(64); // 8 words
+        let a = mem.alloc(3).unwrap();
+        let b = mem.alloc(3).unwrap();
+        let c = mem.alloc(2).unwrap();
+        assert_eq!(mem.in_use_bytes(), 64);
+        mem.free(a).unwrap();
+        mem.free(b).unwrap(); // coalesces with a's region
+        let big = mem.alloc(6).unwrap();
+        assert_eq!(big.offset, 0);
+        mem.free(c).unwrap();
+        mem.free(big).unwrap();
+        assert_eq!(mem.in_use_bytes(), 0);
+        // Everything coalesced back into one region.
+        let whole = mem.alloc(8).unwrap();
+        assert_eq!(whole.offset, 0);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut mem = DeviceMemory::new(1 << 10);
+        let a = mem.alloc(16).unwrap();
+        let b = mem.alloc(16).unwrap();
+        mem.free(a).unwrap();
+        mem.free(b).unwrap();
+        assert_eq!(mem.peak_bytes(), 32 * 8);
+        assert_eq!(mem.in_use_bytes(), 0);
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut mem = DeviceMemory::new(1 << 10);
+        let a = mem.alloc(4).unwrap();
+        mem.free(a).unwrap();
+        assert_eq!(mem.free(a), Err(SimError::InvalidBuffer));
+    }
+
+    #[test]
+    fn copy_length_mismatch_rejected() {
+        let mut mem = DeviceMemory::new(1 << 10);
+        let a = mem.alloc(4).unwrap();
+        assert!(matches!(
+            mem.copy_in(a, &[1.0; 3]),
+            Err(SimError::CopyLengthMismatch { buffer: 4, host: 3 })
+        ));
+        let mut out = vec![0.0; 5];
+        assert!(mem.copy_out(a, &mut out).is_err());
+    }
+
+    #[test]
+    fn zero_length_alloc_is_fine() {
+        let mut mem = DeviceMemory::new(64);
+        let z = mem.alloc(0).unwrap();
+        assert!(z.is_empty());
+        assert!(mem.free(z).is_ok());
+    }
+
+    #[test]
+    fn slice_carves_subbuffer() {
+        let mut mem = DeviceMemory::new(1 << 10);
+        let a = mem.alloc(10).unwrap();
+        mem.copy_in(a, &(0..10).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
+        let s = a.slice(4, 3);
+        let mut out = vec![0.0; 3];
+        mem.copy_out(s, &mut out).unwrap();
+        assert_eq!(out, vec![4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_bounds_checked() {
+        let mut mem = DeviceMemory::new(1 << 10);
+        let a = mem.alloc(4).unwrap();
+        let _ = a.slice(2, 3);
+    }
+}

@@ -1,0 +1,409 @@
+//! Analytic GPU performance model.
+//!
+//! Prices a kernel launch on modeled hardware from its declared
+//! [`KernelCost`](crate::kernel::KernelCost). The structure is a classic
+//! roofline-with-occupancy model (in the spirit of Hong & Kim, ISCA 2009):
+//!
+//! ```text
+//! t_launch_total = t_overhead + max(t_compute, t_dram, t_shared) + t_barrier
+//! t_compute      = flops / (peak_dp * occupancy * compute_efficiency)
+//! t_dram         = bytes / (peak_bw * coalescing)
+//! ```
+//!
+//! Occupancy captures the two effects that dominate the paper's setting:
+//!
+//! * **Warp-alignment waste** — a block of 100 threads still schedules as
+//!   4 warps (128 lanes).
+//! * **Latency hiding** — Fermi needs on the order of
+//!   [`GpuSpec::warps_for_peak`] resident warps per SM to cover the ~20-cycle
+//!   dependent-issue latency of double-precision chains. The paper's
+//!   thread-per-realization mapping launches only `S*R = 1792` threads
+//!   (= 4 warps/SM on a C2050), so it runs deeply latency-bound — this
+//!   single effect is why the measured speedup saturates near 4x rather
+//!   than the 100x a peak-vs-peak comparison would suggest.
+//!
+//! `compute_efficiency` is the one honesty knob: it folds in no-FMA
+//! instruction mix, serialization, and addressing overhead of real kernels.
+//! It is set per kernel by the implementation layer (`kpm-stream`), within
+//! the 0.1–0.5 range typical of unhand-tuned Fermi DP kernels, and is
+//! calibrated once against the paper's reported speedup band (DESIGN.md §5).
+
+use std::time::Duration;
+
+/// A span of *modeled* time, in seconds. Distinct from wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// Zero time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// From seconds.
+    pub fn from_secs(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "time must be finite and nonnegative");
+        SimTime(s)
+    }
+
+    /// From microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us * 1e-6)
+    }
+
+    /// As seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0
+    }
+
+    /// As a std `Duration` (saturating at zero).
+    pub fn as_duration(&self) -> Duration {
+        Duration::from_secs_f64(self.0.max(0.0))
+    }
+}
+
+impl std::ops::Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        SimTime(iter.map(|t| t.0).sum())
+    }
+}
+
+/// Hardware description of the simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Scalar cores per SM.
+    pub cores_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak double-precision rate in FLOP/s.
+    pub peak_dp_flops: f64,
+    /// Peak single-precision rate in FLOP/s (Fermi: 2x the DP rate).
+    pub peak_sp_flops: f64,
+    /// Peak global-memory bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+    /// Aggregate shared-memory bandwidth in bytes/s.
+    pub shared_bandwidth: f64,
+    /// One-time per-run overhead: context creation, module load, and
+    /// device allocations. Dominates short runs (the paper's Fig. 7 shows
+    /// the speedup climbing with `N` as exactly this cost amortizes).
+    pub setup_overhead: SimTime,
+    /// Kernel launch overhead (driver + dispatch).
+    pub launch_overhead: SimTime,
+    /// Per-barrier latency, in seconds, per executed barrier wave.
+    pub barrier_latency: f64,
+    /// Host<->device transfer bandwidth in bytes/s (effective PCIe).
+    pub pcie_bandwidth: f64,
+    /// Host<->device transfer setup latency.
+    pub pcie_latency: SimTime,
+    /// Global memory capacity in bytes.
+    pub global_mem_bytes: usize,
+    /// Unified L2 cache size in bytes (drives read-broadcast reuse
+    /// estimates in kernel cost functions).
+    pub l2_bytes: usize,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: usize,
+    /// Warp width.
+    pub warp_size: usize,
+    /// Maximum threads per block accepted by a launch.
+    pub max_threads_per_block: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Resident warps per SM needed to reach peak issue rate for
+    /// dependent-chain double-precision code.
+    pub warps_for_peak: f64,
+}
+
+impl GpuSpec {
+    /// The NVIDIA Tesla C2050 (Fermi GF100) the paper used: 14 SMs x 32
+    /// cores at 1.15 GHz, 515 GFLOP/s DP, 144 GB/s GDDR5, 3 GB global
+    /// memory, 48 KB shared/SM (the paper's stated configuration), PCIe
+    /// 2.0 x16.
+    pub fn tesla_c2050() -> Self {
+        Self {
+            name: "Tesla C2050 (simulated)",
+            num_sms: 14,
+            cores_per_sm: 32,
+            clock_ghz: 1.15,
+            peak_dp_flops: 515e9,
+            peak_sp_flops: 1030e9,
+            mem_bandwidth: 144e9,
+            shared_bandwidth: 1.0e12,
+            setup_overhead: SimTime::from_secs(0.1),
+            launch_overhead: SimTime::from_micros(5.0),
+            barrier_latency: 40e-9,
+            pcie_bandwidth: 4.0e9,
+            pcie_latency: SimTime::from_micros(10.0),
+            global_mem_bytes: 3 * 1024 * 1024 * 1024,
+            l2_bytes: 768 * 1024,
+            shared_mem_per_sm: 48 * 1024,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            warps_for_peak: 18.0,
+        }
+    }
+
+    /// An Ampere A100-class device (2020): 108 SMs, 9.7 TFLOP/s DP,
+    /// 1.55 TB/s HBM2, 40 GB, PCIe 4.0. Used by the forward-looking
+    /// ablation: a decade of hardware makes the paper's
+    /// thread-per-realization mapping *relatively worse* (the latency wall
+    /// grows with machine width), which is why modern KPM codes use
+    /// block-level parallelism.
+    pub fn ampere_a100() -> Self {
+        Self {
+            name: "A100-class (simulated)",
+            num_sms: 108,
+            cores_per_sm: 64,
+            clock_ghz: 1.41,
+            peak_dp_flops: 9.7e12,
+            peak_sp_flops: 19.5e12,
+            mem_bandwidth: 1.555e12,
+            shared_bandwidth: 1.0e13,
+            setup_overhead: SimTime::from_secs(0.1),
+            launch_overhead: SimTime::from_micros(3.0),
+            barrier_latency: 20e-9,
+            pcie_bandwidth: 20.0e9,
+            pcie_latency: SimTime::from_micros(5.0),
+            global_mem_bytes: 40 * 1024 * 1024 * 1024,
+            l2_bytes: 40 * 1024 * 1024,
+            shared_mem_per_sm: 164 * 1024,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            warps_for_peak: 24.0,
+        }
+    }
+
+    /// A small "laptop-class" device preset for tests: 2 SMs, slow clock.
+    /// Keeps unit tests independent of the C2050 calibration.
+    pub fn test_gpu() -> Self {
+        Self {
+            name: "TestGPU",
+            num_sms: 2,
+            cores_per_sm: 8,
+            clock_ghz: 1.0,
+            peak_dp_flops: 16e9,
+            peak_sp_flops: 32e9,
+            mem_bandwidth: 10e9,
+            shared_bandwidth: 100e9,
+            setup_overhead: SimTime::from_micros(100.0),
+            launch_overhead: SimTime::from_micros(1.0),
+            barrier_latency: 40e-9,
+            pcie_bandwidth: 1e9,
+            pcie_latency: SimTime::from_micros(1.0),
+            global_mem_bytes: 64 * 1024 * 1024,
+            l2_bytes: 256 * 1024,
+            shared_mem_per_sm: 16 * 1024,
+            warp_size: 32,
+            max_threads_per_block: 512,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            warps_for_peak: 8.0,
+        }
+    }
+
+    /// Fraction of peak issue rate achievable with the given launch shape:
+    /// `warp_alignment * latency_hiding * sm_coverage` in `(0, 1]`.
+    pub fn occupancy(&self, num_blocks: usize, threads_per_block: usize) -> f64 {
+        if num_blocks == 0 || threads_per_block == 0 {
+            return 1.0;
+        }
+        let warps_per_block = threads_per_block.div_ceil(self.warp_size);
+        // Lanes wasted by a partially filled final warp.
+        let warp_alignment =
+            threads_per_block as f64 / (warps_per_block * self.warp_size) as f64;
+        // How many blocks can be resident on one SM at once.
+        let resident_blocks = (self.max_threads_per_sm / (warps_per_block * self.warp_size))
+            .clamp(1, self.max_blocks_per_sm);
+        // Resident warps on an *active* SM drive latency hiding; SMs left
+        // without any block are handled by the separate coverage factor
+        // (averaging over all SMs here would double-count small grids).
+        // Within the active SMs, blocks spread evenly on average.
+        let active_sms = self.num_sms.min(num_blocks);
+        let avg_blocks_per_active_sm =
+            (num_blocks as f64 / active_sms as f64).min(resident_blocks as f64);
+        let warps_per_sm = avg_blocks_per_active_sm * warps_per_block as f64;
+        let latency_hiding = (warps_per_sm / self.warps_for_peak).min(1.0);
+        // SMs left idle when the grid is smaller than the machine.
+        let sm_coverage = (num_blocks as f64 / self.num_sms as f64).min(1.0);
+        (warp_alignment * latency_hiding * sm_coverage).clamp(1e-6, 1.0)
+    }
+
+    /// Models the time of one kernel launch.
+    ///
+    /// `cost` is the launch-wide declared cost; `compute_efficiency` is the
+    /// per-kernel knob described in the module docs.
+    pub fn kernel_time(
+        &self,
+        cost: &crate::kernel::KernelCost,
+        num_blocks: usize,
+        threads_per_block: usize,
+        compute_efficiency: f64,
+    ) -> SimTime {
+        assert!(
+            compute_efficiency > 0.0 && compute_efficiency <= 1.0,
+            "compute efficiency must be in (0, 1]"
+        );
+        let occ = self.occupancy(num_blocks, threads_per_block);
+        let peak = if cost.single_precision { self.peak_sp_flops } else { self.peak_dp_flops };
+        let t_compute = cost.flops as f64 / (peak * occ * compute_efficiency);
+        let bytes = (cost.global_read_bytes + cost.global_write_bytes) as f64;
+        let t_dram = bytes / (self.mem_bandwidth * cost.coalescing);
+        let t_shared = cost.shared_accesses as f64 * 8.0 / self.shared_bandwidth;
+        // Barriers execute once per block; blocks run in waves.
+        let warps_per_block = threads_per_block.div_ceil(self.warp_size).max(1);
+        let resident_blocks = (self.max_threads_per_sm / (warps_per_block * self.warp_size))
+            .clamp(1, self.max_blocks_per_sm);
+        let waves = num_blocks.div_ceil(resident_blocks * self.num_sms).max(1);
+        let t_barrier = cost.barriers as f64 * waves as f64 * self.barrier_latency;
+        self.launch_overhead
+            + SimTime::from_secs(t_compute.max(t_dram).max(t_shared) + t_barrier)
+    }
+
+    /// Models a host<->device transfer of `bytes`.
+    pub fn transfer_time(&self, bytes: usize) -> SimTime {
+        self.pcie_latency + SimTime::from_secs(bytes as f64 / self.pcie_bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelCost;
+
+    #[test]
+    fn simtime_arithmetic() {
+        let a = SimTime::from_secs(1.5);
+        let b = SimTime::from_micros(500_000.0);
+        assert!(((a + b).as_secs_f64() - 2.0).abs() < 1e-12);
+        let mut c = SimTime::ZERO;
+        c += a;
+        assert_eq!(c, a);
+        let s: SimTime = vec![a, b].into_iter().sum();
+        assert!((s.as_secs_f64() - 2.0).abs() < 1e-12);
+        assert_eq!(SimTime::from_secs(2.0).as_duration(), Duration::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and nonnegative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    fn c2050_spec_matches_published_numbers() {
+        let g = GpuSpec::tesla_c2050();
+        assert_eq!(g.num_sms, 14);
+        assert_eq!(g.num_sms * g.cores_per_sm, 448);
+        assert_eq!(g.peak_dp_flops, 515e9);
+        assert_eq!(g.global_mem_bytes, 3 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn occupancy_full_machine_is_one() {
+        let g = GpuSpec::tesla_c2050();
+        // Huge launch with warp-aligned blocks: no penalty.
+        let occ = g.occupancy(10_000, 256);
+        assert!((occ - 1.0).abs() < 1e-12, "occ = {occ}");
+    }
+
+    #[test]
+    fn occupancy_penalizes_small_launches() {
+        let g = GpuSpec::tesla_c2050();
+        // The paper's setting: 1792 threads in blocks of 128 = 14 blocks.
+        let small = g.occupancy(14, 128);
+        let big = g.occupancy(1400, 128);
+        assert!(small < big, "small launch must be latency-bound: {small} vs {big}");
+        // 4 warps per SM out of 18 needed.
+        assert!((small - 4.0 / 18.0).abs() < 1e-9, "small = {small}");
+    }
+
+    #[test]
+    fn occupancy_penalizes_misaligned_blocks() {
+        let g = GpuSpec::tesla_c2050();
+        let aligned = g.occupancy(1000, 128);
+        let misaligned = g.occupancy(1000, 100); // 4 warps, 28 idle lanes
+        assert!(misaligned < aligned);
+        assert!((misaligned / aligned - 100.0 / 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_penalizes_undersized_grids() {
+        let g = GpuSpec::tesla_c2050();
+        let one_block = g.occupancy(1, 256);
+        let full = g.occupancy(14, 256);
+        assert!(one_block < full / 10.0, "one block must leave 13/14 SMs idle");
+    }
+
+    #[test]
+    fn kernel_time_compute_bound_scales_with_flops() {
+        let g = GpuSpec::test_gpu();
+        let c1 = KernelCost::new().flops(16_000_000_000);
+        let c2 = KernelCost::new().flops(32_000_000_000);
+        let t1 = g.kernel_time(&c1, 1000, 256, 1.0).as_secs_f64();
+        let t2 = g.kernel_time(&c2, 1000, 256, 1.0).as_secs_f64();
+        // Compute-bound: doubling flops ~doubles time (overhead amortized).
+        assert!((t2 / t1 - 2.0).abs() < 0.01, "{t1} {t2}");
+        // Peak rate: 16 GFLOP in ~1 s at 16 GFLOP/s (full occupancy).
+        assert!((t1 - 1.0).abs() < 0.01, "{t1}");
+    }
+
+    #[test]
+    fn kernel_time_memory_bound_uses_bandwidth_and_coalescing() {
+        let g = GpuSpec::test_gpu();
+        let c = KernelCost::new().global_read(10_000_000_000).coalescing(0.5);
+        let t = g.kernel_time(&c, 1000, 256, 1.0).as_secs_f64();
+        // 10 GB at 10 GB/s * 0.5 = 2 s.
+        assert!((t - 2.0).abs() < 0.01, "{t}");
+    }
+
+    #[test]
+    fn kernel_time_roofline_takes_max_not_sum() {
+        let g = GpuSpec::test_gpu();
+        let c = KernelCost::new().flops(16_000_000_000).global_read(10_000_000_000);
+        let t = g.kernel_time(&c, 1000, 256, 1.0).as_secs_f64();
+        // compute 1 s, memory 1 s: overlapped, so ~1 s not ~2 s.
+        assert!(t < 1.1, "roofline must overlap compute and memory: {t}");
+    }
+
+    #[test]
+    fn launch_overhead_dominates_empty_kernels() {
+        let g = GpuSpec::tesla_c2050();
+        let t = g.kernel_time(&KernelCost::new(), 1, 32, 1.0);
+        assert!((t.as_secs_f64() - 5e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_latency_plus_bandwidth() {
+        let g = GpuSpec::test_gpu();
+        // 1 GB at 1 GB/s + 1 us latency.
+        let t = g.transfer_time(1_000_000_000).as_secs_f64();
+        assert!((t - 1.000001).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "compute efficiency")]
+    fn efficiency_validated() {
+        let g = GpuSpec::test_gpu();
+        let _ = g.kernel_time(&KernelCost::new(), 1, 32, 0.0);
+    }
+}

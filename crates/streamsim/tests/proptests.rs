@@ -1,0 +1,119 @@
+//! Property-based tests for the device simulator.
+
+use kpm_streamsim::kernel::{BlockKernel, BlockScope, KernelCost};
+use kpm_streamsim::{Device, Dim3, GpuSpec, LaunchDims};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn allocator_never_overlaps_live_buffers(
+        sizes in proptest::collection::vec(1usize..200, 1..20),
+        free_mask in proptest::collection::vec(any::<bool>(), 20),
+    ) {
+        let mut dev = Device::new(GpuSpec::test_gpu());
+        let mut live = Vec::new();
+        for (i, &len) in sizes.iter().enumerate() {
+            if let Ok(buf) = dev.alloc(len) {
+                live.push(buf);
+                if free_mask[i % free_mask.len()] && live.len() > 1 {
+                    let victim = live.remove(live.len() / 2);
+                    dev.free(victim).unwrap();
+                }
+            }
+        }
+        // Write a distinct constant through each live buffer, then verify
+        // none clobbered another.
+        for (k, buf) in live.iter().enumerate() {
+            dev.copy_to_device(&vec![k as f64 + 1.0; buf.len()], *buf).unwrap();
+        }
+        for (k, buf) in live.iter().enumerate() {
+            let mut out = vec![0.0; buf.len()];
+            dev.peek(*buf, &mut out).unwrap();
+            prop_assert!(out.iter().all(|&v| v == k as f64 + 1.0),
+                "buffer {} corrupted", k);
+        }
+        // Free everything: in-use returns to zero.
+        for buf in live {
+            dev.free(buf).unwrap();
+        }
+        prop_assert_eq!(dev.mem_in_use(), 0);
+    }
+
+    #[test]
+    fn occupancy_is_in_unit_range_and_warp_aligned_is_optimal(
+        blocks in 1usize..2000,
+        warps in 1usize..8,
+    ) {
+        let g = GpuSpec::tesla_c2050();
+        let aligned = warps * 32;
+        let occ = g.occupancy(blocks, aligned);
+        prop_assert!(occ > 0.0 && occ <= 1.0);
+        // A misaligned block with the same warp count never beats it.
+        let misaligned = aligned - 7;
+        if misaligned > 0 {
+            prop_assert!(g.occupancy(blocks, misaligned) <= occ + 1e-12);
+        }
+    }
+
+    #[test]
+    fn kernel_time_is_monotone_in_cost(
+        flops in 0u64..10_000_000_000,
+        bytes in 0u64..10_000_000_000,
+        blocks in 1usize..500,
+    ) {
+        let g = GpuSpec::tesla_c2050();
+        let base = KernelCost::new().flops(flops).global_read(bytes);
+        let more_flops = KernelCost::new().flops(flops * 2 + 1).global_read(bytes);
+        let more_bytes = KernelCost::new().flops(flops).global_read(bytes * 2 + 8);
+        let t0 = g.kernel_time(&base, blocks, 128, 0.2).as_secs_f64();
+        prop_assert!(g.kernel_time(&more_flops, blocks, 128, 0.2).as_secs_f64() >= t0);
+        prop_assert!(g.kernel_time(&more_bytes, blocks, 128, 0.2).as_secs_f64() >= t0);
+    }
+
+    #[test]
+    fn transfer_time_is_affine_in_bytes(a in 1usize..1_000_000, b in 1usize..1_000_000) {
+        let g = GpuSpec::test_gpu();
+        let ta = g.transfer_time(a).as_secs_f64();
+        let tb = g.transfer_time(b).as_secs_f64();
+        let tab = g.transfer_time(a + b).as_secs_f64();
+        // t(a + b) = t(a) + t(b) - latency (one latency saved by batching).
+        let lat = g.pcie_latency.as_secs_f64();
+        prop_assert!((tab - (ta + tb - lat)).abs() < 1e-12);
+    }
+}
+
+/// A kernel whose blocks each write their own slot; used to check that
+/// every block of every grid shape executes exactly once.
+struct BlockStamp {
+    out: kpm_streamsim::GlobalBuffer,
+}
+
+impl BlockKernel for BlockStamp {
+    fn name(&self) -> &'static str {
+        "block_stamp"
+    }
+    fn execute(&self, scope: &mut BlockScope<'_>) {
+        let id = scope.block_id();
+        scope.global(self.out).store(id, id as f64 + 1.0);
+    }
+    fn cost(&self, dims: &LaunchDims) -> KernelCost {
+        KernelCost::new().global_write(8 * dims.num_blocks() as u64)
+    }
+}
+
+proptest! {
+    #[test]
+    fn every_block_executes_once(
+        gx in 1usize..12, gy in 1usize..5, gz in 1usize..4,
+    ) {
+        let mut dev = Device::new(GpuSpec::test_gpu());
+        let n = gx * gy * gz;
+        let out = dev.alloc(n).unwrap();
+        dev.launch(&BlockStamp { out }, Dim3::xyz(gx, gy, gz), Dim3::x(4)).unwrap();
+        let mut res = vec![0.0; n];
+        dev.peek(out, &mut res).unwrap();
+        for (i, &v) in res.iter().enumerate() {
+            prop_assert_eq!(v, i as f64 + 1.0, "block {} missing", i);
+        }
+    }
+}

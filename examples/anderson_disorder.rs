@@ -1,0 +1,65 @@
+//! Anderson disorder on the cubic lattice: how the DoS evolves with
+//! disorder strength `W` — the standard condensed-matter application the
+//! paper's introduction motivates (KPM handles disordered systems that
+//! exact diagonalization cannot reach).
+//!
+//! Also demonstrates the local DoS: at strong disorder, different sites
+//! develop very different spectral weight (the precursor to Anderson
+//! localization).
+//!
+//! ```text
+//! cargo run --release --example anderson_disorder
+//! ```
+
+use kpm_suite::kpm::ldos::local_dos;
+use kpm_suite::kpm::prelude::*;
+use kpm_suite::lattice::{Boundary, HypercubicLattice, OnSite, TightBinding};
+
+fn main() {
+    let lattice = HypercubicLattice::cubic(8, 8, 8, Boundary::Periodic);
+    println!("8x8x8 cubic lattice, D = {}\n", lattice.num_sites());
+
+    for &w in &[0.0f64, 4.0, 12.0] {
+        let tb = TightBinding::new(
+            lattice.clone(),
+            1.0,
+            if w == 0.0 {
+                OnSite::Uniform(0.0)
+            } else {
+                OnSite::Disorder { width: w, seed: 11 }
+            },
+        );
+        let h = tb.build_csr();
+        let params = KpmParams::new(256).with_random_vectors(8, 4).with_seed(3);
+        let dos = DosEstimator::new(params.clone()).compute(&h).expect("KPM");
+
+        // Band width: clean band is [-6, 6]; disorder pushes Lifshitz
+        // tails out to +-(6 + W/2).
+        let weight_outside_clean_band =
+            dos.integrate() - dos.integrate_range(-6.0, 6.0);
+        println!("W = {w:>4.1}:");
+        println!("  band support     : [{:.2}, {:.2}]", dos.energies[0], dos.energies.last().unwrap());
+        println!("  weight outside [-6, 6]: {weight_outside_clean_band:.4}");
+        println!("  peak rho         : {:.4} at E = {:.2}", {
+            let m = dos.rho.iter().cloned().fold(0.0f64, f64::max);
+            m
+        }, dos.peak_energy());
+
+        // LDoS spread across sites at the band centre: a proxy for how
+        // inhomogeneous the system has become.
+        let mut values = Vec::new();
+        for site in [0usize, 111, 333] {
+            let ldos = local_dos(&h, site, &params).expect("LDoS");
+            values.push(ldos.value_at(0.0).unwrap_or(0.0));
+        }
+        let spread = values.iter().cloned().fold(0.0f64, f64::max)
+            - values.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!("  LDoS(E=0) at 3 sites: {values:.3?}  (spread {spread:.3})\n");
+    }
+
+    println!(
+        "Disorder broadens the band, washes out the van Hove structure and\n\
+         makes the local DoS site-dependent — all with O(N D) work per\n\
+         disorder realization, which is exactly why the paper wants KPM fast."
+    );
+}

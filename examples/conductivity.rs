@@ -1,0 +1,61 @@
+//! Kubo–Greenwood conductivity of a disordered chain by 2D KPM — the
+//! `O(N^2 D)` workload that modern KPM codes (KITE et al.) exist to
+//! accelerate, built on this crate's double-moment engine.
+//!
+//! ```text
+//! cargo run --release --example conductivity
+//! ```
+
+use kpm_suite::kpm::kubo::{conductivity, double_moments, velocity_operator};
+use kpm_suite::kpm::prelude::*;
+use kpm_suite::kpm::rescale::Boundable;
+use kpm_suite::lattice::{Boundary, HypercubicLattice, OnSite, TightBinding};
+use kpm_suite::linalg::op::RescaledOp;
+
+fn main() {
+    let l = 256;
+    let positions: Vec<f64> = (0..l).map(|i| i as f64).collect();
+    println!("Kubo-Greenwood sigma(E) on a {l}-site chain, N = 32 double moments\n");
+    println!("{:>6} {:>12} {:>12} {:>12}", "E", "W=0", "W=2", "W=6");
+
+    let mut curves = Vec::new();
+    for &w_dis in &[0.0f64, 2.0, 6.0] {
+        let onsite = if w_dis == 0.0 {
+            OnSite::Uniform(0.0)
+        } else {
+            OnSite::Disorder { width: w_dis, seed: 5 }
+        };
+        let h = TightBinding::new(HypercubicLattice::chain(l, Boundary::Periodic), 1.0, onsite)
+            .build_csr();
+        let bounds = h.spectral_bounds(BoundsMethod::Gershgorin).unwrap().padded(0.01);
+        let hs = RescaledOp::new(&h, bounds.a_plus(), bounds.a_minus());
+        let v = velocity_operator(&h, &positions, Some(l as f64));
+
+        let params = KpmParams::new(32).with_random_vectors(8, 4).with_seed(13);
+        let start = std::time::Instant::now();
+        let mu = double_moments(&hs, &v, &params).expect("double moments");
+        let elapsed = start.elapsed();
+
+        let xs: Vec<f64> = (-9..=9).map(|i| i as f64 * 0.1).collect();
+        let sigma = conductivity(&mu, KernelType::Jackson, &xs);
+        eprintln!("(W = {w_dis}: {} double moments in {elapsed:.2?})", 32 * 32);
+        curves.push((xs, sigma));
+    }
+
+    let (xs, _) = &curves[0];
+    for (i, &x) in xs.iter().enumerate() {
+        // Rescaled x maps near-linearly to energy here (band ~ [-2, 2]).
+        println!(
+            "{:>6.2} {:>12.4} {:>12.4} {:>12.4}",
+            x * 2.0,
+            curves[0].1[i],
+            curves[1].1[i],
+            curves[2].1[i]
+        );
+    }
+    println!(
+        "\nsigma is largest in the clean chain and shrinks with disorder at\n\
+         every energy — Anderson localization seen through transport. Each\n\
+         column costs O(N^2 D) per random vector; the DoS costs O(N D)."
+    );
+}

@@ -1,0 +1,72 @@
+//! Quantum dynamics with the Chebyshev propagator: a wavepacket spreading
+//! ballistically on a clean chain versus freezing on a strongly disordered
+//! one (Anderson localization in the time domain).
+//!
+//! Same Chebyshev recursion as the DoS, same Hamiltonians — this is the
+//! "various quantum states" simulation the paper's conclusion envisions
+//! accelerating.
+//!
+//! ```text
+//! cargo run --release --example wavepacket
+//! ```
+
+use kpm_suite::kpm::propagate::{ComplexState, Propagator};
+use kpm_suite::kpm::rescale::Boundable;
+use kpm_suite::lattice::{Boundary, HypercubicLattice, OnSite, TightBinding};
+
+/// Root-mean-square spread of a density profile around its centre.
+fn rms_spread(density: &[f64]) -> f64 {
+    let total: f64 = density.iter().sum();
+    let mean: f64 =
+        density.iter().enumerate().map(|(i, &p)| i as f64 * p).sum::<f64>() / total;
+    let var: f64 = density
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (i as f64 - mean).powi(2) * p)
+        .sum::<f64>()
+        / total;
+    var.sqrt()
+}
+
+fn main() {
+    let l = 400;
+    for &(label, w) in &[("clean chain      ", 0.0), ("disordered (W = 6)", 6.0)] {
+        let tb = TightBinding::new(
+            HypercubicLattice::chain(l, Boundary::Periodic),
+            1.0,
+            if w == 0.0 { OnSite::Uniform(0.0) } else { OnSite::Disorder { width: w, seed: 4 } },
+        );
+        let h = tb.build_csr();
+        let bounds = h
+            .spectral_bounds(kpm_suite::kpm::BoundsMethod::Gershgorin)
+            .expect("bounds");
+        let prop = Propagator::new(&h, bounds, 1e-10).expect("propagator");
+
+        // Start on the central site.
+        let mut re = vec![0.0; l];
+        re[l / 2] = 1.0;
+        let mut psi = ComplexState::from_real(re);
+
+        println!("{label}:");
+        println!("    t    spread   norm");
+        let dt = 10.0;
+        for step in 0..=5 {
+            let density = psi.density();
+            println!(
+                "  {:>5.0}  {:>7.2}  {:.6}",
+                step as f64 * dt,
+                rms_spread(&density),
+                psi.norm_sqr()
+            );
+            if step < 5 {
+                psi = prop.evolve(&psi, dt);
+            }
+        }
+        println!();
+    }
+    println!(
+        "The clean packet spreads ballistically (spread ~ 2t per unit time,\n\
+         the chain's maximum group velocity); strong disorder pins it at a\n\
+         finite localization length while the norm stays conserved to 1e-6."
+    );
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the KPM reproduction suite.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency. See the README for the architecture overview.
+
+pub use kpm;
+pub use kpm_lattice as lattice;
+pub use kpm_linalg as linalg;
+pub use kpm_stream as stream;
+pub use kpm_streamsim as streamsim;

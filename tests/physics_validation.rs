@@ -1,0 +1,159 @@
+//! Cross-crate physics validation: the extension modules (thermal,
+//! spectral, dynamics, conductivity) must agree with each other and with
+//! analytic results when run through the full lattice → KPM pipeline.
+
+use kpm_suite::kpm::prelude::*;
+use kpm_suite::kpm::propagate::{ComplexState, Propagator};
+use kpm_suite::kpm::rescale::Boundable;
+use kpm_suite::kpm::{spectral, thermal};
+use kpm_suite::lattice::{Boundary, HoneycombLattice, HypercubicLattice, OnSite, TightBinding};
+use kpm_suite::stream::DevicePropagator;
+use kpm_suite::streamsim::GpuSpec;
+
+/// Half filling of any particle-hole-symmetric lattice sits at mu = 0.
+#[test]
+fn half_filling_at_zero_mu_for_symmetric_lattices() {
+    let cubic = TightBinding::new(
+        HypercubicLattice::cubic(6, 6, 6, Boundary::Periodic),
+        1.0,
+        OnSite::Uniform(0.0),
+    )
+    .build_csr();
+    let honeycomb = HoneycombLattice::new(8, 8, Boundary::Periodic).hamiltonian(1.0);
+    for (name, h) in [("cubic", cubic), ("honeycomb", honeycomb)] {
+        let params = KpmParams::new(128).with_random_vectors(8, 4).with_seed(1);
+        let dos = DosEstimator::new(params).compute(&h).unwrap();
+        // Filling at mu = 0 is exactly 1/2 by symmetry; this is the
+        // well-conditioned statement (inverting to mu is ill-conditioned
+        // at graphene's Dirac point, where the filling curve is flat).
+        let n0 = thermal::filling(&dos, 0.0, 0.1);
+        assert!((n0 - 0.5).abs() < 0.01, "{name}: n(mu=0) = {n0}");
+    }
+    // On the cubic lattice (finite DoS at E = 0) the inversion is sharp.
+    let cubic2 = TightBinding::new(
+        HypercubicLattice::cubic(6, 6, 6, Boundary::Periodic),
+        1.0,
+        OnSite::Uniform(0.0),
+    )
+    .build_csr();
+    let params = KpmParams::new(128).with_random_vectors(8, 4).with_seed(1);
+    let dos = DosEstimator::new(params).compute(&cubic2).unwrap();
+    let mu = thermal::chemical_potential(&dos, 0.5, 0.1).unwrap();
+    assert!(mu.abs() < 0.1, "cubic: mu = {mu}");
+}
+
+/// Next-nearest hopping shifts the half-filling chemical potential away
+/// from zero (particle-hole symmetry broken), in the direction the band
+/// asymmetry dictates.
+#[test]
+fn asymmetric_band_moves_chemical_potential() {
+    let h = TightBinding::new(
+        HypercubicLattice::chain(256, Boundary::Periodic),
+        1.0,
+        OnSite::Uniform(0.0),
+    )
+    .with_next_nearest(0.4)
+    .build_csr();
+    let params = KpmParams::new(256).with_random_vectors(8, 4).with_seed(2);
+    let dos = DosEstimator::new(params).compute(&h).unwrap();
+    let mu = thermal::chemical_potential(&dos, 0.5, 0.02).unwrap();
+    // E_k = -2 cos k - 0.8 cos 2k: the median of the band moves off zero.
+    assert!(mu.abs() > 0.05, "t' must shift mu, got {mu}");
+}
+
+/// Spectral-function peaks and the DoS must describe the same band: the
+/// DoS-weighted mean energy equals the k-average of the A(k, omega) peaks.
+#[test]
+fn spectral_peaks_consistent_with_dos() {
+    let l = 64;
+    let h = TightBinding::new(
+        HypercubicLattice::chain(l, Boundary::Periodic),
+        1.0,
+        OnSite::Uniform(0.0),
+    )
+    .build_csr();
+    let params = KpmParams::new(128).with_grid_points(512);
+    // All momenta: peaks sample E(k) over the Brillouin zone.
+    let ks: Vec<usize> = (0..l).collect();
+    let spectra = spectral::chain_spectral_function(&h, l, &ks, &params).unwrap();
+    let mean_peak: f64 = spectra.iter().map(|s| s.peak()).sum::<f64>() / l as f64;
+    // Band average of E(k) = -2 cos k over the BZ is 0.
+    assert!(mean_peak.abs() < 0.05, "mean quasiparticle energy {mean_peak}");
+}
+
+/// Time evolution and the spectrum agree: the survival amplitude
+/// `<psi(0)|psi(t)>` of a site state equals the Fourier transform of its
+/// LDoS; at short times `1 - |<psi|psi(t)>|^2 ~ (Delta E)^2 t^2` with
+/// `(Delta E)^2` the LDoS variance.
+#[test]
+fn short_time_decay_matches_ldos_variance() {
+    let l = 128;
+    let h = TightBinding::new(
+        HypercubicLattice::chain(l, Boundary::Periodic),
+        1.0,
+        OnSite::Uniform(0.0),
+    )
+    .build_csr();
+    // LDoS variance of a site state on the chain: <E^2> = 2 t^2 = 2.
+    let bounds = h.spectral_bounds(BoundsMethod::Gershgorin).unwrap();
+    let prop = Propagator::new(&h, bounds, 1e-12).unwrap();
+    let mut re = vec![0.0; l];
+    re[0] = 1.0;
+    let psi0 = ComplexState::from_real(re);
+    let dt = 0.05;
+    let psi_t = prop.evolve(&psi0, dt);
+    let (ov_re, ov_im) = psi0.overlap(&psi_t);
+    let survival = ov_re * ov_re + ov_im * ov_im;
+    let expect = 1.0 - 2.0 * dt * dt; // 1 - <E^2> t^2 with <E^2> = 2
+    assert!(
+        (survival - expect).abs() < 5e-4,
+        "survival {survival} vs short-time expansion {expect}"
+    );
+}
+
+/// The device propagator reproduces host dynamics on a 2D disordered
+/// lattice (not just the chains its unit tests use).
+#[test]
+fn device_propagator_matches_host_on_2d_disorder() {
+    let h = TightBinding::new(
+        HypercubicLattice::square(8, 8, Boundary::Periodic),
+        1.0,
+        OnSite::Disorder { width: 2.0, seed: 12 },
+    )
+    .build_csr();
+    let mut re = vec![0.0; 64];
+    re[27] = 1.0;
+    let psi = ComplexState::from_real(re);
+    let t = 2.4;
+
+    let bounds = h.spectral_bounds(BoundsMethod::Gershgorin).unwrap();
+    let host = Propagator::new(&h, bounds, 1e-12).unwrap().evolve(&psi, t);
+    let device = DevicePropagator::new(GpuSpec::tesla_c2050(), &h, 1e-12)
+        .unwrap()
+        .evolve(&psi, t)
+        .unwrap();
+    for i in 0..64 {
+        assert!(
+            (host.re[i] - device.re[i]).abs() < 1e-9
+                && (host.im[i] - device.im[i]).abs() < 1e-9,
+            "site {i}"
+        );
+    }
+}
+
+/// Graphene's DoS vanishes at the Dirac point and integrates to one —
+/// through the full honeycomb pipeline at a size exact diagonalization
+/// could not validate directly.
+#[test]
+fn graphene_dirac_point_through_full_pipeline() {
+    let h = HoneycombLattice::new(48, 48, Boundary::Periodic).hamiltonian(1.0);
+    let params = KpmParams::new(256).with_random_vectors(8, 2).with_seed(3);
+    let dos = DosEstimator::new(params).compute(&h).unwrap();
+    assert!((dos.integrate() - 1.0).abs() < 0.02);
+    let dirac = dos.value_at(0.0).unwrap();
+    let van_hove = dos.value_at(1.0).unwrap();
+    assert!(dirac < 0.1 * van_hove, "Dirac {dirac} vs van Hove {van_hove}");
+    // Particle-hole symmetry of the bipartite lattice.
+    let lo = dos.integrate_range(dos.energies[0], 0.0);
+    assert!((lo - 0.5).abs() < 0.02, "weight below 0: {lo}");
+}
