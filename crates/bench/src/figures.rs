@@ -185,8 +185,7 @@ pub fn ablations() -> Vec<AblationRow> {
     // 1. Mapping: paper's thread-per-realization vs block-per-realization,
     //    on the Fig. 5 workload at N = 1024.
     let paper_engine = default_engine();
-    let block_engine =
-        StreamKpmEngine::new(gpu.clone()).with_mapping(Mapping::BlockPerRealization);
+    let block_engine = StreamKpmEngine::new(gpu.clone()).with_mapping(Mapping::BlockPerRealization);
     let shape_paper = paper_engine.shape_for(1000, 7000, false, 1024, PAPER_SR);
     let shape_block = block_engine.shape_for(1000, 7000, false, 1024, PAPER_SR);
     rows.push(AblationRow {
@@ -208,12 +207,8 @@ pub fn ablations() -> Vec<AblationRow> {
 
     // 3. Recursion: plain (paper) vs moment doubling, CPU model (matvec
     //    count N-1 -> ~N/2).
-    let plain = KpmWorkload {
-        dim: 1000,
-        stored_entries: 7000,
-        num_moments: 1024,
-        realizations: PAPER_SR,
-    };
+    let plain =
+        KpmWorkload { dim: 1000, stored_entries: 7000, num_moments: 1024, realizations: PAPER_SR };
     let halved = KpmWorkload { num_moments: 513, ..plain };
     rows.push(AblationRow {
         label: "recursion: plain (paper) -> moment doubling (CPU model)".into(),
@@ -241,10 +236,8 @@ pub fn ablations() -> Vec<AblationRow> {
     //    (Fermi SP = 2x DP rate, half the traffic). Kernel time only.
     let gpu_spec = gpu.clone();
     let dp_shape = paper_engine.shape_for(128, 128 * 128, true, 2048, PAPER_SR);
-    let sp_shape = kpm_stream::MomentLaunchShape {
-        precision: kpm_stream::Precision::Single,
-        ..dp_shape
-    };
+    let sp_shape =
+        kpm_stream::MomentLaunchShape { precision: kpm_stream::Precision::Single, ..dp_shape };
     rows.push(AblationRow {
         label: "precision: double (paper) -> single (Fig. 7 workload)".into(),
         baseline: gpu_spec
@@ -316,10 +309,8 @@ pub fn kernel_quality() -> Vec<(String, f64)> {
     kernels
         .iter()
         .map(|(name, k)| {
-            let params = KpmParams::new(128)
-                .with_random_vectors(8, 2)
-                .with_kernel(*k)
-                .with_grid_points(512);
+            let params =
+                KpmParams::new(128).with_random_vectors(8, 2).with_kernel(*k).with_grid_points(512);
             let dos = DosEstimator::new(params)
                 .compute_with_bounds(&op, SpectralBounds::new(-1.0, 1.0))
                 .expect("kernel quality run");
@@ -378,12 +369,7 @@ mod tests {
         // version" across H_SIZE.
         let rows = fig8(&FIG8_DS);
         for r in &rows {
-            assert!(
-                r.speedup() > 2.5 && r.speedup() < 7.0,
-                "D = {}: speedup {}",
-                r.x,
-                r.speedup()
-            );
+            assert!(r.speedup() > 2.5 && r.speedup() < 7.0, "D = {}: speedup {}", r.x, r.speedup());
         }
         // Execution times grow steeply with D on both sides.
         assert!(rows[3].cpu_s > 20.0 * rows[0].cpu_s);

@@ -78,12 +78,7 @@ impl Table {
 /// Renders an ASCII line plot of `series` (one or two curves over a shared
 /// x grid) of the given terminal size. Intended for quick visual checks of
 /// the Fig. 6 DoS curves.
-pub fn ascii_plot(
-    x: &[f64],
-    series: &[(&str, &[f64])],
-    width: usize,
-    height: usize,
-) -> String {
+pub fn ascii_plot(x: &[f64], series: &[(&str, &[f64])], width: usize, height: usize) -> String {
     assert!(width >= 16 && height >= 4, "plot too small");
     assert!(!x.is_empty() && !series.is_empty(), "nothing to plot");
     let (xmin, xmax) = (x[0], *x.last().expect("nonempty"));

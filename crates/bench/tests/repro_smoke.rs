@@ -19,10 +19,8 @@ fn model_figures_run_and_write_csv() {
         ("fig7", "fig7.csv", "N,cpu_s,gpu_s,speedup"),
         ("fig8", "fig8.csv", "H_SIZE,cpu_s,gpu_s,speedup"),
     ] {
-        let out = repro()
-            .args([cmd, "--out", dir.to_str().unwrap()])
-            .output()
-            .expect("spawn repro");
+        let out =
+            repro().args([cmd, "--out", dir.to_str().unwrap()]).output().expect("spawn repro");
         assert!(out.status.success(), "{cmd} failed: {}", String::from_utf8_lossy(&out.stderr));
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(stdout.contains("speedup"), "{cmd} table missing:\n{stdout}");
@@ -44,10 +42,8 @@ fn model_figures_run_and_write_csv() {
 fn ablations_run_and_report_all_comparisons() {
     let dir = std::env::temp_dir().join("kpm_repro_smoke_abl");
     let _ = std::fs::remove_dir_all(&dir);
-    let out = repro()
-        .args(["ablations", "--out", dir.to_str().unwrap()])
-        .output()
-        .expect("spawn repro");
+    let out =
+        repro().args(["ablations", "--out", dir.to_str().unwrap()]).output().expect("spawn repro");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     for needle in ["mapping", "layout", "recursion", "cluster", "precision", "streams", "jackson"] {

@@ -55,7 +55,24 @@ impl Args {
     /// # Errors
     /// [`ArgError`] on malformed input.
     pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let (args, positionals) = Self::parse_with_positionals(raw)?;
+        match positionals.into_iter().next() {
+            None => Ok(args),
+            Some(p) => Err(ArgError::UnexpectedPositional(p)),
+        }
+    }
+
+    /// Like [`Args::parse`], but collects bare (non `--key`) arguments
+    /// instead of rejecting them — for commands that take positionals, like
+    /// `kpm batch <jobs-file>`.
+    ///
+    /// # Errors
+    /// [`ArgError`] on malformed `--key` options.
+    pub fn parse_with_positionals<I: IntoIterator<Item = String>>(
+        raw: I,
+    ) -> Result<(Self, Vec<String>), ArgError> {
         let mut out = Args::default();
+        let mut positionals = Vec::new();
         let mut iter = raw.into_iter().peekable();
         while let Some(a) = iter.next() {
             if let Some(key) = a.strip_prefix("--") {
@@ -66,10 +83,10 @@ impl Args {
                     out.values.insert(key.to_string(), v);
                 }
             } else {
-                return Err(ArgError::UnexpectedPositional(a));
+                positionals.push(a);
             }
         }
-        Ok(out)
+        Ok((out, positionals))
     }
 
     /// Raw string value.
@@ -147,6 +164,14 @@ mod tests {
     #[test]
     fn positional_rejected() {
         assert!(matches!(parse(&["oops"]), Err(ArgError::UnexpectedPositional(_))));
+    }
+
+    #[test]
+    fn positionals_collected_when_requested() {
+        let raw = ["jobs.txt", "--workers", "2", "more"].iter().map(|s| s.to_string());
+        let (args, positionals) = Args::parse_with_positionals(raw).unwrap();
+        assert_eq!(positionals, vec!["jobs.txt".to_string(), "more".to_string()]);
+        assert_eq!(args.get("workers"), Some("2"));
     }
 
     #[test]

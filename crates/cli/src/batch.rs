@@ -1,0 +1,178 @@
+//! `kpm batch` and `kpm serve` — front-ends to the [`kpm_serve`] subsystem.
+//!
+//! `batch` executes a jobs file (one `key=value...` spec per line, `#`
+//! comments) through the worker pool and prints the per-job table plus
+//! service metrics. `serve` reads the same lines from stdin until EOF or
+//! SIGINT; on SIGINT pending jobs are cancelled, in-flight jobs finish, the
+//! cache is flushed, and the metrics block is printed — a graceful drain in
+//! both cases.
+
+use crate::args::Args;
+use crate::commands::CmdError;
+use kpm_serve::{BatchConfig, BatchReport, BatchService, JobParseError, JobSpec};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Service options shared by `batch` and `serve`.
+fn service_config(args: &Args) -> Result<BatchConfig, CmdError> {
+    Ok(BatchConfig {
+        workers: args.get_or("workers", 0usize)?,
+        queue_capacity: args.get_or("queue", 256usize)?,
+        timeout: Duration::from_secs_f64(args.get_or("timeout-secs", 300.0)?),
+        max_retries: args.get_or("retries", 2u32)?,
+        backoff_base: Duration::from_millis(args.get_or("backoff-ms", 20u64)?),
+        cache_capacity: args.get_or("cache-capacity", 128usize)?,
+        cache_dir: match args.get("cache-dir") {
+            Some("none") => None,
+            Some(dir) => Some(PathBuf::from(dir)),
+            None => Some(PathBuf::from("results/cache")),
+        },
+    })
+}
+
+fn job_parse_err(lineno: usize, e: JobParseError) -> CmdError {
+    match e {
+        JobParseError::Spec(spec) => CmdError::Spec(spec),
+        other => CmdError::Other(format!("jobs line {lineno}: {other}")),
+    }
+}
+
+/// Submits with bounded waiting under backpressure: sleeps the queue's
+/// `retry_after` hint (capped) and retries — the file driver has nowhere
+/// else to put the job.
+fn submit_blocking(service: &BatchService, spec: JobSpec) {
+    loop {
+        match service.submit(spec.clone()) {
+            Ok(_) => return,
+            Err(full) => std::thread::sleep(full.retry_after.min(Duration::from_millis(500))),
+        }
+    }
+}
+
+fn finish_report(report: &BatchReport, header: String) -> Result<String, CmdError> {
+    let text = format!("{header}\n{}", report.render());
+    let failed = report.failed();
+    if failed > 0 {
+        Err(CmdError::Jobs { failed, report: text })
+    } else {
+        Ok(text)
+    }
+}
+
+/// `kpm batch <jobs-file>`.
+pub fn batch(args: &Args, positionals: &[String]) -> Result<String, CmdError> {
+    let Some(path) = positionals.first().map(String::as_str).or_else(|| args.get("jobs")) else {
+        return Err(CmdError::Other("usage: kpm batch <jobs-file> [options]".into()));
+    };
+    if positionals.len() > 1 {
+        return Err(CmdError::Other(format!("unexpected argument '{}'", positionals[1])));
+    }
+    let text = std::fs::read_to_string(path)?;
+    let mut specs = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        specs.push(JobSpec::parse(line).map_err(|e| job_parse_err(idx + 1, e))?);
+    }
+    if specs.is_empty() {
+        return Err(CmdError::Other(format!("{path}: no jobs found")));
+    }
+
+    let service = BatchService::start(service_config(args)?);
+    let total = specs.len();
+    for spec in specs {
+        submit_blocking(&service, spec);
+    }
+    let report = service.finish();
+    finish_report(&report, format!("batch of {total} jobs from {path}:"))
+}
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigint() {
+    extern "C" fn on_sigint(_sig: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint() {}
+
+/// `kpm serve` — accept job lines on stdin until EOF or SIGINT.
+pub fn serve(args: &Args) -> Result<String, CmdError> {
+    let quiet = args.flag("quiet");
+    let service = BatchService::start(service_config(args)?);
+    install_sigint();
+    INTERRUPTED.store(false, Ordering::SeqCst);
+
+    // Stdin is read on its own thread so the main loop can poll the SIGINT
+    // flag; a blocked read would otherwise pin us until the next line.
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        use std::io::BufRead as _;
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut accepted = 0usize;
+    let interrupted = loop {
+        if INTERRUPTED.load(Ordering::SeqCst) {
+            break true;
+        }
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            // SIGINT often kills the stdin producer too (pipelines share the
+            // foreground process group), so EOF and the signal race; prefer
+            // the abort path whenever the signal arrived.
+            Err(mpsc::RecvTimeoutError::Disconnected) => break INTERRUPTED.load(Ordering::SeqCst),
+            Ok(line) => {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                if line == "quit" || line == "exit" {
+                    break false;
+                }
+                match JobSpec::parse(line) {
+                    Err(e) => eprintln!("rejected: {e}"),
+                    Ok(spec) => match service.submit(spec) {
+                        Ok(id) => {
+                            accepted += 1;
+                            if !quiet {
+                                eprintln!(
+                                    "accepted job {id} (queue depth {})",
+                                    service.queue_depth()
+                                );
+                            }
+                        }
+                        Err(full) => eprintln!("rejected: {full}"),
+                    },
+                }
+            }
+        }
+    };
+
+    let (report, verb) = if interrupted {
+        (service.abort(), "interrupted; pending jobs cancelled, in-flight drained")
+    } else {
+        (service.finish(), "stdin closed; queue drained")
+    };
+    finish_report(&report, format!("serve: {verb} ({accepted} jobs accepted):"))
+}

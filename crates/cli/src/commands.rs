@@ -28,8 +28,31 @@ pub enum CmdError {
     Kpm(KpmError),
     /// File output failure.
     Io(std::io::Error),
+    /// A batch/serve run finished but some jobs failed; the full report is
+    /// carried so `main` can still show it before exiting non-zero.
+    Jobs {
+        /// Number of failed jobs.
+        failed: usize,
+        /// Rendered per-job table plus metrics.
+        report: String,
+    },
     /// Anything else (message).
     Other(String),
+}
+
+impl CmdError {
+    /// Distinct process exit code per failure class, for scripting around
+    /// the CLI (0 is success; 1 is the catch-all).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CmdError::Args(_) => 2,
+            CmdError::Spec(_) => 3,
+            CmdError::Kpm(_) => 4,
+            CmdError::Io(_) => 5,
+            CmdError::Jobs { .. } => 6,
+            CmdError::Other(_) => 1,
+        }
+    }
 }
 
 impl fmt::Display for CmdError {
@@ -39,6 +62,9 @@ impl fmt::Display for CmdError {
             CmdError::Spec(e) => write!(f, "{e}"),
             CmdError::Kpm(e) => write!(f, "{e}"),
             CmdError::Io(e) => write!(f, "{e}"),
+            CmdError::Jobs { failed, report } => {
+                write!(f, "{report}\n{failed} job(s) failed")
+            }
             CmdError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -78,6 +104,8 @@ COMMANDS:
   ldos      local density of states (--site N)
   evolve    wavepacket evolution (--time T [--site N])
   spectral  momentum-resolved A(k, omega) on a chain (--momenta K)
+  batch     run a jobs file through the worker pool + moment cache
+  serve     accept job lines on stdin until EOF or Ctrl-C
   tune      block-size sweep for the simulated device
   estimate  modeled CPU vs GPU run times at any scale
   help      this text
@@ -93,6 +121,19 @@ COMMON OPTIONS:
   --kernel   jackson | lorentz | fejer | dirichlet   (default jackson)
   --seed     master seed            (default 42)
   --out      CSV path               (default none: table to stdout)
+
+SERVING OPTIONS (batch / serve):
+  --workers N          worker threads       (default 0 = auto)
+  --queue N            queue capacity       (default 256)
+  --timeout-secs T     per-job timeout      (default 300)
+  --retries N          retries on panic/timeout (default 2)
+  --backoff-ms MS      retry backoff base   (default 20)
+  --cache-capacity N   in-memory cache entries (default 128)
+  --cache-dir DIR      on-disk cache spill, or 'none' (default results/cache)
+  Job lines are whitespace-separated key=value pairs, e.g.
+    lattice=cubic:10,10,10 moments=512 seed=7 kernel=lorentz:3 out=dos.csv
+
+EXIT CODES: 0 ok | 1 other | 2 args | 3 lattice spec | 4 kpm | 5 io | 6 jobs failed
 ";
 
 /// Shared workload assembled from common options.
@@ -108,9 +149,9 @@ fn workload(args: &Args) -> Result<Workload, CmdError> {
     let onsite = match args.get("disorder") {
         None => OnSite::Uniform(0.0),
         Some(w) => OnSite::Disorder {
-            width: w.parse().map_err(|_| {
-                CmdError::Other(format!("--disorder {w}: expected a number"))
-            })?,
+            width: w
+                .parse()
+                .map_err(|_| CmdError::Other(format!("--disorder {w}: expected a number")))?,
             seed: args.get_or("dseed", 7u64)?,
         },
     };
@@ -155,11 +196,19 @@ fn dos_report(dos: &kpm::Dos, label: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{label}");
     let _ = writeln!(out, "  grid points : {}", dos.len());
-    let _ = writeln!(out, "  band        : [{:.4}, {:.4}]", dos.energies[0], dos.energies.last().unwrap());
+    let _ = writeln!(
+        out,
+        "  band        : [{:.4}, {:.4}]",
+        dos.energies[0],
+        dos.energies.last().unwrap()
+    );
     let _ = writeln!(out, "  integral    : {:.5}", dos.integrate());
-    let _ = writeln!(out, "  peak        : rho = {:.4} at E = {:.4}", {
-        dos.rho.iter().cloned().fold(0.0f64, f64::max)
-    }, dos.peak_energy());
+    let _ = writeln!(
+        out,
+        "  peak        : rho = {:.4} at E = {:.4}",
+        { dos.rho.iter().cloned().fold(0.0f64, f64::max) },
+        dos.peak_energy()
+    );
     out
 }
 
@@ -169,7 +218,12 @@ pub fn dos(args: &Args) -> Result<String, CmdError> {
     let dos = DosEstimator::new(w.params).compute(&w.h)?;
     let mut report = dos_report(
         &dos,
-        &format!("DoS of a {} x {} Hamiltonian ({} stored entries)", w.h.nrows(), w.h.ncols(), w.h.nnz()),
+        &format!(
+            "DoS of a {} x {} Hamiltonian ({} stored entries)",
+            w.h.nrows(),
+            w.h.ncols(),
+            w.h.nnz()
+        ),
     );
     if let Some(path) = maybe_write_csv(
         args,
@@ -220,7 +274,13 @@ pub fn evolve(args: &Args) -> Result<String, CmdError> {
     let dt = time / steps as f64;
     for k in 0..=steps {
         let p_return = psi.re[site] * psi.re[site] + psi.im[site] * psi.im[site];
-        let _ = writeln!(report, "  {:>8.3} {:>12.6} {:>12.8}", k as f64 * dt, p_return, psi.norm_sqr());
+        let _ = writeln!(
+            report,
+            "  {:>8.3} {:>12.6} {:>12.8}",
+            k as f64 * dt,
+            p_return,
+            psi.norm_sqr()
+        );
         if k < steps {
             psi = prop.evolve(&psi, dt);
         }
@@ -292,12 +352,7 @@ pub fn tune(args: &Args) -> Result<String, CmdError> {
     let _ = writeln!(report, "  {:>10} {:>12}", "BLOCK_SIZE", "modeled (s)");
     for p in &result.points {
         let marker = if p.block_size == result.best { "  <= best" } else { "" };
-        let _ = writeln!(
-            report,
-            "  {:>10} {:>12.4}{marker}",
-            p.block_size,
-            p.time.as_secs_f64()
-        );
+        let _ = writeln!(report, "  {:>10} {:>12.4}{marker}", p.block_size, p.time.as_secs_f64());
     }
     Ok(report)
 }
@@ -311,12 +366,8 @@ pub fn estimate(args: &Args) -> Result<String, CmdError> {
     let dense = args.get("storage").unwrap_or("sparse") == "dense";
     let stored = if dense { d * d } else { 7 * d };
 
-    let w = kpm::workload::KpmWorkload {
-        dim: d,
-        stored_entries: stored,
-        num_moments: n,
-        realizations,
-    };
+    let w =
+        kpm::workload::KpmWorkload { dim: d, stored_entries: stored, num_moments: n, realizations };
     // CPU model.
     let cpu_spec = kpm_streamsim::CpuSpec::core_i7_930();
     let mut clock = kpm_streamsim::HostClock::new();
@@ -352,11 +403,31 @@ pub fn estimate(args: &Args) -> Result<String, CmdError> {
 /// # Errors
 /// [`CmdError`] from parsing or execution.
 pub fn run(command: &str, args: &Args) -> Result<String, CmdError> {
+    run_with_positionals(command, args, &[])
+}
+
+/// Dispatches a subcommand, passing positional arguments to the commands
+/// that take them (`batch`); every other command rejects positionals.
+///
+/// # Errors
+/// [`CmdError`] from parsing or execution.
+pub fn run_with_positionals(
+    command: &str,
+    args: &Args,
+    positionals: &[String],
+) -> Result<String, CmdError> {
+    if command == "batch" {
+        return crate::batch::batch(args, positionals);
+    }
+    if let Some(p) = positionals.first() {
+        return Err(CmdError::Args(ArgError::UnexpectedPositional(p.clone())));
+    }
     match command {
         "dos" => dos(args),
         "ldos" => ldos(args),
         "evolve" => evolve(args),
         "spectral" => spectral(args),
+        "serve" => crate::batch::serve(args),
         "tune" => tune(args),
         "estimate" => estimate(args),
         "help" => Ok(USAGE.to_string()),
@@ -451,8 +522,14 @@ mod tests {
         let dir = std::env::temp_dir().join("kpm_cli_test");
         let path = dir.join("dos.csv");
         let a = args(&[
-            "--lattice", "chain:32", "--moments", "32", "--sets", "1",
-            "--out", path.to_str().unwrap(),
+            "--lattice",
+            "chain:32",
+            "--moments",
+            "32",
+            "--sets",
+            "1",
+            "--out",
+            path.to_str().unwrap(),
         ]);
         let report = dos(&a).unwrap();
         assert!(report.contains("wrote"));
@@ -470,6 +547,62 @@ mod tests {
         }
         let a = args(&["--lattice", "chain:16", "--kernel", "gibbs"]);
         assert!(dos(&a).is_err());
+    }
+
+    #[test]
+    fn seed_makes_dos_ldos_evolve_deterministic() {
+        // Same seeds reproduce bit-for-bit for every command; `--seed` only
+        // *changes* the answer where randomness enters (the stochastic trace
+        // in dos), while `--dseed` re-rolls the disorder realization
+        // everywhere.
+        for (cmd, base) in [
+            (dos as fn(&Args) -> Result<String, CmdError>, vec!["--lattice", "chain:32"]),
+            (ldos, vec!["--lattice", "chain:32", "--site", "5"]),
+            (evolve, vec!["--lattice", "chain:32", "--time", "2", "--steps", "2"]),
+        ] {
+            let run = |seed: &'static str, dseed: &'static str| {
+                let mut words = base.clone();
+                words.extend_from_slice(&["--moments", "32", "--sets", "1", "--disorder", "2.0"]);
+                words.extend_from_slice(&["--seed", seed, "--dseed", dseed]);
+                cmd(&args(&words)).unwrap()
+            };
+            assert_eq!(run("7", "3"), run("7", "3"), "same seeds must reproduce");
+            assert_ne!(run("7", "3"), run("7", "4"), "different disorder seed must differ");
+        }
+        let dos_with_seed = |s: &'static str| {
+            let a = args(&["--lattice", "chain:32", "--moments", "32", "--sets", "1", "--seed", s]);
+            dos(&a).unwrap()
+        };
+        assert_ne!(dos_with_seed("7"), dos_with_seed("8"), "dos must respond to --seed");
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_per_variant() {
+        let errors = [
+            CmdError::Other("x".into()),
+            CmdError::Args(ArgError::Required("k".into())),
+            CmdError::Spec(crate::spec::LatticeSpec::parse("blob:3").unwrap_err()),
+            CmdError::Kpm(KpmError::DegenerateSpectrum),
+            CmdError::Io(std::io::Error::other("disk")),
+            CmdError::Jobs { failed: 1, report: "r".into() },
+        ];
+        let codes: Vec<u8> = errors.iter().map(CmdError::exit_code).collect();
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn jobs_error_displays_report_and_count() {
+        let e = CmdError::Jobs { failed: 2, report: "table".into() };
+        let text = e.to_string();
+        assert!(text.contains("table"));
+        assert!(text.contains("2 job(s) failed"));
+    }
+
+    #[test]
+    fn positionals_rejected_outside_batch() {
+        let pos = vec!["stray".to_string()];
+        let e = run_with_positionals("dos", &args(&[]), &pos).unwrap_err();
+        assert!(matches!(e, CmdError::Args(ArgError::UnexpectedPositional(_))));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! execution are unit-testable; `main.rs` is a thin shim.
 
 pub mod args;
+pub mod batch;
 pub mod commands;
 pub mod spec;
 

@@ -1,30 +1,35 @@
 //! The `kpm` command-line tool. See [`kpm_cli::commands::USAGE`].
+//!
+//! Exit codes distinguish failure classes (see `USAGE`): 2 for argument
+//! errors, 3 for lattice-spec errors, 4 for KPM failures, 5 for I/O, 6 when
+//! a batch/serve run completed with failed jobs, 1 otherwise.
 
 use kpm_cli::commands;
 use kpm_cli::Args;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut argv = std::env::args().skip(1);
-    let Some(command) = argv.next() else {
+    let argv = std::env::args().skip(1);
+    let mut it = argv.into_iter();
+    let Some(command) = it.next() else {
         eprintln!("{}", commands::USAGE);
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
-    let args = match Args::parse(argv) {
-        Ok(a) => a,
+    let (args, positionals) = match Args::parse_with_positionals(it) {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
-    match commands::run(&command, &args) {
+    match commands::run_with_positionals(&command, &args, &positionals) {
         Ok(report) => {
             print!("{report}");
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

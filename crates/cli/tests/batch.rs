@@ -1,0 +1,152 @@
+//! End-to-end tests of `kpm batch` driving the real binary.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn kpm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kpm"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kpm_batch_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_jobs(dir: &Path, name: &str, lines: &[String]) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+    path
+}
+
+/// Pulls `cache : hits N | misses M ...` counters out of the metrics block.
+fn cache_counters(report: &str) -> (u64, u64) {
+    let line = report
+        .lines()
+        .find(|l| l.trim_start().starts_with("cache"))
+        .unwrap_or_else(|| panic!("no cache line in:\n{report}"));
+    let grab = |tag: &str| -> u64 {
+        let idx = line.find(tag).unwrap_or_else(|| panic!("no '{tag}' in: {line}"));
+        line[idx + tag.len()..]
+            .split_whitespace()
+            .next()
+            .and_then(|w| w.parse().ok())
+            .unwrap_or_else(|| panic!("bad counter after '{tag}' in: {line}"))
+    };
+    (grab("hits"), grab("misses"))
+}
+
+#[test]
+fn batch_ten_jobs_with_duplicates_panic_and_prefix_reuse() {
+    let dir = temp_dir("full");
+    let out_csv = dir.join("batch_dos.csv");
+    let base = "lattice=chain:48 moments=64 random=4 sets=1 seed=9";
+    let jobs = write_jobs(
+        &dir,
+        "jobs.txt",
+        &[
+            "# ten-job acceptance workload".to_string(),
+            base.to_string(),
+            base.to_string(), // exact duplicate -> cache hit
+            "lattice=chain:48 moments=32 random=4 sets=1 seed=9".to_string(), // prefix-N hit
+            base.to_string(), // another duplicate
+            "lattice=chain:48 moments=64 random=4 sets=1 seed=10".to_string(), // new seed -> miss
+            "lattice=square:6,6 moments=32 random=4 sets=1 seed=9".to_string(),
+            // Kernel is post-processing: excluded from the cache key -> hit.
+            "lattice=chain:48 moments=64 random=4 sets=1 seed=9 kernel=lorentz:3".to_string(),
+            "lattice=chain:16 moments=16 random=2 sets=1 fault=panic".to_string(),
+            format!("lattice=chain:40 moments=48 random=4 sets=1 seed=5 out={}", out_csv.display()),
+            "model=dense:24@3 moments=32 random=2 sets=1 backend=stream".to_string(),
+        ],
+    );
+
+    let output = kpm()
+        .args(["batch", jobs.to_str().unwrap(), "--cache-dir"])
+        .arg(dir.join("cache"))
+        // One worker makes the hit/miss sequence deterministic (duplicates
+        // would otherwise race their first computation).
+        .args(["--workers", "1", "--retries", "1", "--backoff-ms", "1"])
+        .output()
+        .unwrap();
+    // One injected panic -> jobs-failed exit code (6), report on stderr.
+    assert_eq!(
+        output.status.code(),
+        Some(6),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let report = String::from_utf8_lossy(&output.stderr).into_owned();
+
+    assert!(report.contains("1 job(s) failed"), "{report}");
+    assert!(report.contains("injected fault"), "panic should surface as the failure: {report}");
+    // The pool survives the panic: the nine other jobs all complete.
+    assert!(report.contains("completed 9"), "{report}");
+    let (hits, misses) = cache_counters(&report);
+    // Two duplicates + prefix-N + kernel variant = four hits.
+    assert!(hits >= 4, "expected >= 4 cache hits, got {hits}:\n{report}");
+    assert!(misses >= 4, "expected >= 4 misses, got {misses}:\n{report}");
+
+    // Batch `out=` CSV is byte-identical to a one-shot `kpm dos` with the
+    // same seed (same pipeline, same shortest-round-trip float rendering).
+    let oneshot_csv = dir.join("oneshot_dos.csv");
+    let status = kpm()
+        .args(["dos", "--lattice", "chain:40", "--moments", "48", "--random", "4"])
+        .args(["--sets", "1", "--seed", "5", "--out", oneshot_csv.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let batch_bytes = std::fs::read(&out_csv).unwrap();
+    let oneshot_bytes = std::fs::read(&oneshot_csv).unwrap();
+    assert_eq!(batch_bytes, oneshot_bytes, "batch moments must match one-shot dos");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_all_green_exits_zero_and_warm_cache_spills() {
+    let dir = temp_dir("green");
+    let cache = dir.join("cache");
+    let jobs = write_jobs(
+        &dir,
+        "jobs.txt",
+        &[
+            "lattice=chain:32 moments=32 random=2 sets=1 seed=4".to_string(),
+            "lattice=chain:32 moments=32 random=2 sets=1 seed=4 priority=high".to_string(),
+        ],
+    );
+    let run = || {
+        kpm().args(["batch", jobs.to_str().unwrap(), "--cache-dir"]).arg(&cache).output().unwrap()
+    };
+
+    let first = run();
+    assert_eq!(first.status.code(), Some(0), "{}", String::from_utf8_lossy(&first.stderr));
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(stdout.contains("completed 2"), "{stdout}");
+    let spilled = std::fs::read_dir(&cache).unwrap().count();
+    assert!(spilled >= 1, "cache dir should hold spilled moments");
+
+    // Second process starts cold but loads the spill: all hits, no misses.
+    let second = run();
+    assert_eq!(second.status.code(), Some(0));
+    let (hits, misses) = cache_counters(&String::from_utf8_lossy(&second.stdout));
+    assert_eq!((hits, misses), (2, 0), "warm-start run should be all hits");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn batch_rejects_malformed_jobs_file_with_usage_codes() {
+    let dir = temp_dir("bad");
+    let jobs = write_jobs(&dir, "jobs.txt", &["lattice=blob:3".to_string()]);
+    let out = kpm().args(["batch", jobs.to_str().unwrap()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(3), "bad lattice family is a spec error");
+
+    let missing = kpm().args(["batch", dir.join("nope.txt").to_str().unwrap()]).output().unwrap();
+    assert_eq!(missing.status.code(), Some(5), "unreadable jobs file is an io error");
+
+    let none = kpm().arg("batch").output().unwrap();
+    assert_eq!(none.status.code(), Some(1));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

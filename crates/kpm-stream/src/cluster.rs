@@ -38,9 +38,8 @@ impl DeviceCluster {
     /// Panics if `count == 0`.
     pub fn new(spec: GpuSpec, count: usize, mapping: Mapping) -> Self {
         assert!(count > 0, "cluster needs at least one device");
-        let engines = (0..count)
-            .map(|_| StreamKpmEngine::new(spec.clone()).with_mapping(mapping))
-            .collect();
+        let engines =
+            (0..count).map(|_| StreamKpmEngine::new(spec.clone()).with_mapping(mapping)).collect();
         Self { engines }
     }
 
@@ -80,8 +79,8 @@ impl DeviceCluster {
         let mut runs: Vec<GpuRunResult> = Vec::with_capacity(count);
         for (g, engine) in self.engines.iter_mut().enumerate() {
             // Device g's share of the S axis.
-            let share = params.num_realizations / count
-                + usize::from(g < params.num_realizations % count);
+            let share =
+                params.num_realizations / count + usize::from(g < params.num_realizations % count);
             if share == 0 {
                 continue;
             }
@@ -118,10 +117,7 @@ impl DeviceCluster {
             *se = se.sqrt();
         }
 
-        let wall = runs
-            .iter()
-            .map(|r| r.time.total().as_secs_f64())
-            .fold(0.0f64, f64::max);
+        let wall = runs.iter().map(|r| r.time.total().as_secs_f64()).fold(0.0f64, f64::max);
         // Host combine: negligible but charged for honesty.
         let combine = 1e-6 * n_mom as f64 / 1000.0;
         Ok(ClusterRunResult {
@@ -160,7 +156,8 @@ mod tests {
     fn cluster_agrees_with_single_device_within_stochastic_error() {
         let h = lattice();
         let params = KpmParams::new(16).with_random_vectors(4, 8).with_seed(5);
-        let mut single = DeviceCluster::new(GpuSpec::tesla_c2050(), 1, Mapping::ThreadPerRealization);
+        let mut single =
+            DeviceCluster::new(GpuSpec::tesla_c2050(), 1, Mapping::ThreadPerRealization);
         let mut quad = DeviceCluster::new(GpuSpec::tesla_c2050(), 4, Mapping::ThreadPerRealization);
         let a = single.compute_moments_csr(&h, &params).unwrap();
         let b = quad.compute_moments_csr(&h, &params).unwrap();
@@ -194,7 +191,8 @@ mod tests {
     fn uneven_partition_covers_all_realizations() {
         let h = lattice();
         let params = KpmParams::new(8).with_random_vectors(2, 7); // 7 sets over 3 devices
-        let mut cluster = DeviceCluster::new(GpuSpec::tesla_c2050(), 3, Mapping::ThreadPerRealization);
+        let mut cluster =
+            DeviceCluster::new(GpuSpec::tesla_c2050(), 3, Mapping::ThreadPerRealization);
         let run = cluster.compute_moments_csr(&h, &params).unwrap();
         assert_eq!(run.moments.samples, 14);
         assert_eq!(run.per_device.len(), 3);
@@ -205,7 +203,8 @@ mod tests {
     fn too_few_realizations_rejected() {
         let h = lattice();
         let params = KpmParams::new(8).with_random_vectors(2, 1);
-        let mut cluster = DeviceCluster::new(GpuSpec::tesla_c2050(), 2, Mapping::ThreadPerRealization);
+        let mut cluster =
+            DeviceCluster::new(GpuSpec::tesla_c2050(), 2, Mapping::ThreadPerRealization);
         assert!(cluster.compute_moments_csr(&h, &params).is_err());
     }
 

@@ -247,10 +247,8 @@ mod tests {
         // RS / BLOCK_SIZE = 1792 / 128 = 14 blocks — exactly one per SM of
         // the C2050, surely not a coincidence in the original experiment.
         assert_eq!(paper_fig5(128).grid_blocks(), 14);
-        let block_mapped = MomentLaunchShape {
-            mapping: Mapping::BlockPerRealization,
-            ..paper_fig5(128)
-        };
+        let block_mapped =
+            MomentLaunchShape { mapping: Mapping::BlockPerRealization, ..paper_fig5(128) };
         assert_eq!(block_mapped.grid_blocks(), 1792);
     }
 
@@ -338,14 +336,10 @@ mod tests {
             let t_dp = spec
                 .kernel_time(&base.kernel_cost(&spec), base.grid_blocks(), 128, 0.2)
                 .as_secs_f64();
-            let t_sp = spec
-                .kernel_time(&sp.kernel_cost(&spec), sp.grid_blocks(), 128, 0.2)
-                .as_secs_f64();
+            let t_sp =
+                spec.kernel_time(&sp.kernel_cost(&spec), sp.grid_blocks(), 128, 0.2).as_secs_f64();
             let gain = t_dp / t_sp;
-            assert!(
-                (1.8..=2.6).contains(&gain),
-                "SP gain should be ~2x, got {gain} for {base:?}"
-            );
+            assert!((1.8..=2.6).contains(&gain), "SP gain should be ~2x, got {gain} for {base:?}");
         }
     }
 

@@ -473,13 +473,7 @@ impl MatrixUpload<'_> {
                 dev.copy_to_device(&rp, row_ptr)?;
                 dev.copy_to_device(&ci, col_idx)?;
                 dev.copy_to_device(m.values(), values)?;
-                Ok(DeviceMatrix::Csr {
-                    row_ptr,
-                    col_idx,
-                    values,
-                    dim: m.nrows(),
-                    nnz: m.nnz(),
-                })
+                Ok(DeviceMatrix::Csr { row_ptr, col_idx, values, dim: m.nrows(), nnz: m.nnz() })
             }
         }
     }
@@ -623,18 +617,10 @@ mod tests {
     fn modeled_time_grows_with_n() {
         let h = small_lattice();
         let mut engine = StreamKpmEngine::new(GpuSpec::tesla_c2050());
-        let t1 = engine
-            .compute_moments_csr(&h, &test_params(16))
-            .unwrap()
-            .time
-            .generation
-            .as_secs_f64();
-        let t2 = engine
-            .compute_moments_csr(&h, &test_params(32))
-            .unwrap()
-            .time
-            .generation
-            .as_secs_f64();
+        let t1 =
+            engine.compute_moments_csr(&h, &test_params(16)).unwrap().time.generation.as_secs_f64();
+        let t2 =
+            engine.compute_moments_csr(&h, &test_params(32)).unwrap().time.generation.as_secs_f64();
         assert!(t2 > 1.5 * t1, "generation time must scale with N: {t1} vs {t2}");
     }
 
@@ -664,8 +650,8 @@ mod tests {
         let h = small_lattice();
         let params = test_params(16);
         let mut good = StreamKpmEngine::new(GpuSpec::tesla_c2050());
-        let mut bad = StreamKpmEngine::new(GpuSpec::tesla_c2050())
-            .with_layout(VectorLayout::Contiguous);
+        let mut bad =
+            StreamKpmEngine::new(GpuSpec::tesla_c2050()).with_layout(VectorLayout::Contiguous);
         let tg = good.compute_moments_csr(&h, &params).unwrap();
         let tb = bad.compute_moments_csr(&h, &params).unwrap();
         // Same numbers...

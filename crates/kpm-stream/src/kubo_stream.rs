@@ -220,8 +220,7 @@ impl DoubleMomentKernel {
             self.scaled_matvec(scope, l_prev, l_cur, t);
             partials.store(m * sr + t, -self.dot(scope, wl, l_prev, t) * inv_d);
             if n_mom > 1 {
-                partials
-                    .store((n_mom + m) * sr + t, -self.dot(scope, wl, l_cur, t) * inv_d);
+                partials.store((n_mom + m) * sr + t, -self.dot(scope, wl, l_cur, t) * inv_d);
             }
             let mut lp = l_prev;
             let mut lc = l_cur;
@@ -232,10 +231,7 @@ impl DoubleMomentKernel {
                 lp = lc;
                 lc = ln;
                 ln = rotated;
-                partials.store(
-                    (n * n_mom + m) * sr + t,
-                    -self.dot(scope, wl, lc, t) * inv_d,
-                );
+                partials.store((n * n_mom + m) * sr + t, -self.dot(scope, wl, lc, t) * inv_d);
             }
             // Advance the outer recursion.
             if m + 1 < n_mom && m >= 1 {
@@ -385,11 +381,7 @@ pub fn device_double_moments(
         a_minus: bounds.a_minus(),
         spec: dev.spec().clone(),
     };
-    dev.launch(
-        &kernel,
-        Dim3::x(shape.grid_blocks()),
-        Dim3::x(shape.block_size.min(sr.max(1))),
-    )?;
+    dev.launch(&kernel, Dim3::x(shape.grid_blocks()), Dim3::x(shape.block_size.min(sr.max(1))))?;
 
     // Reduce on host (charged readback of the full partial buffer, as a
     // real implementation would transfer it for the energy reconstruction).
@@ -493,9 +485,6 @@ mod tests {
         };
         let t_dos = dos_shape.estimate_total(&spec, 0.2).as_secs_f64();
         let t_kubo = kubo_shape.estimate(&spec, 0.2).as_secs_f64();
-        assert!(
-            t_kubo > 50.0 * t_dos,
-            "2D KPM must dwarf the DoS: {t_dos} vs {t_kubo}"
-        );
+        assert!(t_kubo > 50.0 * t_dos, "2D KPM must dwarf the DoS: {t_dos} vs {t_kubo}");
     }
 }

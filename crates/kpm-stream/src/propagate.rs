@@ -244,8 +244,26 @@ impl DevicePropagator {
         axpy(dev, prev_im, out_im, jn[0])?;
 
         // T_1 = H~ T_0.
-        step(dev, self.matrix, prev_re, prev_re, cur_re, StepMode::First, self.a_plus, self.a_minus)?;
-        step(dev, self.matrix, prev_im, prev_im, cur_im, StepMode::First, self.a_plus, self.a_minus)?;
+        step(
+            dev,
+            self.matrix,
+            prev_re,
+            prev_re,
+            cur_re,
+            StepMode::First,
+            self.a_plus,
+            self.a_minus,
+        )?;
+        step(
+            dev,
+            self.matrix,
+            prev_im,
+            prev_im,
+            cur_im,
+            StepMode::First,
+            self.a_plus,
+            self.a_minus,
+        )?;
 
         for (n, &j) in jn.iter().enumerate().skip(1) {
             // Accumulate 2 (-i)^n J_n * (cur_re + i cur_im) into out.
@@ -347,8 +365,7 @@ mod tests {
         let psi = start_state(48);
         let t = 3.7;
 
-        let bounds =
-            h.spectral_bounds(kpm::BoundsMethod::Gershgorin).unwrap();
+        let bounds = h.spectral_bounds(kpm::BoundsMethod::Gershgorin).unwrap();
         let host = Propagator::new(&h, bounds, 1e-12).unwrap();
         let expect = host.evolve(&psi, t);
 
@@ -357,8 +374,7 @@ mod tests {
 
         for i in 0..48 {
             assert!(
-                (got.re[i] - expect.re[i]).abs() < 1e-9
-                    && (got.im[i] - expect.im[i]).abs() < 1e-9,
+                (got.re[i] - expect.re[i]).abs() < 1e-9 && (got.im[i] - expect.im[i]).abs() < 1e-9,
                 "site {i}: ({}, {}) vs ({}, {})",
                 got.re[i],
                 got.im[i],

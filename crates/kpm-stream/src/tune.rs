@@ -119,9 +119,8 @@ mod tests {
         let spec = GpuSpec::tesla_c2050();
         let result = tune_block_size(&spec, &paper_shape(), 0.2, None);
         assert_eq!(result.points.len(), default_candidates(&spec).len());
-        let by_size = |b: usize| {
-            result.points.iter().find(|p| p.block_size == b).unwrap().time.as_secs_f64()
-        };
+        let by_size =
+            |b: usize| result.points.iter().find(|p| p.block_size == b).unwrap().time.as_secs_f64();
         let best_t = by_size(result.best);
         assert!(
             by_size(1024) > 1.2 * best_t,
@@ -131,8 +130,10 @@ mod tests {
         // In the covered regime (<= 128) the choice is nearly flat: the
         // launch is latency-bound at ~4 warps/SM regardless.
         let small: Vec<f64> = [32, 64, 128].iter().map(|&b| by_size(b)).collect();
-        let (lo, hi) = (small.iter().cloned().fold(f64::INFINITY, f64::min),
-                        small.iter().cloned().fold(0.0f64, f64::max));
+        let (lo, hi) = (
+            small.iter().cloned().fold(f64::INFINITY, f64::min),
+            small.iter().cloned().fold(0.0f64, f64::max),
+        );
         assert!(hi < 1.3 * lo, "covered regime should be flat: {lo} .. {hi}");
     }
 
@@ -142,15 +143,8 @@ mod tests {
         // fill 3 warps exactly. Same-ish resident warps, so 100 loses.
         let spec = GpuSpec::tesla_c2050();
         let result = tune_block_size(&spec, &paper_shape(), 0.2, Some(&[96, 100, 128]));
-        let by_size = |b: usize| {
-            result
-                .points
-                .iter()
-                .find(|p| p.block_size == b)
-                .unwrap()
-                .time
-                .as_secs_f64()
-        };
+        let by_size =
+            |b: usize| result.points.iter().find(|p| p.block_size == b).unwrap().time.as_secs_f64();
         assert!(by_size(100) >= by_size(96), "100 wastes 28 lanes of its 4th warp");
         assert_ne!(result.best, 100, "a misaligned size must not win this sweep");
     }
@@ -173,20 +167,10 @@ mod tests {
         };
         let result = tune_block_size(&spec, &shape, 0.2, None);
         // Some aligned size wins and beats a one-warp block.
-        let worst_small = result
-            .points
-            .iter()
-            .find(|p| p.block_size == 32)
-            .unwrap()
-            .time
-            .as_secs_f64();
-        let best = result
-            .points
-            .iter()
-            .find(|p| p.block_size == result.best)
-            .unwrap()
-            .time
-            .as_secs_f64();
+        let worst_small =
+            result.points.iter().find(|p| p.block_size == 32).unwrap().time.as_secs_f64();
+        let best =
+            result.points.iter().find(|p| p.block_size == result.best).unwrap().time.as_secs_f64();
         assert!(best <= worst_small);
     }
 }

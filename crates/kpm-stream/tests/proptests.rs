@@ -8,13 +8,7 @@ use kpm_stream::{Mapping, StreamKpmEngine, VectorLayout};
 use kpm_streamsim::GpuSpec;
 use proptest::prelude::*;
 
-fn shape(
-    dim: usize,
-    n: usize,
-    reals: usize,
-    mapping: Mapping,
-    block: usize,
-) -> MomentLaunchShape {
+fn shape(dim: usize, n: usize, reals: usize, mapping: Mapping, block: usize) -> MomentLaunchShape {
     MomentLaunchShape {
         dim,
         stored_entries: 7 * dim,

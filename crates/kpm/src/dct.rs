@@ -75,7 +75,8 @@ mod tests {
 
     #[test]
     fn fft_path_matches_naive() {
-        let coeffs: Vec<f64> = (0..48).map(|n| ((n as f64) * 0.37).sin() / (n as f64 + 1.0)).collect();
+        let coeffs: Vec<f64> =
+            (0..48).map(|n| ((n as f64) * 0.37).sin() / (n as f64 + 1.0)).collect();
         for k in [64usize, 128, 256] {
             let fast = reconstruction_sums(&coeffs, k);
             let slow = dct3_naive(&coeffs, k);
@@ -98,7 +99,8 @@ mod tests {
     fn matches_series_eval_on_gauss_grid() {
         // series_eval divides by the Chebyshev weight; the DCT sum is the
         // bracketed part only. Cross-check on the grid.
-        let coeffs: Vec<f64> = (0..32).map(|n| chebyshev::t(n, 0.4) * 0.9f64.powi(n as i32)).collect();
+        let coeffs: Vec<f64> =
+            (0..32).map(|n| chebyshev::t(n, 0.4) * 0.9f64.powi(n as i32)).collect();
         let k = 64;
         let grid = chebyshev::gauss_grid(k);
         let sums = reconstruction_sums(&coeffs, k);

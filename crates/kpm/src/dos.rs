@@ -80,12 +80,8 @@ impl Dos {
 
     /// Energy of the maximum of the reconstructed density.
     pub fn peak_energy(&self) -> f64 {
-        let (i, _) = self
-            .rho
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("nonempty DoS");
+        let (i, _) =
+            self.rho.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("nonempty DoS");
         self.energies[i]
     }
 
@@ -174,8 +170,7 @@ mod tests {
     use kpm_linalg::DenseMatrix;
 
     fn flat_band_op(d: usize, lo: f64, hi: f64) -> (DiagonalOp, Vec<f64>) {
-        let eigs: Vec<f64> =
-            (0..d).map(|i| lo + (hi - lo) * i as f64 / (d - 1) as f64).collect();
+        let eigs: Vec<f64> = (0..d).map(|i| lo + (hi - lo) * i as f64 / (d - 1) as f64).collect();
         (DiagonalOp::new(eigs.clone()), eigs)
     }
 
@@ -187,18 +182,15 @@ mod tests {
     fn dos_integrates_to_one() {
         let (op, _) = flat_band_op(200, -3.0, 5.0);
         let est = default_estimator(64);
-        let dos = est
-            .compute_with_bounds(&op, SpectralBounds::new(-3.0, 5.0))
-            .unwrap();
+        let dos = est.compute_with_bounds(&op, SpectralBounds::new(-3.0, 5.0)).unwrap();
         assert!((dos.integrate() - 1.0).abs() < 0.02, "integral = {}", dos.integrate());
     }
 
     #[test]
     fn energies_cover_original_axis_ascending() {
         let (op, _) = flat_band_op(100, -2.0, 2.0);
-        let dos = default_estimator(32)
-            .compute_with_bounds(&op, SpectralBounds::new(-2.0, 2.0))
-            .unwrap();
+        let dos =
+            default_estimator(32).compute_with_bounds(&op, SpectralBounds::new(-2.0, 2.0)).unwrap();
         assert!(dos.energies.windows(2).all(|w| w[0] < w[1]));
         assert!(*dos.energies.first().unwrap() > -2.1);
         assert!(*dos.energies.last().unwrap() < 2.1);
@@ -229,9 +221,7 @@ mod tests {
         let eigs: Vec<f64> = (0..200).map(|i| if i < 100 { -1.0 } else { 1.0 }).collect();
         let op = DiagonalOp::new(eigs);
         let est = default_estimator(128);
-        let dos = est
-            .compute_with_bounds(&op, SpectralBounds::new(-1.0, 1.0))
-            .unwrap();
+        let dos = est.compute_with_bounds(&op, SpectralBounds::new(-1.0, 1.0)).unwrap();
         // Peaks near +-1 (inside because of padding), valley at 0.
         let peak = dos.peak_energy();
         assert!(peak.abs() > 0.8, "peak at {peak}");
@@ -247,27 +237,21 @@ mod tests {
         let d = 64;
         let h = kpm_lattice::dense_random_symmetric(d, 1.0, 21);
         let eig = kpm_linalg::eigen::jacobi_eigenvalues(&h).unwrap();
-        let est = DosEstimator::new(
-            KpmParams::new(64).with_random_vectors(32, 8).with_seed(5),
-        );
+        let est = DosEstimator::new(KpmParams::new(64).with_random_vectors(32, 8).with_seed(5));
         let dos = est.compute(&h).unwrap();
         assert!((dos.integrate() - 1.0).abs() < 0.03);
         // Fraction of states below 0 must match.
         let below_exact = eig.iter().filter(|&&e| e < 0.0).count() as f64 / d as f64;
         let lo = dos.energies[0];
         let below_kpm = dos.integrate_range(lo, 0.0);
-        assert!(
-            (below_exact - below_kpm).abs() < 0.08,
-            "{below_exact} vs {below_kpm}"
-        );
+        assert!((below_exact - below_kpm).abs() < 0.08, "{below_exact} vs {below_kpm}");
     }
 
     #[test]
     fn value_at_outside_band_is_none() {
         let (op, _) = flat_band_op(50, -1.0, 1.0);
-        let dos = default_estimator(16)
-            .compute_with_bounds(&op, SpectralBounds::new(-1.0, 1.0))
-            .unwrap();
+        let dos =
+            default_estimator(16).compute_with_bounds(&op, SpectralBounds::new(-1.0, 1.0)).unwrap();
         assert!(dos.value_at(5.0).is_none());
         assert!(dos.value_at(-5.0).is_none());
         assert!(dos.value_at(0.0).is_some());
@@ -296,9 +280,8 @@ mod tests {
         let op = DiagonalOp::new(eigs);
         let bounds = SpectralBounds::new(-1.0, 1.0);
         let min_rho = |kernel: KernelType| {
-            let est = DosEstimator::new(
-                KpmParams::new(64).with_random_vectors(4, 1).with_kernel(kernel),
-            );
+            let est =
+                DosEstimator::new(KpmParams::new(64).with_random_vectors(4, 1).with_kernel(kernel));
             let dos = est.compute_with_bounds(&op, bounds).unwrap();
             dos.rho.iter().fold(f64::INFINITY, |m, &v| m.min(v))
         };
@@ -309,9 +292,8 @@ mod tests {
     #[test]
     fn integrate_range_sums_to_total() {
         let (op, _) = flat_band_op(100, -2.0, 2.0);
-        let dos = default_estimator(64)
-            .compute_with_bounds(&op, SpectralBounds::new(-2.0, 2.0))
-            .unwrap();
+        let dos =
+            default_estimator(64).compute_with_bounds(&op, SpectralBounds::new(-2.0, 2.0)).unwrap();
         let lo = dos.energies[0];
         let hi = *dos.energies.last().unwrap();
         let total = dos.integrate_range(lo, hi);
@@ -323,13 +305,7 @@ mod tests {
 
     #[test]
     fn gershgorin_pipeline_on_dense_matrix() {
-        let h = DenseMatrix::from_fn(32, 32, |i, j| {
-            if i.abs_diff(j) == 1 {
-                -1.0
-            } else {
-                0.0
-            }
-        });
+        let h = DenseMatrix::from_fn(32, 32, |i, j| if i.abs_diff(j) == 1 { -1.0 } else { 0.0 });
         let dos = default_estimator(48).compute(&h).unwrap();
         // Chain DoS is symmetric: peak density at band edges, min at centre
         // is still positive; integral ~ 1.

@@ -135,8 +135,7 @@ mod tests {
     #[test]
     fn parseval_energy_conserved() {
         let n = 64;
-        let x: Vec<Complex64> =
-            (0..n).map(|i| Complex64::new((i as f64).sin(), 0.0)).collect();
+        let x: Vec<Complex64> = (0..n).map(|i| Complex64::new((i as f64).sin(), 0.0)).collect();
         let time_energy: f64 = x.iter().map(|z| z.norm_sqr()).sum();
         let mut f = x.clone();
         fft(Direction::Forward, &mut f);

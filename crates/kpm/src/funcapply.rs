@@ -64,8 +64,7 @@ impl<A: LinearOp> FunctionExpansion<A> {
         // Quadrature nodes x_k = cos(pi (k + 1/2)/K), K = 2 * order.
         let k_quad = 2 * order;
         let nodes = chebyshev::gauss_grid(k_quad);
-        let samples: Vec<f64> =
-            nodes.iter().map(|&x| f(rescaled.to_original(x))).collect();
+        let samples: Vec<f64> = nodes.iter().map(|&x| f(rescaled.to_original(x))).collect();
         // c_n = (2 - delta_n0)/K sum_k f_k T_n(x_k) — accumulate T_n by the
         // recursion per node.
         let mut coeffs = vec![0.0; order];
@@ -203,9 +202,7 @@ mod tests {
         // chemical potential pass, above are suppressed.
         let eigs = vec![-1.8, -0.9, 0.8, 1.7];
         let beta = 30.0;
-        let exp = diag_expansion(eigs.clone(), 256, |e| {
-            crate::thermal::fermi(e, 0.0, 1.0 / beta)
-        });
+        let exp = diag_expansion(eigs.clone(), 256, |e| crate::thermal::fermi(e, 0.0, 1.0 / beta));
         let psi = vec![1.0, 1.0, 1.0, 1.0];
         let out = exp.apply(&psi);
         assert!((out[0] - 1.0).abs() < 1e-4, "deep state passes: {}", out[0]);

@@ -57,9 +57,7 @@ pub fn greens_function(
         return Err(KpmError::InvalidParameter("moments must be nonempty".into()));
     }
     if a_minus <= 0.0 {
-        return Err(KpmError::InvalidParameter(format!(
-            "a_minus must be positive, got {a_minus}"
-        )));
+        return Err(KpmError::InvalidParameter(format!("a_minus must be positive, got {a_minus}")));
     }
     let damped = kernel.damp(moments);
     let mut values = Vec::with_capacity(energies.len());
@@ -104,11 +102,7 @@ mod tests {
         let damped = kernel.damp(&mu);
         for (i, &omega) in energies.iter().enumerate() {
             let rho = chebyshev::series_eval(&damped, omega);
-            assert!(
-                (a[i] - rho).abs() < 1e-10,
-                "omega = {omega}: A = {} vs rho = {rho}",
-                a[i]
-            );
+            assert!((a[i] - rho).abs() < 1e-10, "omega = {omega}: A = {} vs rho = {rho}", a[i]);
         }
     }
 
@@ -165,13 +159,10 @@ mod tests {
         let g = greens_function(&mu, KernelType::Jackson, &grid, 0.0, 1.0).unwrap();
         let a = g.spectral_function();
         // Gauss-Chebyshev: int f(x) dx ~ (pi/K) sum sqrt(1-x^2) f(x).
-        let integral: f64 = grid
-            .iter()
-            .zip(&a)
-            .map(|(&x, &ax)| (1.0 - x * x).sqrt() * ax)
-            .sum::<f64>()
-            * std::f64::consts::PI
-            / k as f64;
+        let integral: f64 =
+            grid.iter().zip(&a).map(|(&x, &ax)| (1.0 - x * x).sqrt() * ax).sum::<f64>()
+                * std::f64::consts::PI
+                / k as f64;
         assert!((integral - 1.0).abs() < 1e-6, "sum rule violated: {integral}");
     }
 }

@@ -224,9 +224,8 @@ pub fn conductivity(
             let t = crate::chebyshev::t_all(n, x);
             let weight = std::f64::consts::PI * (1.0 - x * x).sqrt();
             // h_n(x) = g_n T_n(x) (2 - delta_n0) / weight.
-            let h: Vec<f64> = (0..n)
-                .map(|k| g[k] * t[k] * if k == 0 { 1.0 } else { 2.0 } / weight)
-                .collect();
+            let h: Vec<f64> =
+                (0..n).map(|k| g[k] * t[k] * if k == 0 { 1.0 } else { 2.0 } / weight).collect();
             let mut s = 0.0;
             for (i, &hi) in h.iter().enumerate() {
                 let row = &moments.mu[i * n..(i + 1) * n];
@@ -349,17 +348,13 @@ mod tests {
         let b = gershgorin_csr(&h).padded(0.01);
         let hs = RescaledOp::new(&h, b.a_plus(), b.a_minus());
         let w = velocity_operator(&h, &pos, Some(24.0));
-        let params = KpmParams::new(6)
-            .with_random_vectors(16, 4)
-            .with_distribution(Distribution::Gaussian);
+        let params =
+            KpmParams::new(6).with_random_vectors(16, 4).with_distribution(Distribution::Gaussian);
         let mu = double_moments(&hs, &w, &params).unwrap();
         for n in 0..6 {
             for m in 0..6 {
                 let (a, bb) = (mu.get(n, m), mu.get(m, n));
-                assert!(
-                    (a - bb).abs() < 0.15 * (1.0 + a.abs()),
-                    "mu_{n}{m} {a} vs mu_{m}{n} {bb}"
-                );
+                assert!((a - bb).abs() < 0.15 * (1.0 + a.abs()), "mu_{n}{m} {a} vs mu_{m}{n} {bb}");
             }
         }
     }
@@ -398,9 +393,6 @@ mod tests {
         };
         let clean = run(0.0);
         let dirty = run(8.0);
-        assert!(
-            dirty < 0.6 * clean,
-            "disorder must suppress sigma: clean {clean}, dirty {dirty}"
-        );
+        assert!(dirty < 0.6 * clean, "disorder must suppress sigma: clean {clean}, dirty {dirty}");
     }
 }

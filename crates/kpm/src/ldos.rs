@@ -57,11 +57,7 @@ mod tests {
         let params = KpmParams::new(64);
         for site in [0usize, 7, 23] {
             let ldos = local_dos(&h, site, &params).unwrap();
-            assert!(
-                (ldos.integrate() - 1.0).abs() < 0.02,
-                "site {site}: {}",
-                ldos.integrate()
-            );
+            assert!((ldos.integrate() - 1.0).abs() < 0.02, "site {site}: {}", ldos.integrate());
         }
     }
 
@@ -111,8 +107,7 @@ mod tests {
         // (1/D) sum_i mu_n^i = mu_n exactly.
         let h = kpm_lattice::dense_random_symmetric(12, 1.0, 9);
         let params = KpmParams::new(16);
-        let bounds =
-            crate::rescale::Boundable::spectral_bounds(&h, params.bounds).unwrap();
+        let bounds = crate::rescale::Boundable::spectral_bounds(&h, params.bounds).unwrap();
         let rescaled = rescale(&h, bounds, params.padding).unwrap();
         let eig = kpm_linalg::eigen::jacobi_eigenvalues(&h).unwrap();
         let scaled_eigs: Vec<f64> = eig.iter().map(|&e| rescaled.to_rescaled(e)).collect();
@@ -128,12 +123,7 @@ mod tests {
             }
         }
         for n in 0..16 {
-            assert!(
-                (avg[n] - exact[n]).abs() < 1e-10,
-                "n = {n}: {} vs {}",
-                avg[n],
-                exact[n]
-            );
+            assert!((avg[n] - exact[n]).abs() < 1e-10, "n = {n}: {} vs {}", avg[n], exact[n]);
         }
     }
 }

@@ -177,6 +177,35 @@ pub struct MomentStats {
     pub samples: usize,
 }
 
+impl MomentStats {
+    /// Truncation order of this estimate (number of stored moments).
+    pub fn num_moments(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The first `n` moments as a stand-alone estimate.
+    ///
+    /// Chebyshev moments of order `< n` do not depend on the truncation
+    /// order: a run at `N' > n` performs the identical recursion steps and
+    /// the identical index-ordered reduction for the leading `n` entries, so
+    /// `truncated(n)` of the longer run is bitwise equal to a fresh run at
+    /// `n` with the same parameters. This is what lets a moment cache serve
+    /// lower-order requests from a higher-order entry (kernel damping is
+    /// applied at reconstruction time, never stored here).
+    ///
+    /// # Panics
+    /// Panics if `n > self.num_moments()` or `n < 2`.
+    pub fn truncated(&self, n: usize) -> Self {
+        assert!(n >= 2, "need at least two moments");
+        assert!(n <= self.mean.len(), "cannot truncate {} moments to {n}", self.mean.len());
+        Self {
+            mean: self.mean[..n].to_vec(),
+            std_err: self.std_err[..n].to_vec(),
+            samples: self.samples,
+        }
+    }
+}
+
 /// Computes the moments `<r_0|T_n(H~)|r_0>` (not normalized by `D`) for one
 /// start vector, by the requested recursion.
 ///
@@ -326,9 +355,7 @@ pub fn stochastic_moments<A: LinearOp + Sync>(op: &A, params: &KpmParams) -> Mom
         }
     }
     let std_err = if total > 1 {
-        m2.iter()
-            .map(|&s| (s / (total as f64 - 1.0)).sqrt() / (total as f64).sqrt())
-            .collect()
+        m2.iter().map(|&s| (s / (total as f64 - 1.0)).sqrt() / (total as f64).sqrt()).collect()
     } else {
         vec![0.0; n]
     };
@@ -446,8 +473,7 @@ mod tests {
         let op = DiagonalOp::new(eigs.clone());
         let n = 32;
         let exact = exact_moments(&eigs, n);
-        let params =
-            KpmParams::new(n).with_random_vectors(16, 8).with_seed(11);
+        let params = KpmParams::new(n).with_random_vectors(16, 8).with_seed(11);
         let stats = stochastic_moments(&op, &params);
         for i in 0..n {
             let tol = 6.0 * stats.std_err[i] + 5e-3;
@@ -485,9 +511,7 @@ mod tests {
         let op = DiagonalOp::new(eigs);
         let few = stochastic_moments(
             &op,
-            &KpmParams::new(16)
-                .with_random_vectors(4, 2)
-                .with_distribution(Distribution::Gaussian),
+            &KpmParams::new(16).with_random_vectors(4, 2).with_distribution(Distribution::Gaussian),
         );
         let many = stochastic_moments(
             &op,
@@ -527,9 +551,7 @@ mod tests {
         let op = DiagonalOp::new(eigs.clone());
         let exact = exact_moments(&eigs, 12);
         for dist in [Distribution::Gaussian, Distribution::Uniform] {
-            let p = KpmParams::new(12)
-                .with_random_vectors(32, 8)
-                .with_distribution(dist);
+            let p = KpmParams::new(12).with_random_vectors(32, 8).with_distribution(dist);
             let stats = stochastic_moments(&op, &p);
             for i in 0..12 {
                 let tol = 8.0 * stats.std_err[i] + 1e-2;
@@ -541,6 +563,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn truncated_prefix_is_bitwise_equal_to_shorter_run() {
+        // The moment-cache contract: mu_0..mu_{n-1} of a longer run are
+        // bitwise identical to a fresh run truncated at n.
+        let op = DiagonalOp::new((0..48).map(|i| (i as f64 * 0.53).sin() * 0.85).collect());
+        for recursion in [Recursion::Plain, Recursion::Doubling] {
+            let base = KpmParams::new(40)
+                .with_random_vectors(5, 3)
+                .with_distribution(Distribution::Gaussian)
+                .with_recursion(recursion)
+                .with_seed(321);
+            let long = stochastic_moments(&op, &base);
+            for n in [2usize, 13, 24, 40] {
+                let short = stochastic_moments(&op, &KpmParams { num_moments: n, ..base.clone() });
+                let cut = long.truncated(n);
+                assert_eq!(cut.mean, short.mean, "{recursion:?} mean prefix, n = {n}");
+                assert_eq!(cut.std_err, short.std_err, "{recursion:?} std_err prefix, n = {n}");
+                assert_eq!(cut.samples, short.samples);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate")]
+    fn truncated_rejects_extension() {
+        let stats = MomentStats { mean: vec![1.0; 4], std_err: vec![0.0; 4], samples: 1 };
+        let _ = stats.truncated(8);
     }
 
     #[test]
@@ -575,11 +626,7 @@ mod tests {
                     vecs.get(i, k) * crate::chebyshev::t(n, scaled) * vecs.get(j, k)
                 })
                 .sum();
-            assert!(
-                (mu[n] - exact).abs() < 1e-9,
-                "n = {n}: {} vs {exact}",
-                mu[n]
-            );
+            assert!((mu[n] - exact).abs() < 1e-9, "n = {n}: {} vs {exact}", mu[n]);
         }
     }
 

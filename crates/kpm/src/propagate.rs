@@ -219,8 +219,7 @@ mod tests {
                 let expect_re = (e * t).cos();
                 let expect_im = -(e * t).sin();
                 assert!(
-                    (out.re[k] - expect_re).abs() < 1e-10
-                        && (out.im[k] - expect_im).abs() < 1e-10,
+                    (out.re[k] - expect_re).abs() < 1e-10 && (out.im[k] - expect_im).abs() < 1e-10,
                     "k = {k}, t = {t}: ({}, {}) vs ({expect_re}, {expect_im})",
                     out.re[k],
                     out.im[k]
@@ -299,8 +298,7 @@ mod tests {
         }
         for i in 0..10 {
             assert!(
-                (cheb.re[i] - exact_re[i]).abs() < 1e-9
-                    && (cheb.im[i] - exact_im[i]).abs() < 1e-9,
+                (cheb.re[i] - exact_re[i]).abs() < 1e-9 && (cheb.im[i] - exact_im[i]).abs() < 1e-9,
                 "site {i}: ({}, {}) vs ({}, {})",
                 cheb.re[i],
                 cheb.im[i],

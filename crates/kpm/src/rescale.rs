@@ -143,9 +143,7 @@ mod tests {
     #[test]
     fn explicit_bounds_validated() {
         let m = chain(4);
-        assert!(m
-            .spectral_bounds(BoundsMethod::Explicit { lower: -3.0, upper: 3.0 })
-            .is_ok());
+        assert!(m.spectral_bounds(BoundsMethod::Explicit { lower: -3.0, upper: 3.0 }).is_ok());
         assert!(matches!(
             m.spectral_bounds(BoundsMethod::Explicit { lower: 1.0, upper: 1.0 }),
             Err(KpmError::InvalidParameter(_))

@@ -108,10 +108,7 @@ pub fn chain_spectral_function<A: Boundable + Sync>(
             *v /= weight_total;
         }
         let stats = MomentStats { std_err: vec![0.0; mu.len()], samples: 1, mean: mu };
-        out.push(MomentumSpectrum {
-            k_index: m,
-            a: estimator.reconstruct(stats, a_plus, a_minus),
-        });
+        out.push(MomentumSpectrum { k_index: m, a: estimator.reconstruct(stats, a_plus, a_minus) });
     }
     Ok(out)
 }
@@ -183,12 +180,8 @@ mod tests {
             } else {
                 OnSite::Disorder { width: w, seed: 9 }
             };
-            let h = TightBinding::new(
-                HypercubicLattice::chain(l, Boundary::Periodic),
-                1.0,
-                onsite,
-            )
-            .build_csr();
+            let h = TightBinding::new(HypercubicLattice::chain(l, Boundary::Periodic), 1.0, onsite)
+                .build_csr();
             let params = KpmParams::new(128).with_grid_points(512);
             let sp = &chain_spectral_function(&h, l, &[20], &params).unwrap()[0];
             // Inverse participation of the curve as a width proxy.

@@ -245,10 +245,8 @@ mod tests {
     #[test]
     fn mixed_boundaries() {
         // Cylinder: periodic in x, open in y.
-        let lat = HypercubicLattice::with_boundaries(
-            &[4, 3],
-            &[Boundary::Periodic, Boundary::Open],
-        );
+        let lat =
+            HypercubicLattice::with_boundaries(&[4, 3], &[Boundary::Periodic, Boundary::Open]);
         // Site on the open edge: 2 (x-ring) + 1 (y).
         assert_eq!(lat.neighbors(lat.site_index(&[0, 0])).len(), 3);
         // Interior in y: 2 + 2.

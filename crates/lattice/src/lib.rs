@@ -17,9 +17,11 @@ pub mod hypercubic;
 pub mod model;
 pub mod paper;
 pub mod random;
+pub mod spec;
 
 pub use honeycomb::{HoneycombLattice, Sublattice};
 pub use hypercubic::{Boundary, HypercubicLattice};
 pub use model::{OnSite, TightBinding};
 pub use paper::{paper_cubic_hamiltonian, paper_cubic_lattice, PAPER_CUBIC_SIDE};
 pub use random::dense_random_symmetric;
+pub use spec::{parse_boundary, LatticeSpec, SpecError};

@@ -143,9 +143,8 @@ mod tests {
     fn explicit_zero_diagonal_changes_storage_not_values() {
         let lat = HypercubicLattice::chain(4, Boundary::Periodic);
         let plain = TightBinding::new(lat.clone(), 1.0, OnSite::Uniform(0.0)).build_csr();
-        let stored = TightBinding::new(lat, 1.0, OnSite::Uniform(0.0))
-            .store_zero_diagonal(true)
-            .build_csr();
+        let stored =
+            TightBinding::new(lat, 1.0, OnSite::Uniform(0.0)).store_zero_diagonal(true).build_csr();
         assert_eq!(stored.nnz(), plain.nnz() + 4);
         assert_eq!(plain.to_dense(), stored.to_dense());
     }

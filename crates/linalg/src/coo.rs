@@ -117,9 +117,7 @@ impl CooMatrix {
         for r in 0..self.nrows {
             scratch.clear();
             scratch.extend(
-                order[row_start[r]..row_start[r + 1]]
-                    .iter()
-                    .map(|&t| (self.cols[t], self.vals[t])),
+                order[row_start[r]..row_start[r + 1]].iter().map(|&t| (self.cols[t], self.vals[t])),
             );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut it = scratch.iter().copied();

@@ -66,9 +66,7 @@ impl CsrMatrix {
         }
         for r in 0..nrows {
             if row_ptr[r] > row_ptr[r + 1] {
-                return Err(LinalgError::InvalidStructure(format!(
-                    "row_ptr decreases at row {r}"
-                )));
+                return Err(LinalgError::InvalidStructure(format!("row_ptr decreases at row {r}")));
             }
             let seg = &col_idx[row_ptr[r]..row_ptr[r + 1]];
             for w in seg.windows(2) {
@@ -348,8 +346,7 @@ mod tests {
     #[test]
     fn symmetry_with_asymmetric_pattern_but_symmetric_values() {
         // Explicit zero at (0,1) only; (1,0) not stored. Numerically symmetric.
-        let m =
-            CsrMatrix::from_raw(2, 2, vec![0, 1, 1], vec![1], vec![0.0]).unwrap();
+        let m = CsrMatrix::from_raw(2, 2, vec![0, 1, 1], vec![1], vec![0.0]).unwrap();
         assert!(m.is_symmetric(0.0));
     }
 

@@ -283,10 +283,7 @@ mod tests {
             let mut av = vec![0.0; n];
             m.matvec(&vk, &mut av);
             for i in 0..n {
-                assert!(
-                    (av[i] - vals[k] * vk[i]).abs() < 1e-9,
-                    "residual too large at ({i}, {k})"
-                );
+                assert!((av[i] - vals[k] * vk[i]).abs() < 1e-9, "residual too large at ({i}, {k})");
             }
         }
         // Orthonormality.

@@ -51,10 +51,9 @@ pub enum LinalgError {
 impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LinalgError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
-                f,
-                "index ({row}, {col}) out of bounds for {nrows}x{ncols} matrix"
-            ),
+            LinalgError::IndexOutOfBounds { row, col, nrows, ncols } => {
+                write!(f, "index ({row}, {col}) out of bounds for {nrows}x{ncols} matrix")
+            }
             LinalgError::DimensionMismatch { expected, found, what } => {
                 write!(f, "dimension mismatch for {what}: expected {expected}, found {found}")
             }

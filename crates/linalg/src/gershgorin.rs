@@ -144,13 +144,7 @@ mod tests {
         // Symmetric tridiagonal with known spectrum: -t chain eigenvalues
         // are 2 cos(k pi / (n+1)), all inside Gershgorin's [-2, 2].
         let n = 8;
-        let m = DenseMatrix::from_fn(n, n, |i, j| {
-            if i.abs_diff(j) == 1 {
-                -1.0
-            } else {
-                0.0
-            }
-        });
+        let m = DenseMatrix::from_fn(n, n, |i, j| if i.abs_diff(j) == 1 { -1.0 } else { 0.0 });
         let b = gershgorin_dense(&m);
         let eig = jacobi_eigenvalues(&m).unwrap();
         for &e in &eig {

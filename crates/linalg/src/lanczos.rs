@@ -109,7 +109,8 @@ pub fn lanczos_bounds<A: LinearOp>(
         let lo = ritz[0];
         let hi = *ritz.last().expect("nonempty ritz");
         let scale = hi.abs().max(lo.abs()).max(1.0);
-        if k > 0 && (lo - last_lo).abs() <= config.tol * scale
+        if k > 0
+            && (lo - last_lo).abs() <= config.tol * scale
             && (hi - last_hi).abs() <= config.tol * scale
         {
             return Ok(LanczosResult { bounds: SpectralBounds::new(lo, hi), steps, ritz });

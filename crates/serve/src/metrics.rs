@@ -1,0 +1,172 @@
+//! Lock-free service counters and latency histograms.
+//!
+//! Everything is an atomic so workers record without contending on a lock;
+//! [`Metrics::render`] produces the human-readable block the front-ends
+//! print at shutdown (and which the integration tests assert against).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Power-of-two latency histogram: bucket `i` counts durations in
+/// `[2^i, 2^{i+1})` microseconds (bucket 0 also absorbs sub-microsecond).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; 32],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let micros = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - micros.max(1).leading_zeros() as usize - 1).min(31);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded durations (zero when empty).
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros(self.sum_micros.load(Ordering::Relaxed) / n)
+    }
+
+    /// Upper edge (exclusive, in µs) of the smallest bucket prefix holding
+    /// at least `q` of the samples — a coarse quantile.
+    pub fn quantile_upper_micros(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = (q * n as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// Service-wide counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Jobs accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Jobs rejected by backpressure.
+    pub rejected: AtomicU64,
+    /// Jobs that produced a result.
+    pub completed: AtomicU64,
+    /// Jobs that exhausted retries (or failed terminally).
+    pub failed: AtomicU64,
+    /// Jobs cancelled while still queued (shutdown).
+    pub cancelled: AtomicU64,
+    /// Individual retry attempts.
+    pub retried: AtomicU64,
+    /// Attempts that hit the per-job timeout.
+    pub timed_out: AtomicU64,
+    /// Attempts that panicked (caught; pool survived).
+    pub panicked: AtomicU64,
+    /// Moment-cache hits (including prefix hits).
+    pub cache_hits: AtomicU64,
+    /// Moment-cache misses.
+    pub cache_misses: AtomicU64,
+    /// Cache entries upgraded in place to a higher order.
+    pub cache_upgrades: AtomicU64,
+    /// Cache entries evicted by the LRU policy.
+    pub cache_evictions: AtomicU64,
+    /// Time jobs spent queued before a worker picked them up.
+    pub queue_wait: Histogram,
+    /// Time spent executing (per successful attempt).
+    pub exec_time: Histogram,
+}
+
+/// Increments an atomic counter by one.
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn load(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}
+
+impl Metrics {
+    /// Renders the metrics block. `queue_depth` is sampled by the caller at
+    /// render time (the queue owns it).
+    pub fn render(&self, queue_depth: usize) -> String {
+        let hits = load(&self.cache_hits);
+        let misses = load(&self.cache_misses);
+        let total_lookups = hits + misses;
+        let hit_rate =
+            if total_lookups == 0 { 0.0 } else { 100.0 * hits as f64 / total_lookups as f64 };
+        format!(
+            "jobs      : submitted {} | completed {} | failed {} | cancelled {} | rejected {}\n\
+             attempts  : retried {} | timed out {} | panicked {}\n\
+             cache     : hits {hits} | misses {misses} | hit rate {hit_rate:.1}% | upgrades {} | \
+             evictions {}\n\
+             queue     : depth {queue_depth} | wait mean {:?} | wait p90 < {} us\n\
+             execution : mean {:?} | p90 < {} us\n",
+            load(&self.submitted),
+            load(&self.completed),
+            load(&self.failed),
+            load(&self.cancelled),
+            load(&self.rejected),
+            load(&self.retried),
+            load(&self.timed_out),
+            load(&self.panicked),
+            load(&self.cache_upgrades),
+            load(&self.cache_evictions),
+            self.queue_wait.mean(),
+            self.queue_wait.quantile_upper_micros(0.9),
+            self.exec_time.mean(),
+            self.exec_time.quantile_upper_micros(0.9),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let h = Histogram::default();
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(5));
+        h.record(Duration::from_micros(1000));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean(), Duration::from_micros(336));
+        // Two of three samples sit in [2, 8) us; p50 upper edge is <= 8.
+        assert!(h.quantile_upper_micros(0.5) <= 8);
+        assert!(h.quantile_upper_micros(1.0) >= 1024);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile_upper_micros(0.9), 0);
+    }
+
+    #[test]
+    fn render_mentions_all_counter_groups() {
+        let m = Metrics::default();
+        bump(&m.submitted);
+        bump(&m.cache_hits);
+        let text = m.render(4);
+        for needle in ["submitted 1", "hits 1", "hit rate 100.0%", "depth 4"] {
+            assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+        }
+    }
+}

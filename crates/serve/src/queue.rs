@@ -1,0 +1,229 @@
+//! Bounded submission queue: FIFO within three priority lanes, with
+//! backpressure.
+//!
+//! `submit` never blocks — a full queue rejects with a suggested
+//! `retry_after` proportional to the backlog, so front-ends can surface
+//! load-shedding instead of stalling the producer. Workers block in
+//! [`JobQueue::pop`] on a condvar; [`JobQueue::close`] wakes them all for
+//! shutdown and [`JobQueue::cancel_pending`] drains whatever never ran.
+
+use crate::job::JobSpec;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Monotonically increasing job identifier, assigned at submission.
+pub type JobId = u64;
+
+/// A job sitting in (or popped from) the queue.
+#[derive(Debug)]
+pub struct QueuedJob {
+    /// Submission-order identifier.
+    pub id: JobId,
+    /// The job itself.
+    pub spec: JobSpec,
+    /// When it entered the queue (queue-wait metric).
+    pub enqueued: Instant,
+}
+
+/// Rejection by backpressure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueFull {
+    /// Queue capacity that was hit.
+    pub capacity: usize,
+    /// Suggested delay before resubmitting.
+    pub retry_after: Duration,
+}
+
+impl fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "queue full ({} jobs); retry after {:?}", self.capacity, self.retry_after)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// Estimated service time per queued job used to size `retry_after`; the
+/// exact value only shapes the hint, nothing blocks on it.
+const RETRY_STEP: Duration = Duration::from_millis(50);
+
+struct Inner {
+    lanes: [VecDeque<QueuedJob>; 3],
+    closed: bool,
+    next_id: JobId,
+}
+
+impl Inner {
+    fn depth(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// The bounded priority queue.
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// Creates a queue holding at most `capacity` pending jobs.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            inner: Mutex::new(Inner {
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                closed: false,
+                next_id: 0,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Capacity this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently pending.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").depth()
+    }
+
+    /// Enqueues a job, assigning its [`JobId`].
+    ///
+    /// # Errors
+    /// [`QueueFull`] when at capacity (or closed), with a `retry_after`
+    /// hint scaled to the backlog.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, QueueFull> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        let depth = inner.depth();
+        if inner.closed || depth >= self.capacity {
+            return Err(QueueFull {
+                capacity: self.capacity,
+                retry_after: RETRY_STEP * (depth.max(1) as u32),
+            });
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let lane = spec.priority.lane();
+        inner.lanes[lane].push_back(QueuedJob { id, spec, enqueued: Instant::now() });
+        drop(inner);
+        self.available.notify_one();
+        Ok(id)
+    }
+
+    /// Blocks until a job is available (highest non-empty lane, FIFO within
+    /// it) or the queue is closed and empty, returning `None` then.
+    pub fn pop(&self) -> Option<QueuedJob> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(job) = inner.lanes.iter_mut().find_map(VecDeque::pop_front) {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Stops accepting submissions and wakes all blocked workers; already
+    /// queued jobs still drain.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Closes the queue and removes everything still pending (abort path);
+    /// returns the cancelled jobs in priority-then-FIFO order.
+    pub fn cancel_pending(&self) -> Vec<QueuedJob> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.closed = true;
+        let cancelled = inner.lanes.iter_mut().flat_map(std::mem::take).collect();
+        drop(inner);
+        self.available.notify_all();
+        cancelled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Priority;
+    use std::sync::Arc;
+
+    fn job(priority: Priority) -> JobSpec {
+        JobSpec { priority, ..JobSpec::parse("lattice=chain:8 moments=8").unwrap() }
+    }
+
+    #[test]
+    fn fifo_within_lane_priority_across_lanes() {
+        let q = JobQueue::new(8);
+        let normal_a = q.submit(job(Priority::Normal)).unwrap();
+        let low = q.submit(job(Priority::Low)).unwrap();
+        let normal_b = q.submit(job(Priority::Normal)).unwrap();
+        let high = q.submit(job(Priority::High)).unwrap();
+        let order: Vec<JobId> = (0..4).map(|_| q.pop().unwrap().id).collect();
+        assert_eq!(order, vec![high, normal_a, normal_b, low]);
+    }
+
+    #[test]
+    fn rejects_when_full_with_growing_hint() {
+        let q = JobQueue::new(2);
+        q.submit(job(Priority::Normal)).unwrap();
+        q.submit(job(Priority::Normal)).unwrap();
+        let err = q.submit(job(Priority::Normal)).unwrap_err();
+        assert_eq!(err.capacity, 2);
+        assert!(err.retry_after >= RETRY_STEP * 2);
+        assert!(err.to_string().contains("retry after"));
+        // Draining one slot frees capacity again.
+        q.pop().unwrap();
+        assert!(q.submit(job(Priority::Normal)).is_ok());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(JobQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let handle = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(handle.join().unwrap().is_none());
+        assert!(q.submit(job(Priority::Normal)).is_err(), "closed queue rejects");
+    }
+
+    #[test]
+    fn close_still_drains_pending() {
+        let q = JobQueue::new(4);
+        let id = q.submit(job(Priority::Normal)).unwrap();
+        q.close();
+        assert_eq!(q.pop().unwrap().id, id);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_pending_empties_queue() {
+        let q = JobQueue::new(8);
+        for _ in 0..3 {
+            q.submit(job(Priority::Normal)).unwrap();
+        }
+        let cancelled = q.cancel_pending();
+        assert_eq!(cancelled.len(), 3);
+        assert_eq!(q.depth(), 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ids_are_monotonic_in_submission_order() {
+        let q = JobQueue::new(8);
+        let a = q.submit(job(Priority::Low)).unwrap();
+        let b = q.submit(job(Priority::High)).unwrap();
+        assert!(b > a);
+    }
+}

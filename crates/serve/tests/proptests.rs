@@ -1,0 +1,94 @@
+//! Property tests for the content-addressed moment cache, driven through
+//! the real KPM compute path ([`kpm_serve::worker::compute_raw_moments`]).
+
+use kpm_serve::cache::{Lookup, MomentCache};
+use kpm_serve::job::JobSpec;
+use kpm_serve::worker::compute_raw_moments;
+use proptest::prelude::*;
+
+/// A small, fast job over the parameters the cache key depends on.
+fn job(sites: usize, moments: usize, seed: u64) -> JobSpec {
+    JobSpec::parse(&format!("lattice=chain:{sites} moments={moments} random=2 sets=1 seed={seed}"))
+        .expect("valid job line")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A cache hit returns bitwise-identical moments to what was inserted.
+    #[test]
+    fn hit_is_bitwise_identical(sites in 8usize..40, moments in 8usize..48, seed in 0u64..1000) {
+        let spec = job(sites, moments, seed);
+        let (stats, a_plus, a_minus) = compute_raw_moments(&spec, 0).unwrap();
+        let cache = MomentCache::new(8, None);
+        cache.insert(spec.cache_key(), stats.clone(), a_plus, a_minus);
+        match cache.lookup(spec.cache_key(), moments) {
+            Lookup::Hit(hit) => {
+                prop_assert_eq!(hit.stats.mean, stats.mean);
+                prop_assert_eq!(hit.stats.std_err, stats.std_err);
+                prop_assert_eq!(hit.stats.samples, stats.samples);
+                prop_assert_eq!((hit.a_plus, hit.a_minus), (a_plus, a_minus));
+            }
+            other => prop_assert!(false, "expected hit, got {:?}", other),
+        }
+    }
+
+    /// Prefix reuse: serving `n < n_cached` from the cache is bitwise equal
+    /// to a fresh same-seed run at `n` — the property that makes caching
+    /// across truncation orders sound.
+    #[test]
+    fn prefix_reuse_equals_fresh_run(
+        sites in 8usize..40,
+        n_small in 4usize..24,
+        extra in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let n_big = n_small + extra;
+        let big = job(sites, n_big, seed);
+        let small = job(sites, n_small, seed);
+        // Same identity: the key masks the truncation order.
+        prop_assert_eq!(big.cache_key(), small.cache_key());
+
+        let (big_stats, a_plus, a_minus) = compute_raw_moments(&big, 0).unwrap();
+        let cache = MomentCache::new(8, None);
+        cache.insert(big.cache_key(), big_stats, a_plus, a_minus);
+
+        let (fresh, fresh_plus, fresh_minus) = compute_raw_moments(&small, 0).unwrap();
+        match cache.lookup(small.cache_key(), n_small) {
+            Lookup::Hit(hit) => {
+                prop_assert_eq!(hit.stats.mean, fresh.mean, "cached prefix != fresh run");
+                prop_assert_eq!(hit.stats.std_err, fresh.std_err);
+                prop_assert_eq!((hit.a_plus, hit.a_minus), (fresh_plus, fresh_minus));
+            }
+            other => prop_assert!(false, "expected hit, got {:?}", other),
+        }
+    }
+
+    /// The LRU policy never holds more than `capacity` entries, keeps the
+    /// most recently touched ones, and reports every eviction.
+    #[test]
+    fn lru_eviction_respects_capacity(
+        capacity in 1usize..6,
+        inserts in 1usize..20,
+    ) {
+        let spec = job(12, 8, 1);
+        let (stats, a_plus, a_minus) = compute_raw_moments(&spec, 0).unwrap();
+        let cache = MomentCache::new(capacity, None);
+        let mut evicted_total = 0;
+        for key in 0..inserts as u64 {
+            let report = cache.insert(key, stats.clone(), a_plus, a_minus);
+            evicted_total += report.evicted;
+            prop_assert!(cache.len() <= capacity, "len {} > capacity {}", cache.len(), capacity);
+        }
+        let surviving = inserts.min(capacity);
+        prop_assert_eq!(cache.len(), surviving);
+        prop_assert_eq!(evicted_total, inserts - surviving);
+        // Insertion order doubles as recency here: exactly the last
+        // `capacity` keys must still be resident.
+        for key in 0..inserts as u64 {
+            let expect_hit = key as usize >= inserts - surviving;
+            let found = matches!(cache.lookup(key, 8), Lookup::Hit(_));
+            prop_assert_eq!(found, expect_hit, "key {} residency wrong", key);
+        }
+    }
+}

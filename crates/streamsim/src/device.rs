@@ -152,8 +152,7 @@ impl Device {
             entry.launches += 1;
             entry.total_time += rec.time;
             entry.flops += rec.declared.flops;
-            entry.dram_bytes +=
-                rec.declared.global_read_bytes + rec.declared.global_write_bytes;
+            entry.dram_bytes += rec.declared.global_read_bytes + rec.declared.global_write_bytes;
         }
         let mut out: Vec<KernelSummary> = map.into_values().collect();
         out.sort_by(|a, b| b.total_time.as_secs_f64().total_cmp(&a.total_time.as_secs_f64()));
@@ -283,13 +282,7 @@ impl Device {
             compute_efficiency,
         );
         self.clock += time;
-        self.launches.push(LaunchRecord {
-            name: kernel.name(),
-            dims,
-            declared,
-            counted,
-            time,
-        });
+        self.launches.push(LaunchRecord { name: kernel.name(), dims, declared, counted, time });
         Ok(time)
     }
 }
@@ -353,10 +346,7 @@ mod tests {
             // Phase 1: each thread loads one element into shared memory.
             let vals: Vec<f64> = {
                 let x = scope.global(self.x);
-                scope
-                    .threads()
-                    .map(|t| x.load(scope.global_thread_id(t)))
-                    .collect()
+                scope.threads().map(|t| x.load(scope.global_thread_id(t))).collect()
             };
             for (i, v) in vals.into_iter().enumerate() {
                 scope.shared_store(i, v);
@@ -452,10 +442,7 @@ mod tests {
             dev.launch(&k, Dim3::x(1), Dim3::x(1024)),
             Err(SimError::InvalidLaunch(_))
         ));
-        assert!(matches!(
-            dev.launch(&k, Dim3::x(0), Dim3::x(32)),
-            Err(SimError::InvalidLaunch(_))
-        ));
+        assert!(matches!(dev.launch(&k, Dim3::x(0), Dim3::x(32)), Err(SimError::InvalidLaunch(_))));
         // Shared memory over the per-SM limit.
         struct Hog;
         impl BlockKernel for Hog {
@@ -520,9 +507,7 @@ mod tests {
         assert!(add.total_time.as_secs_f64() > 0.0);
         assert!(add.flop_rate() > 0.0);
         // Sorted by total time descending.
-        assert!(
-            summaries[0].total_time.as_secs_f64() >= summaries[1].total_time.as_secs_f64()
-        );
+        assert!(summaries[0].total_time.as_secs_f64() >= summaries[1].total_time.as_secs_f64());
     }
 
     #[test]

@@ -48,9 +48,7 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(SimError::OutOfMemory { requested: 10, available: 5 }
-            .to_string()
-            .contains("10 B"));
+        assert!(SimError::OutOfMemory { requested: 10, available: 5 }.to_string().contains("10 B"));
         assert!(SimError::CopyLengthMismatch { buffer: 4, host: 3 }.to_string().contains('4'));
         assert!(SimError::InvalidLaunch("block too large".into())
             .to_string()

@@ -179,11 +179,7 @@ mod tests {
     fn phase_time_memory_bound_when_spilled() {
         let cpu = CpuSpec::test_cpu();
         // 1 GB streamed from DRAM at 1 GB/s dominates 0.1 GFLOP.
-        let t = cpu.phase_time(&MemTraffic::new(
-            100_000_000,
-            1_000_000_000,
-            10_000_000,
-        ));
+        let t = cpu.phase_time(&MemTraffic::new(100_000_000, 1_000_000_000, 10_000_000));
         assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
     }
 

@@ -99,14 +99,12 @@ impl DeviceMemory {
         if len == 0 {
             return Ok(GlobalBuffer { offset: 0, len: 0, generation: self.generation });
         }
-        let slot = self
-            .regions
-            .iter()
-            .position(|r| r.free && r.len >= len)
-            .ok_or(SimError::OutOfMemory {
+        let slot = self.regions.iter().position(|r| r.free && r.len >= len).ok_or(
+            SimError::OutOfMemory {
                 requested: len * 8,
                 available: (self.capacity_words - self.in_use_words) * 8,
-            })?;
+            },
+        )?;
         let region = self.regions[slot];
         let buf = GlobalBuffer { offset: region.offset, len, generation: self.generation };
         if region.len == len {

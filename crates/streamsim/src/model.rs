@@ -229,8 +229,7 @@ impl GpuSpec {
         }
         let warps_per_block = threads_per_block.div_ceil(self.warp_size);
         // Lanes wasted by a partially filled final warp.
-        let warp_alignment =
-            threads_per_block as f64 / (warps_per_block * self.warp_size) as f64;
+        let warp_alignment = threads_per_block as f64 / (warps_per_block * self.warp_size) as f64;
         // How many blocks can be resident on one SM at once.
         let resident_blocks = (self.max_threads_per_sm / (warps_per_block * self.warp_size))
             .clamp(1, self.max_blocks_per_sm);
@@ -275,8 +274,7 @@ impl GpuSpec {
             .clamp(1, self.max_blocks_per_sm);
         let waves = num_blocks.div_ceil(resident_blocks * self.num_sms).max(1);
         let t_barrier = cost.barriers as f64 * waves as f64 * self.barrier_latency;
-        self.launch_overhead
-            + SimTime::from_secs(t_compute.max(t_dram).max(t_shared) + t_barrier)
+        self.launch_overhead + SimTime::from_secs(t_compute.max(t_dram).max(t_shared) + t_barrier)
     }
 
     /// Models a host<->device transfer of `bytes`.

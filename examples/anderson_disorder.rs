@@ -23,11 +23,7 @@ fn main() {
         let tb = TightBinding::new(
             lattice.clone(),
             1.0,
-            if w == 0.0 {
-                OnSite::Uniform(0.0)
-            } else {
-                OnSite::Disorder { width: w, seed: 11 }
-            },
+            if w == 0.0 { OnSite::Uniform(0.0) } else { OnSite::Disorder { width: w, seed: 11 } },
         );
         let h = tb.build_csr();
         let params = KpmParams::new(256).with_random_vectors(8, 4).with_seed(3);
@@ -35,15 +31,22 @@ fn main() {
 
         // Band width: clean band is [-6, 6]; disorder pushes Lifshitz
         // tails out to +-(6 + W/2).
-        let weight_outside_clean_band =
-            dos.integrate() - dos.integrate_range(-6.0, 6.0);
+        let weight_outside_clean_band = dos.integrate() - dos.integrate_range(-6.0, 6.0);
         println!("W = {w:>4.1}:");
-        println!("  band support     : [{:.2}, {:.2}]", dos.energies[0], dos.energies.last().unwrap());
+        println!(
+            "  band support     : [{:.2}, {:.2}]",
+            dos.energies[0],
+            dos.energies.last().unwrap()
+        );
         println!("  weight outside [-6, 6]: {weight_outside_clean_band:.4}");
-        println!("  peak rho         : {:.4} at E = {:.2}", {
-            let m = dos.rho.iter().cloned().fold(0.0f64, f64::max);
-            m
-        }, dos.peak_energy());
+        println!(
+            "  peak rho         : {:.4} at E = {:.2}",
+            {
+                let m = dos.rho.iter().cloned().fold(0.0f64, f64::max);
+                m
+            },
+            dos.peak_energy()
+        );
 
         // LDoS spread across sites at the band centre: a proxy for how
         // inhomogeneous the system has become.

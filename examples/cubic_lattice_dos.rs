@@ -13,10 +13,8 @@ fn main() {
     let h = paper_cubic_hamiltonian();
 
     for &n in &[256usize, 512] {
-        let params = KpmParams::new(n)
-            .with_random_vectors(14, 4)
-            .with_grid_points(1024)
-            .with_seed(6);
+        let params =
+            KpmParams::new(n).with_random_vectors(14, 4).with_grid_points(1024).with_seed(6);
         let start = std::time::Instant::now();
         let dos = DosEstimator::new(params).compute(&h).expect("KPM");
         let elapsed = start.elapsed();

@@ -33,12 +33,8 @@ fn main() {
     println!("Simulated GPU (functional layer): {:.2?} host wall-clock", t.elapsed());
 
     // --- Verify agreement ---
-    let worst = cpu
-        .mean
-        .iter()
-        .zip(&gpu.moments.mean)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let worst =
+        cpu.mean.iter().zip(&gpu.moments.mean).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!("max |mu_cpu - mu_gpu| = {worst:.2e} (same random streams, same recursion)\n");
 
     // --- Modeled time breakdown (device clock, not wall clock) ---

@@ -21,10 +21,7 @@ fn main() {
     );
 
     let start = std::time::Instant::now();
-    let params = KpmParams::new(512)
-        .with_random_vectors(8, 2)
-        .with_grid_points(2048)
-        .with_seed(19);
+    let params = KpmParams::new(512).with_random_vectors(8, 2).with_grid_points(2048).with_seed(19);
     let dos = DosEstimator::new(params).compute(&h).expect("KPM");
     println!("DoS in {:.2?}; integral = {:.4}\n", start.elapsed(), dos.integrate());
 
@@ -50,5 +47,7 @@ fn main() {
     let mu = thermal::chemical_potential(&dos, 0.5, 0.05).expect("mu");
     println!("\nchemical potential at half filling, T = 0.05: mu = {mu:.4} (symmetry: 0)");
     let cv_graphene = thermal::specific_heat(&dos, 0.0, 0.1, 0.02);
-    println!("electronic specific heat at T = 0.1: {cv_graphene:.5} (suppressed by the Dirac point)");
+    println!(
+        "electronic specific heat at T = 0.1: {cv_graphene:.5} (suppressed by the Dirac point)"
+    );
 }

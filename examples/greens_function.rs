@@ -54,9 +54,7 @@ fn main() {
         .map(|(we, wa)| 0.5 * (wa[0] + wa[1]) * (we[1] - we[0]))
         .sum();
     let analytic = 2.0 / std::f64::consts::PI * (1.9f64 / 2.0).asin() * 2.0 / 2.0;
-    println!(
-        "partial sum rule over [-1.9, 1.9]: {integral:.4} (analytic: {analytic:.4})"
-    );
+    println!("partial sum rule over [-1.9, 1.9]: {integral:.4} (analytic: {analytic:.4})");
 
     // Compare against the exact band-structure moments.
     let exact_eigs: Vec<f64> = (0..512)
@@ -64,11 +62,7 @@ fn main() {
         .map(|e| (e - bounds.a_plus()) / bounds.a_minus())
         .collect();
     let exact = exact_moments(&exact_eigs, 32);
-    let worst = exact
-        .iter()
-        .zip(&stats.mean)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let worst = exact.iter().zip(&stats.mean).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     let expected_noise = 1.0 / ((params.total_realizations() * 512) as f64).sqrt();
     println!(
         "stochastic vs analytic moments (first 32): max diff {worst:.2e} \

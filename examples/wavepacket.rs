@@ -17,14 +17,10 @@ use kpm_suite::lattice::{Boundary, HypercubicLattice, OnSite, TightBinding};
 /// Root-mean-square spread of a density profile around its centre.
 fn rms_spread(density: &[f64]) -> f64 {
     let total: f64 = density.iter().sum();
-    let mean: f64 =
-        density.iter().enumerate().map(|(i, &p)| i as f64 * p).sum::<f64>() / total;
-    let var: f64 = density
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| (i as f64 - mean).powi(2) * p)
-        .sum::<f64>()
-        / total;
+    let mean: f64 = density.iter().enumerate().map(|(i, &p)| i as f64 * p).sum::<f64>() / total;
+    let var: f64 =
+        density.iter().enumerate().map(|(i, &p)| (i as f64 - mean).powi(2) * p).sum::<f64>()
+            / total;
     var.sqrt()
 }
 
@@ -37,9 +33,7 @@ fn main() {
             if w == 0.0 { OnSite::Uniform(0.0) } else { OnSite::Disorder { width: w, seed: 4 } },
         );
         let h = tb.build_csr();
-        let bounds = h
-            .spectral_bounds(kpm_suite::kpm::BoundsMethod::Gershgorin)
-            .expect("bounds");
+        let bounds = h.spectral_bounds(kpm_suite::kpm::BoundsMethod::Gershgorin).expect("bounds");
         let prop = Propagator::new(&h, bounds, 1e-10).expect("propagator");
 
         // Start on the central site.

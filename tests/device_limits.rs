@@ -60,9 +60,8 @@ fn oversized_block_rejected_at_launch() {
     let mut engine = StreamKpmEngine::new(GpuSpec::tesla_c2050())
         .with_mapping(kpm_suite::stream::Mapping::BlockPerRealization)
         .with_block_size(4096);
-    let err = engine
-        .compute_moments_csr(&h, &KpmParams::new(4).with_random_vectors(2, 1))
-        .unwrap_err();
+    let err =
+        engine.compute_moments_csr(&h, &KpmParams::new(4).with_random_vectors(2, 1)).unwrap_err();
     assert!(err.to_string().contains("exceeds device limit"), "{err}");
 }
 

@@ -75,12 +75,9 @@ fn dos_cumulative_matches_exact_counts() {
 fn recursion_strategies_agree_end_to_end() {
     let h = kpm_suite::lattice::dense_random_symmetric(64, 1.0, 15);
     let base = KpmParams::new(64).with_random_vectors(8, 2).with_seed(31);
-    let plain = DosEstimator::new(base.clone().with_recursion(Recursion::Plain))
-        .compute(&h)
-        .unwrap();
-    let doubled = DosEstimator::new(base.with_recursion(Recursion::Doubling))
-        .compute(&h)
-        .unwrap();
+    let plain =
+        DosEstimator::new(base.clone().with_recursion(Recursion::Plain)).compute(&h).unwrap();
+    let doubled = DosEstimator::new(base.with_recursion(Recursion::Doubling)).compute(&h).unwrap();
     for (a, b) in plain.rho.iter().zip(&doubled.rho) {
         assert!((a - b).abs() < 1e-8, "{a} vs {b}");
     }
@@ -92,11 +89,8 @@ fn recursion_strategies_agree_end_to_end() {
 fn lanczos_bounds_pipeline_agrees_and_tightens() {
     // Open-boundary chain: Gershgorin gives [-2, 2] but the true spectrum
     // is strictly inside.
-    let tb = TightBinding::new(
-        HypercubicLattice::chain(64, Boundary::Open),
-        1.0,
-        OnSite::Uniform(0.0),
-    );
+    let tb =
+        TightBinding::new(HypercubicLattice::chain(64, Boundary::Open), 1.0, OnSite::Uniform(0.0));
     let h = tb.build_csr();
     let gersh = KpmParams::new(64).with_random_vectors(8, 4).with_seed(5);
     let lanc = gersh.clone().with_bounds(BoundsMethod::Lanczos { steps: 60 });

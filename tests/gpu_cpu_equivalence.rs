@@ -48,12 +48,7 @@ fn equivalence_across_mappings_and_layouts() {
             .with_layout(layout)
             .with_block_size(16);
         let gpu = engine.compute_moments_csr(&h, &params).unwrap();
-        assert_close(
-            &cpu.mean,
-            &gpu.moments.mean,
-            1e-9,
-            &format!("{mapping:?}/{layout:?}"),
-        );
+        assert_close(&cpu.mean, &gpu.moments.mean, 1e-9, &format!("{mapping:?}/{layout:?}"));
     }
 }
 
@@ -66,10 +61,8 @@ fn equivalence_across_distributions() {
     )
     .build_csr();
     for dist in [Distribution::Rademacher, Distribution::Gaussian, Distribution::Uniform] {
-        let params = KpmParams::new(16)
-            .with_random_vectors(3, 2)
-            .with_distribution(dist)
-            .with_seed(23);
+        let params =
+            KpmParams::new(16).with_random_vectors(3, 2).with_distribution(dist).with_seed(23);
         let cpu = cpu_reference_csr(&h, &params);
         let mut engine = StreamKpmEngine::new(GpuSpec::tesla_c2050());
         let gpu = engine.compute_moments_csr(&h, &params).unwrap();

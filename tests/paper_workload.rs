@@ -62,10 +62,8 @@ fn paper_launch_geometry() {
 fn fig6_resolution_claim() {
     let h = paper_cubic_hamiltonian();
     let run = |n: usize| {
-        let params = KpmParams::new(n)
-            .with_random_vectors(14, 1)
-            .with_grid_points(512)
-            .with_seed(60);
+        let params =
+            KpmParams::new(n).with_random_vectors(14, 1).with_grid_points(512).with_seed(60);
         let mut engine = StreamKpmEngine::new(GpuSpec::tesla_c2050());
         let (dos, time) = engine.compute_dos_csr(&h, &params).unwrap();
         (dos, time.total().as_secs_f64())

@@ -128,14 +128,11 @@ fn device_propagator_matches_host_on_2d_disorder() {
 
     let bounds = h.spectral_bounds(BoundsMethod::Gershgorin).unwrap();
     let host = Propagator::new(&h, bounds, 1e-12).unwrap().evolve(&psi, t);
-    let device = DevicePropagator::new(GpuSpec::tesla_c2050(), &h, 1e-12)
-        .unwrap()
-        .evolve(&psi, t)
-        .unwrap();
+    let device =
+        DevicePropagator::new(GpuSpec::tesla_c2050(), &h, 1e-12).unwrap().evolve(&psi, t).unwrap();
     for i in 0..64 {
         assert!(
-            (host.re[i] - device.re[i]).abs() < 1e-9
-                && (host.im[i] - device.im[i]).abs() < 1e-9,
+            (host.re[i] - device.re[i]).abs() < 1e-9 && (host.im[i] - device.im[i]).abs() < 1e-9,
             "site {i}"
         );
     }

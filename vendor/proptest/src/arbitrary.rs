@@ -1,0 +1,71 @@
+//! `any::<T>()` support for types with a canonical strategy.
+
+use crate::strategy::{Strategy, TestRng};
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy for [`bool`]: fair coin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+/// Strategy for [`u64`]: full domain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct U64Strategy;
+
+impl Strategy for U64Strategy {
+    type Value = u64;
+
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u64 {
+    type Strategy = U64Strategy;
+
+    fn arbitrary() -> U64Strategy {
+        U64Strategy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_any_produces_both_values() {
+        let mut rng = TestRng::for_case("bools", 0);
+        let strat = any::<bool>();
+        let vals: Vec<bool> = (0..100).map(|_| strat.sample(&mut rng)).collect();
+        assert!(vals.iter().any(|&b| b));
+        assert!(vals.iter().any(|&b| !b));
+    }
+}

@@ -1,0 +1,78 @@
+//! Collection strategies.
+
+use crate::strategy::{Strategy, TestRng};
+
+/// A length specification for [`vec`]: an exact size, `lo..hi`, or
+/// `lo..=hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range {r:?}");
+        Self { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range {r:?}");
+        Self { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// Strategy producing `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64 + 1;
+        let len = self.size.lo + rng.next_below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_respects_all_size_forms() {
+        let mut rng = TestRng::for_case("sizes", 0);
+        for _ in 0..100 {
+            assert_eq!(vec(0u32..5, 3).sample(&mut rng).len(), 3);
+            let l = vec(0u32..5, 1..4).sample(&mut rng).len();
+            assert!((1..4).contains(&l));
+            let m = vec(0u32..5, 2..=6).sample(&mut rng).len();
+            assert!((2..=6).contains(&m));
+        }
+    }
+
+    #[test]
+    fn elements_come_from_element_strategy() {
+        let mut rng = TestRng::for_case("elems", 1);
+        let v = vec(10u64..20, 50).sample(&mut rng);
+        assert!(v.iter().all(|&x| (10..20).contains(&x)));
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for the subset of the `proptest` crate API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the external
+//! `proptest` dev-dependency is replaced by this path crate (wired up in
+//! the workspace `Cargo.toml`). It implements the pieces the workspace's
+//! property tests call:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * strategies: numeric ranges, tuples, [`strategy::Just`],
+//!   [`collection::vec`], [`prop_oneof!`], [`arbitrary::any`], and
+//!   [`strategy::Strategy::prop_flat_map`] / `prop_map` / `boxed`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (derived from the test's module path and name), there is
+//! no shrinking, and `proptest-regressions` files are ignored. A failing
+//! case panics with the case index so it can be replayed by rerunning the
+//! test (generation is deterministic).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::strategy::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &($strat), &mut __rng);
+                    )*
+                    let __result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __result {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name), __case, config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Property assertion: on failure the current case returns an error
+/// (reported with the case index by [`proptest!`]).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Property equality assertion; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} == {}: {:?} != {:?}",
+                    stringify!($left), stringify!($right), __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {} == {}: {:?} != {:?}: {}",
+                    stringify!($left), stringify!($right), __l, __r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Picks one of several strategies per sample, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,60 @@
+//! Test-runner configuration and case errors.
+
+use std::fmt;
+
+/// Configuration for a [`crate::proptest!`] block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256; the workspace's properties
+    /// are dense enough that this keeps the suite fast without losing the
+    /// regressions these tests were written to catch.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_and_error_basics() {
+        assert_eq!(ProptestConfig::with_cases(8).cases, 8);
+        assert_eq!(ProptestConfig::default().cases, 64);
+        let e = TestCaseError::fail("boom");
+        assert_eq!(e.to_string(), "boom");
+    }
+}

@@ -1,0 +1,139 @@
+//! Offline stand-in for the subset of the `rand` crate API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the external
+//! `rand` dependency is replaced by this path crate (wired up in the
+//! workspace `Cargo.toml`). It reproduces only the API surface the
+//! workspace calls — `StdRng::seed_from_u64`, `Uniform::new_inclusive`,
+//! and `Distribution::sample` — on top of the same SplitMix64 generator
+//! the `kpm` crate already uses for its counter-based streams.
+//!
+//! The stream of `StdRng` therefore differs numerically from upstream
+//! `rand`'s ChaCha-based `StdRng`; nothing in the workspace depends on the
+//! exact upstream values, only on determinism for a given seed (which this
+//! crate provides).
+
+/// A seedable random number generator core.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform in `[0, 1)` with 53-bit resolution.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    ///
+    /// Deterministic, fast, and passes the statistical needs of the test
+    /// suite (disorder realizations, GOE-like dense matrices).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One scramble so nearby seeds give decorrelated streams.
+            let mut rng = StdRng { state: seed };
+            rng.state = rng.next_u64();
+            rng
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sampling distributions.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution that can be sampled with any generator.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over an `f64` interval.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Uniform {
+        lo: f64,
+        hi: f64,
+    }
+
+    impl Uniform {
+        /// Uniform over the closed interval `[lo, hi]`.
+        ///
+        /// # Panics
+        /// Panics if `lo > hi` or either bound is non-finite.
+        pub fn new_inclusive(lo: f64, hi: f64) -> Self {
+            assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+            assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+            Self { lo, hi }
+        }
+    }
+
+    impl Distribution<f64> for Uniform {
+        #[inline]
+        fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+            self.lo + rng.next_f64() * (self.hi - self.lo)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds_and_covers_interval() {
+        let dist = Uniform::new_inclusive(-2.0, 3.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..4000).map(|_| dist.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&v| (-2.0..=3.0).contains(&v)));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.1, "mean {mean} far from 0.5");
+        assert!(samples.iter().any(|&v| v < -1.5));
+        assert!(samples.iter().any(|&v| v > 2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted interval")]
+    fn uniform_rejects_inverted_interval() {
+        let _ = Uniform::new_inclusive(1.0, 0.0);
+    }
+}

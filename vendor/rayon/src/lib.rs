@@ -1,0 +1,154 @@
+//! Offline stand-in for the subset of the `rayon` crate API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the external
+//! `rayon` dependency is replaced by this path crate (wired up in the
+//! workspace `Cargo.toml`). It supports the call shape the workspace
+//! actually uses — `(range).into_par_iter().map(f).collect()` /
+//! `.reduce(identity, op)` — executing on scoped `std::thread`s, one
+//! contiguous chunk per available core.
+//!
+//! Semantics match rayon where the workspace relies on them: `collect`
+//! preserves index order and `reduce` folds results in index order, so
+//! outputs are deterministic regardless of thread count.
+
+use std::num::NonZeroUsize;
+
+/// Re-exports mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps each element through `f` in parallel.
+    pub fn map<O, F>(self, f: F) -> ParMap<T, F>
+    where
+        O: Send,
+        F: Fn(T) -> O + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect or reduce.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, F, O> ParMap<T, F>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    /// Runs the map on all elements, preserving index order.
+    fn run(self) -> Vec<O> {
+        let n = self.items.len();
+        let threads =
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(n);
+        if threads <= 1 {
+            return self.items.into_iter().map(&self.f).collect();
+        }
+        let chunk_len = n.div_ceil(threads);
+        let mut items = self.items;
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        while !items.is_empty() {
+            let tail = items.split_off(items.len().min(chunk_len));
+            chunks.push(std::mem::replace(&mut items, tail));
+        }
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+                .collect();
+            let mut out = Vec::with_capacity(n);
+            for h in handles {
+                out.extend(h.join().expect("rayon shim worker panicked"));
+            }
+            out
+        })
+    }
+
+    /// Collects mapped elements in index order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Reduces mapped elements with `op`, starting from `identity()` and
+    /// folding in index order (a deterministic refinement of rayon's
+    /// unordered reduce — valid because rayon requires `op` to be
+    /// associative anyway).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> O
+    where
+        ID: Fn() -> O,
+        OP: Fn(O, O) -> O,
+    {
+        self.run().into_iter().fold(identity(), op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, &v) in squares.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn reduce_folds_all_elements() {
+        let sum = (0..101).into_par_iter().map(|i| i as u64).reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(sum, 5050);
+    }
+
+    #[test]
+    fn empty_range_collects_empty_and_reduces_to_identity() {
+        let v: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let r = (0..0).into_par_iter().map(|i| i).reduce(|| 7usize, |a, b| a + b);
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn vec_source_works() {
+        let doubled: Vec<i64> = vec![3i64, 1, 4, 1, 5].into_par_iter().map(|v| 2 * v).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+    }
+}
