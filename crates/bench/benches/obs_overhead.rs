@@ -1,0 +1,40 @@
+//! Tracing overhead guard: the observability layer must be free when no
+//! trace session is active. Benchmarks `stochastic_moments` — the hottest
+//! instrumented primitive — with tracing disabled (the default) and with a
+//! live session, on the same rescaled operator. The disabled case's cost
+//! relative to an uninstrumented build is a single relaxed atomic load per
+//! span site, which is far below run-to-run noise; the enabled case bounds
+//! the worst-case session cost (one mutex hop per span plus counter
+//! mirroring).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kpm::prelude::*;
+use kpm_lattice::dense_random_symmetric;
+use std::hint::black_box;
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let h = dense_random_symmetric(256, 1.0, 42);
+    let params = KpmParams::new(64).with_random_vectors(4, 2).with_seed(3);
+    let bounds = h.spectral_bounds(params.bounds).unwrap();
+    let rescaled = rescale(&h, bounds, params.padding).unwrap();
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+
+    group.bench_function("moments_tracing_disabled", |b| {
+        assert!(!kpm::obs::enabled(), "no trace session may be active here");
+        b.iter(|| black_box(stochastic_moments(&rescaled, &params)));
+    });
+
+    group.bench_function("moments_tracing_enabled", |b| {
+        let handle = TraceHandle::begin();
+        b.iter(|| black_box(stochastic_moments(&rescaled, &params)));
+        let report = handle.finish();
+        assert!(report.span_total_us("kpm.moments") > 0, "spans must have been recorded");
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

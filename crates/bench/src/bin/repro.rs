@@ -48,21 +48,41 @@ fn main() -> ExitCode {
     };
 
     match command.as_str() {
-        "fig5" => fig5(&out_dir),
-        "fig6" => fig6(&out_dir, full),
-        "fig7" => fig7(&out_dir),
-        "fig8" => fig8(&out_dir),
-        "ablations" => ablations(&out_dir),
+        "fig5" => traced("fig5", &out_dir, || fig5(&out_dir)),
+        "fig6" => traced("fig6", &out_dir, || fig6(&out_dir, full)),
+        "fig7" => traced("fig7", &out_dir, || fig7(&out_dir)),
+        "fig8" => traced("fig8", &out_dir, || fig8(&out_dir)),
+        "ablations" => traced("ablations", &out_dir, || ablations(&out_dir)),
         "all" => {
-            fig5(&out_dir);
-            fig6(&out_dir, full);
-            fig7(&out_dir);
-            fig8(&out_dir);
-            ablations(&out_dir);
+            traced("fig5", &out_dir, || fig5(&out_dir));
+            traced("fig6", &out_dir, || fig6(&out_dir, full));
+            traced("fig7", &out_dir, || fig7(&out_dir));
+            traced("fig8", &out_dir, || fig8(&out_dir));
+            traced("ablations", &out_dir, || ablations(&out_dir));
         }
         _ => unreachable!(),
     }
     ExitCode::SUCCESS
+}
+
+/// Runs one figure command inside a trace session and writes the recorded
+/// spans/counters to `BENCH_<name>.json` next to the CSVs — the machine
+/// summary of where the regeneration spent its time (the span glossary is
+/// in the README's Observability section).
+fn traced(name: &str, out: &Path, body: impl FnOnce()) {
+    let handle = kpm::obs::TraceHandle::begin();
+    {
+        let _span = kpm::obs::span_labeled("bench.figure", name);
+        body();
+    }
+    let mut report = handle.finish();
+    report.command = format!("repro {name}");
+    let path = out.join(format!("BENCH_{name}.json"));
+    let write = std::fs::create_dir_all(out).and_then(|()| report.write_json(&path));
+    match write {
+        Ok(()) => println!("wrote {}\n", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}\n", path.display()),
+    }
 }
 
 fn usage() -> ExitCode {

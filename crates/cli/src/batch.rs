@@ -13,7 +13,7 @@ use kpm_serve::{BatchConfig, BatchReport, BatchService, JobParseError, JobSpec};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Service options shared by `batch` and `serve`.
 fn service_config(args: &Args) -> Result<BatchConfig, CmdError> {
@@ -113,6 +113,16 @@ fn install_sigint() {}
 /// `kpm serve` — accept job lines on stdin until EOF or SIGINT.
 pub fn serve(args: &Args) -> Result<String, CmdError> {
     let quiet = args.flag("quiet");
+    let metrics_every = match args.get("metrics-every-secs") {
+        None => None,
+        Some(_) => {
+            let secs: f64 = args.get_or("metrics-every-secs", 0.0)?;
+            if secs <= 0.0 {
+                return Err(CmdError::Other("--metrics-every-secs must be positive".into()));
+            }
+            Some(Duration::from_secs_f64(secs))
+        }
+    };
     let service = BatchService::start(service_config(args)?);
     install_sigint();
     INTERRUPTED.store(false, Ordering::SeqCst);
@@ -132,9 +142,16 @@ pub fn serve(args: &Args) -> Result<String, CmdError> {
     });
 
     let mut accepted = 0usize;
+    let mut next_dump = metrics_every.map(|every| Instant::now() + every);
     let interrupted = loop {
         if INTERRUPTED.load(Ordering::SeqCst) {
             break true;
+        }
+        if let (Some(every), Some(at)) = (metrics_every, next_dump) {
+            if Instant::now() >= at {
+                eprintln!("{}", service.metrics_json());
+                next_dump = Some(at + every);
+            }
         }
         match rx.recv_timeout(Duration::from_millis(100)) {
             Err(mpsc::RecvTimeoutError::Timeout) => continue,

@@ -11,7 +11,7 @@
 
 use crate::engine::{EngineError, GpuRunResult, StreamKpmEngine, TimeBreakdown};
 use crate::layout::Mapping;
-use kpm::moments::{KpmParams, MomentStats};
+use kpm::prelude::{KpmParams, MomentStats};
 use kpm_linalg::CsrMatrix;
 use kpm_streamsim::{GpuSpec, SimTime};
 

@@ -9,9 +9,7 @@
 use crate::cost::{MomentLaunchShape, Precision};
 use crate::kernels::{MomentGenKernel, MomentReduceKernel};
 use crate::layout::{Mapping, VectorLayout};
-use kpm::moments::{KpmParams, MomentStats};
-use kpm::rescale::Boundable;
-use kpm::KpmError;
+use kpm::prelude::*;
 use kpm_linalg::{CsrMatrix, DenseMatrix};
 use kpm_streamsim::{Device, Dim3, GlobalBuffer, GpuSpec, SimError, SimTime};
 use std::fmt;
@@ -271,11 +269,11 @@ impl StreamKpmEngine {
         params: &KpmParams,
     ) -> Result<(kpm::Dos, TimeBreakdown), EngineError> {
         let run = self.compute_moments_csr(h, params)?;
-        let dos = kpm::DosEstimator::new(params.clone()).reconstruct(
+        let dos = DosEstimator::new(params.clone()).reconstruct(
             run.moments.clone(),
             run.a_plus,
             run.a_minus,
-        );
+        )?;
         Ok((dos, run.time))
     }
 
@@ -289,18 +287,25 @@ impl StreamKpmEngine {
         if a_minus <= 0.0 {
             return Err(EngineError::Kpm(KpmError::DegenerateSpectrum));
         }
+        let _run_span = kpm_obs::span("stream.run");
         let d = matrix.dim();
         let sr = params.total_realizations();
         let n_mom = params.num_moments;
         let dev = &mut self.device;
 
         let clock0 = dev.elapsed();
-        dev.advance_clock(dev.spec().setup_overhead);
+        {
+            let _span = kpm_obs::span("stream.setup");
+            dev.advance_clock(dev.spec().setup_overhead);
+        }
         let setup = dev.elapsed().0 - clock0.0;
 
         // Upload the matrix.
         let t0 = dev.elapsed();
-        let dmat = matrix.upload(dev)?;
+        let dmat = {
+            let _span = kpm_obs::span("stream.upload");
+            matrix.upload(dev)?
+        };
         let upload = dev.elapsed().0 - t0.0;
 
         // Recursion vectors (4 per realization: the paper's memory layout)
@@ -344,12 +349,15 @@ impl StreamKpmEngine {
             Mapping::ThreadPerRealization => self.block_size.min(sr.max(1)),
             Mapping::BlockPerRealization => self.block_size,
         };
-        let generation = dev.launch_with_efficiency(
-            &gen,
-            Dim3::x(shape.grid_blocks()),
-            Dim3::x(block_threads),
-            self.compute_efficiency,
-        )?;
+        let generation = {
+            let _span = kpm_obs::span("stream.generation");
+            dev.launch_with_efficiency(
+                &gen,
+                Dim3::x(shape.grid_blocks()),
+                Dim3::x(block_threads),
+                self.compute_efficiency,
+            )?
+        };
 
         // Fig. 4b launch.
         let reduce = MomentReduceKernel {
@@ -361,17 +369,23 @@ impl StreamKpmEngine {
         };
         let reduce_threads =
             self.block_size.min(dev.spec().max_threads_per_block).min(sr.next_power_of_two());
-        let reduction = dev.launch_with_efficiency(
-            &reduce,
-            Dim3::x(n_mom),
-            Dim3::x(reduce_threads),
-            self.compute_efficiency,
-        )?;
+        let reduction = {
+            let _span = kpm_obs::span("stream.reduction");
+            dev.launch_with_efficiency(
+                &reduce,
+                Dim3::x(n_mom),
+                Dim3::x(reduce_threads),
+                self.compute_efficiency,
+            )?
+        };
 
         // Read the moments back (charged — the real program does this).
         let t0 = dev.elapsed();
         let mut sums = vec![0.0; n_mom];
-        dev.copy_to_host(reduced, &mut sums)?;
+        {
+            let _span = kpm_obs::span("stream.download");
+            dev.copy_to_host(reduced, &mut sums)?;
+        }
         let download = dev.elapsed().0 - t0.0;
 
         // Cross-realization statistics from the partials (verification
@@ -400,6 +414,16 @@ impl StreamKpmEngine {
         let moments: Vec<f64> = sums.iter().map(|&s| s * inv_d / sr as f64).collect();
 
         let peak = dev.mem_peak();
+
+        // Mirror the modeled stage times into ambient counters so a
+        // `--trace` run records the *device* budget next to the host spans
+        // (which only measure simulator wall time).
+        let modeled_us = |t: f64| (t * 1e6) as u64;
+        kpm_obs::counter_add("stream.modeled.setup_us", modeled_us(setup));
+        kpm_obs::counter_add("stream.modeled.upload_us", modeled_us(upload));
+        kpm_obs::counter_add("stream.modeled.generation_us", modeled_us(generation.0));
+        kpm_obs::counter_add("stream.modeled.reduction_us", modeled_us(reduction.0));
+        kpm_obs::counter_add("stream.modeled.download_us", modeled_us(download));
 
         // Free device memory (matrix buffers too).
         dev.free(r0)?;

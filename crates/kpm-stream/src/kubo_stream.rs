@@ -13,10 +13,8 @@
 use crate::cost::Precision;
 use crate::engine::{DeviceMatrix, EngineError};
 use crate::layout::{Mapping, VectorLayout};
-use kpm::kubo::DoubleMoments;
-use kpm::moments::KpmParams;
+use kpm::prelude::{Boundable, DoubleMoments, KpmParams};
 use kpm::random::RandomStream;
-use kpm::rescale::Boundable;
 use kpm_linalg::CsrMatrix;
 use kpm_streamsim::kernel::{BlockKernel, BlockScope, KernelCost};
 use kpm_streamsim::{Device, Dim3, GlobalBuffer, GpuSpec, LaunchDims, SimTime};

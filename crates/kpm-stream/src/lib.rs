@@ -36,7 +36,7 @@ pub mod tune;
 
 pub use cluster::DeviceCluster;
 pub use cost::{MomentLaunchShape, Precision};
-pub use engine::{DeviceMatrix, GpuRunResult, StreamKpmEngine, TimeBreakdown};
+pub use engine::{DeviceMatrix, EngineError, GpuRunResult, StreamKpmEngine, TimeBreakdown};
 pub use kubo_stream::{device_double_moments, DoubleMomentShape};
 pub use layout::{Mapping, VectorLayout};
 pub use propagate::DevicePropagator;

@@ -15,8 +15,8 @@
 
 use crate::engine::{DeviceMatrix, EngineError};
 use kpm::bessel;
+use kpm::prelude::Boundable;
 use kpm::propagate::ComplexState;
-use kpm::rescale::Boundable;
 use kpm_linalg::CsrMatrix;
 use kpm_streamsim::kernel::{BlockKernel, BlockScope, KernelCost};
 use kpm_streamsim::{Device, Dim3, GlobalBuffer, GpuSpec, LaunchDims, SimTime};
@@ -193,6 +193,7 @@ impl DevicePropagator {
     /// Panics if `psi.dim()` mismatches the Hamiltonian.
     pub fn evolve(&mut self, psi: &ComplexState, t: f64) -> Result<ComplexState, EngineError> {
         assert_eq!(psi.dim(), self.dim, "state dimension");
+        let _span = kpm_obs::span("stream.propagate");
         let d = self.dim;
         let tau = self.a_minus * t;
         let margin = 20.0 + 10.0 * (1.0 / self.tolerance).log10().max(0.0);

@@ -10,9 +10,8 @@
 use crate::chebyshev;
 use crate::dct;
 use crate::error::KpmError;
+use crate::estimator::Estimator;
 use crate::moments::{stochastic_moments, KpmParams, MomentStats};
-use crate::rescale::{rescale, Boundable};
-use kpm_linalg::gershgorin::SpectralBounds;
 use kpm_linalg::op::LinearOp;
 
 /// A reconstructed density of states.
@@ -113,52 +112,59 @@ impl DosEstimator {
     pub fn params(&self) -> &KpmParams {
         &self.params
     }
+}
 
-    /// Runs the full pipeline on an operator whose bounds we can find.
-    ///
-    /// # Errors
-    /// Parameter validation, bounds computation, or degenerate-spectrum
-    /// errors.
-    pub fn compute<A: Boundable + Sync>(&self, op: &A) -> Result<Dos, KpmError> {
-        self.params.validate()?;
-        let bounds = op.spectral_bounds(self.params.bounds)?;
-        self.compute_with_bounds(op, bounds)
+/// Kernel damping + DCT reconstruction of a density on the original energy
+/// axis — shared by the DoS and LDoS estimators.
+pub(crate) fn reconstruct_density(
+    params: &KpmParams,
+    moments: MomentStats,
+    a_plus: f64,
+    a_minus: f64,
+) -> Dos {
+    let _span = kpm_obs::span("kpm.reconstruct");
+    let damped = params.kernel.damp(&moments.mean);
+    let k = params.grid_points;
+    let sums = dct::reconstruction_sums(&damped, k);
+    let grid = chebyshev::gauss_grid(k);
+    // rho~(x) = S(x) / (pi sqrt(1 - x^2)); rho(omega) = rho~(x)/a_-.
+    // Grid is descending in x; reverse for ascending energies.
+    let mut energies = Vec::with_capacity(k);
+    let mut rho = Vec::with_capacity(k);
+    for j in (0..k).rev() {
+        let x = grid[j];
+        let weight = std::f64::consts::PI * (1.0 - x * x).sqrt();
+        energies.push(a_minus * x + a_plus);
+        rho.push(sums[j] / (weight * a_minus));
+    }
+    Dos { energies, rho, moments, a_plus, a_minus, series_sums: sums }
+}
+
+impl Estimator for DosEstimator {
+    type Moments = MomentStats;
+    type Output = Dos;
+
+    fn params(&self) -> &KpmParams {
+        &self.params
     }
 
-    /// Runs the pipeline with caller-supplied spectral bounds.
-    ///
-    /// # Errors
-    /// Parameter validation or degenerate-spectrum errors.
-    pub fn compute_with_bounds<A: LinearOp + Sync>(
-        &self,
-        op: A,
-        bounds: SpectralBounds,
-    ) -> Result<Dos, KpmError> {
+    /// Stochastic trace moments `mu_n = Tr[T_n]/D` (Eq. 5) of the rescaled
+    /// operator.
+    fn moments<A: LinearOp + Sync>(&self, op: &A) -> Result<MomentStats, KpmError> {
         self.params.validate()?;
-        let rescaled = rescale(op, bounds, self.params.padding)?;
-        let (a_plus, a_minus) = (rescaled.a_plus(), rescaled.a_minus());
-        let stats = stochastic_moments(&rescaled, &self.params);
-        Ok(self.reconstruct(stats, a_plus, a_minus))
+        Ok(stochastic_moments(op, &self.params))
     }
 
     /// Reconstructs a [`Dos`] from externally computed moments (e.g. the
-    /// GPU engine's) and the rescaling coefficients that produced them.
-    pub fn reconstruct(&self, moments: MomentStats, a_plus: f64, a_minus: f64) -> Dos {
-        let damped = self.params.kernel.damp(&moments.mean);
-        let k = self.params.grid_points;
-        let sums = dct::reconstruction_sums(&damped, k);
-        let grid = chebyshev::gauss_grid(k);
-        // rho~(x) = S(x) / (pi sqrt(1 - x^2)); rho(omega) = rho~(x)/a_-.
-        // Grid is descending in x; reverse for ascending energies.
-        let mut energies = Vec::with_capacity(k);
-        let mut rho = Vec::with_capacity(k);
-        for j in (0..k).rev() {
-            let x = grid[j];
-            let weight = std::f64::consts::PI * (1.0 - x * x).sqrt();
-            energies.push(a_minus * x + a_plus);
-            rho.push(sums[j] / (weight * a_minus));
-        }
-        Dos { energies, rho, moments, a_plus, a_minus, series_sums: sums }
+    /// GPU engine's or the serve cache's) and the rescaling coefficients
+    /// that produced them.
+    fn reconstruct(
+        &self,
+        moments: MomentStats,
+        a_plus: f64,
+        a_minus: f64,
+    ) -> Result<Dos, KpmError> {
+        Ok(reconstruct_density(&self.params, moments, a_plus, a_minus))
     }
 }
 
@@ -166,6 +172,7 @@ impl DosEstimator {
 mod tests {
     use super::*;
     use crate::kernels::KernelType;
+    use kpm_linalg::gershgorin::SpectralBounds;
     use kpm_linalg::op::DiagonalOp;
     use kpm_linalg::DenseMatrix;
 

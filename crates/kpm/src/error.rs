@@ -13,6 +13,25 @@ pub enum KpmError {
     /// The operator has a degenerate (single-point) spectrum and zero
     /// padding was requested, so rescaling is impossible.
     DegenerateSpectrum,
+    /// `num_moments` below the minimum of 2 required by the recursion
+    /// (Eq. 4 needs both `T_0` and `T_1`).
+    TooFewMoments {
+        /// The requested truncation order.
+        got: usize,
+    },
+    /// The reconstruction grid has fewer points than the expansion order,
+    /// which would alias moments away in the DCT (Eq. 11).
+    GridTooSmall {
+        /// The requested number of grid points.
+        grid_points: usize,
+        /// The expansion order it must at least match.
+        num_moments: usize,
+    },
+    /// The rescaling padding `eps` was NaN or infinite.
+    NonFinitePadding(
+        /// The offending value.
+        f64,
+    ),
 }
 
 impl fmt::Display for KpmError {
@@ -22,6 +41,15 @@ impl fmt::Display for KpmError {
             KpmError::Bounds(e) => write!(f, "spectral bounds failed: {e}"),
             KpmError::DegenerateSpectrum => {
                 write!(f, "degenerate spectrum: rescaling needs nonzero half-width (add padding)")
+            }
+            KpmError::TooFewMoments { got } => {
+                write!(f, "num_moments must be >= 2, got {got}")
+            }
+            KpmError::GridTooSmall { grid_points, num_moments } => {
+                write!(f, "grid_points ({grid_points}) must be >= num_moments ({num_moments})")
+            }
+            KpmError::NonFinitePadding(eps) => {
+                write!(f, "rescaling padding must be finite, got {eps}")
             }
         }
     }
@@ -53,5 +81,14 @@ mod tests {
         let e: KpmError = LinalgError::NotSymmetric.into();
         assert!(std::error::Error::source(&e).is_some());
         assert!(KpmError::DegenerateSpectrum.to_string().contains("padding"));
+    }
+
+    #[test]
+    fn validation_variants_render_their_values() {
+        assert!(KpmError::TooFewMoments { got: 1 }.to_string().contains("got 1"));
+        let e = KpmError::GridTooSmall { grid_points: 8, num_moments: 64 };
+        assert!(e.to_string().contains("(8)"));
+        assert!(e.to_string().contains("(64)"));
+        assert!(KpmError::NonFinitePadding(f64::INFINITY).to_string().contains("inf"));
     }
 }

@@ -1,0 +1,109 @@
+//! The unified `Estimator` surface shared by every spectral workload.
+//!
+//! Weiße et al. (Rev. Mod. Phys. 78, 275) structure KPM identically for
+//! every quantity: rescale the operator into `[-1, 1]` (Eqs. 8–9), run the
+//! Chebyshev moment recursion (Eq. 4), then reconstruct on an energy grid
+//! (Eqs. 10–12). Only the middle and last steps differ between the density
+//! of states, local DoS, Green's functions, and Kubo conductivity. The
+//! [`Estimator`] trait captures exactly that seam: implementors provide
+//! `moments` and `reconstruct`, and the shared `compute` /
+//! `compute_with_bounds` defaults supply the bounds → rescale plumbing —
+//! and, with it, the per-phase [`kpm_obs`] spans that make the pipeline's
+//! time budget visible.
+//!
+//! # Example
+//!
+//! ```
+//! use kpm::prelude::*;
+//!
+//! let h = kpm_lattice::dense_random_symmetric(24, 1.0, 7);
+//! let params = KpmParams::new(32).with_random_vectors(4, 2);
+//! let dos = DosEstimator::new(params).compute(&h).unwrap();
+//! assert!((dos.integrate() - 1.0).abs() < 0.1);
+//! ```
+
+use crate::error::KpmError;
+use crate::moments::KpmParams;
+use crate::rescale::{rescale, Boundable};
+use kpm_linalg::gershgorin::SpectralBounds;
+use kpm_linalg::op::LinearOp;
+
+/// A KPM pipeline for one spectral quantity.
+///
+/// Implementations exist for all four workloads:
+/// [`DosEstimator`](crate::dos::DosEstimator),
+/// [`LdosEstimator`](crate::ldos::LdosEstimator),
+/// [`GreenEstimator`](crate::green::GreenEstimator) and
+/// [`KuboEstimator`](crate::kubo::KuboEstimator). The provided `compute*`
+/// methods are the canonical entry points; the serve worker pool and the
+/// moment cache hook the `moments` / `reconstruct` split so cached moments
+/// can skip straight to reconstruction.
+pub trait Estimator {
+    /// Moment data produced by the recursion stage (e.g.
+    /// [`MomentStats`](crate::moments::MomentStats) or
+    /// [`DoubleMoments`](crate::kubo::DoubleMoments)).
+    type Moments;
+    /// The reconstructed quantity (e.g. [`Dos`](crate::dos::Dos)).
+    type Output;
+
+    /// The KPM parameter set driving this estimator.
+    fn params(&self) -> &KpmParams;
+
+    /// Computes moments of the *already rescaled* operator.
+    ///
+    /// # Errors
+    /// Parameter validation or workload-specific errors (e.g. a site index
+    /// out of range).
+    fn moments<A: LinearOp + Sync>(&self, op: &A) -> Result<Self::Moments, KpmError>;
+
+    /// Reconstructs the output quantity from moments and the rescaling
+    /// coefficients `a_+` (centre) and `a_-` (half-width) that produced
+    /// them (Eq. 9). Moments may come from [`Estimator::moments`], the GPU
+    /// engine, or the serve moment cache.
+    ///
+    /// # Errors
+    /// Workload-specific errors (e.g. an evaluation energy outside the
+    /// rescaled band).
+    fn reconstruct(
+        &self,
+        moments: Self::Moments,
+        a_plus: f64,
+        a_minus: f64,
+    ) -> Result<Self::Output, KpmError>;
+
+    /// Runs the full pipeline on an operator whose bounds we can find.
+    ///
+    /// The bounds stage is recorded under the `kpm.rescale` span (bounds
+    /// estimation is part of the paper's rescaling phase); `moments` and
+    /// `reconstruct` record their own `kpm.moments` / `kpm.reconstruct`
+    /// spans.
+    ///
+    /// # Errors
+    /// Parameter validation, bounds computation, degenerate-spectrum, or
+    /// workload-specific errors.
+    fn compute<A: Boundable + Sync>(&self, op: &A) -> Result<Self::Output, KpmError> {
+        self.params().validate()?;
+        let bounds = {
+            let _span = kpm_obs::span("kpm.rescale");
+            op.spectral_bounds(self.params().bounds)?
+        };
+        self.compute_with_bounds(op, bounds)
+    }
+
+    /// Runs the pipeline with caller-supplied spectral bounds.
+    ///
+    /// # Errors
+    /// Parameter validation, degenerate-spectrum, or workload-specific
+    /// errors.
+    fn compute_with_bounds<A: LinearOp + Sync>(
+        &self,
+        op: &A,
+        bounds: SpectralBounds,
+    ) -> Result<Self::Output, KpmError> {
+        self.params().validate()?;
+        let rescaled = rescale(op, bounds, self.params().padding)?;
+        let (a_plus, a_minus) = (rescaled.a_plus(), rescaled.a_minus());
+        let moments = self.moments(&rescaled)?;
+        self.reconstruct(moments, a_plus, a_minus)
+    }
+}

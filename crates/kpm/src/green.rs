@@ -15,7 +15,10 @@
 
 use crate::complex::Complex64;
 use crate::error::KpmError;
+use crate::estimator::Estimator;
 use crate::kernels::KernelType;
+use crate::moments::{pair_vector_moments, KpmParams};
+use kpm_linalg::op::LinearOp;
 
 /// A sampled Green's function on the original energy axis.
 #[derive(Debug, Clone)]
@@ -46,13 +49,14 @@ impl GreensFunction {
 /// # Errors
 /// [`KpmError::InvalidParameter`] if `moments` is empty, `a_minus <= 0`, or
 /// any energy maps outside `(-1, 1)`.
-pub fn greens_function(
+pub fn evaluate(
     moments: &[f64],
     kernel: KernelType,
     energies: &[f64],
     a_plus: f64,
     a_minus: f64,
 ) -> Result<GreensFunction, KpmError> {
+    let _span = kpm_obs::span("kpm.reconstruct");
     if moments.is_empty() {
         return Err(KpmError::InvalidParameter("moments must be nonempty".into()));
     }
@@ -82,6 +86,98 @@ pub fn greens_function(
     Ok(GreensFunction { energies: energies.to_vec(), values })
 }
 
+/// Evaluates the KPM Green's function from (undamped) moments.
+///
+/// # Errors
+/// Same as [`evaluate`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `green::evaluate`, or `GreenEstimator` with `Estimator::compute` \
+            for the full pipeline"
+)]
+pub fn greens_function(
+    moments: &[f64],
+    kernel: KernelType,
+    energies: &[f64],
+    a_plus: f64,
+    a_minus: f64,
+) -> Result<GreensFunction, KpmError> {
+    evaluate(moments, kernel, energies, a_plus, a_minus)
+}
+
+/// Matrix-element Green's function estimator — the [`Estimator`] for
+/// `G_ij(omega) = <i|(omega - H)^{-1}|j>` (retarded, kernel-smeared).
+///
+/// Uses the two-vector recursion for the moments `<i|T_n(H~)|j>`; the
+/// stochastic fields of `params` (`R`, `S`, distribution) are ignored.
+/// [`KernelType::Lorentz`] is the analyticity-preserving kernel choice.
+#[derive(Debug, Clone)]
+pub struct GreenEstimator {
+    params: KpmParams,
+    i: usize,
+    j: usize,
+    energies: Vec<f64>,
+}
+
+impl GreenEstimator {
+    /// Creates an estimator for the element `G_ij` sampled at `energies`
+    /// (original axis).
+    pub fn element(params: KpmParams, i: usize, j: usize, energies: Vec<f64>) -> Self {
+        Self { params, i, j, energies }
+    }
+
+    /// Creates an estimator for the diagonal element `G_ii`.
+    pub fn diagonal(params: KpmParams, i: usize, energies: Vec<f64>) -> Self {
+        Self::element(params, i, i, energies)
+    }
+
+    /// The element indices `(i, j)`.
+    pub fn indices(&self) -> (usize, usize) {
+        (self.i, self.j)
+    }
+
+    /// The evaluation energies (original axis).
+    pub fn energies(&self) -> &[f64] {
+        &self.energies
+    }
+}
+
+impl Estimator for GreenEstimator {
+    type Moments = Vec<f64>;
+    type Output = GreensFunction;
+
+    fn params(&self) -> &KpmParams {
+        &self.params
+    }
+
+    /// Two-vector moments `<e_i|T_n(H~)|e_j>`.
+    fn moments<A: LinearOp + Sync>(&self, op: &A) -> Result<Vec<f64>, KpmError> {
+        self.params.validate()?;
+        let d = op.dim();
+        if self.i >= d || self.j >= d {
+            return Err(KpmError::InvalidParameter(format!(
+                "element ({}, {}) out of range for dimension {d}",
+                self.i, self.j
+            )));
+        }
+        let _span = kpm_obs::span("kpm.moments");
+        let mut e_i = vec![0.0; d];
+        e_i[self.i] = 1.0;
+        let mut e_j = vec![0.0; d];
+        e_j[self.j] = 1.0;
+        Ok(pair_vector_moments(op, &e_i, &e_j, self.params.num_moments))
+    }
+
+    fn reconstruct(
+        &self,
+        moments: Vec<f64>,
+        a_plus: f64,
+        a_minus: f64,
+    ) -> Result<GreensFunction, KpmError> {
+        evaluate(&moments, self.params.kernel, &self.energies, a_plus, a_minus)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,7 +193,7 @@ mod tests {
         let mu = exact_moments(&eigs, n);
         let kernel = KernelType::Jackson;
         let energies: Vec<f64> = (1..20).map(|i| -0.9 + 0.09 * i as f64).collect();
-        let g = greens_function(&mu, kernel, &energies, 0.0, 1.0).unwrap();
+        let g = evaluate(&mu, kernel, &energies, 0.0, 1.0).unwrap();
         let a = g.spectral_function();
         let damped = kernel.damp(&mu);
         for (i, &omega) in energies.iter().enumerate() {
@@ -114,7 +210,7 @@ mod tests {
         let mu: Vec<f64> = (0..n).map(|k| chebyshev::t(k, 0.0)).collect();
         let kernel = KernelType::Lorentz { lambda: 4.0 };
         let energies: Vec<f64> = (-40..=40).map(|i| i as f64 * 0.02).collect();
-        let g = greens_function(&mu, kernel, &energies, 0.0, 1.0).unwrap();
+        let g = evaluate(&mu, kernel, &energies, 0.0, 1.0).unwrap();
         let mid = energies.iter().position(|&e| e == 0.0).unwrap();
         // Im G minimal (most negative) at the level.
         let im_mid = g.values[mid].im;
@@ -135,7 +231,7 @@ mod tests {
         let n = 96;
         let mu: Vec<f64> = (0..n).map(|k| chebyshev::t(k, 0.0)).collect();
         let energies: Vec<f64> = (-15..=15).map(|i| 3.0 + i as f64 * 0.1).collect();
-        let g = greens_function(&mu, KernelType::Jackson, &energies, 3.0, 2.0).unwrap();
+        let g = evaluate(&mu, KernelType::Jackson, &energies, 3.0, 2.0).unwrap();
         let a = g.spectral_function();
         let (imax, _) = a.iter().enumerate().max_by(|x, y| x.1.total_cmp(y.1)).unwrap();
         assert!((energies[imax] - 3.0).abs() < 0.05, "peak at {}", energies[imax]);
@@ -143,10 +239,10 @@ mod tests {
 
     #[test]
     fn error_cases() {
-        assert!(greens_function(&[], KernelType::Jackson, &[0.0], 0.0, 1.0).is_err());
-        assert!(greens_function(&[1.0], KernelType::Jackson, &[0.0], 0.0, 0.0).is_err());
+        assert!(evaluate(&[], KernelType::Jackson, &[0.0], 0.0, 1.0).is_err());
+        assert!(evaluate(&[1.0], KernelType::Jackson, &[0.0], 0.0, 0.0).is_err());
         // Energy outside the band.
-        assert!(greens_function(&[1.0, 0.0], KernelType::Jackson, &[2.0], 0.0, 1.0).is_err());
+        assert!(evaluate(&[1.0, 0.0], KernelType::Jackson, &[2.0], 0.0, 1.0).is_err());
     }
 
     #[test]
@@ -156,7 +252,7 @@ mod tests {
         let mu = exact_moments(&eigs, 48);
         let k = 256;
         let grid = chebyshev::gauss_grid(k);
-        let g = greens_function(&mu, KernelType::Jackson, &grid, 0.0, 1.0).unwrap();
+        let g = evaluate(&mu, KernelType::Jackson, &grid, 0.0, 1.0).unwrap();
         let a = g.spectral_function();
         // Gauss-Chebyshev: int f(x) dx ~ (pi/K) sum sqrt(1-x^2) f(x).
         let integral: f64 =
@@ -164,5 +260,48 @@ mod tests {
                 * std::f64::consts::PI
                 / k as f64;
         assert!((integral - 1.0).abs() < 1e-6, "sum rule violated: {integral}");
+    }
+
+    #[test]
+    fn green_estimator_diagonal_matches_ldos_spectral_function() {
+        // A_ii(omega) = -Im G_ii / pi is the LDoS at site i with the same
+        // kernel — compute both through their estimators and compare.
+        use crate::ldos::LdosEstimator;
+        let h = kpm_lattice::dense_random_symmetric(16, 1.0, 13);
+        let params = KpmParams::new(48);
+        let ldos = LdosEstimator::new(params.clone(), 3).compute(&h).unwrap();
+        // Evaluate G at interior LDoS grid energies (skip edges, where the
+        // open-interval check would reject the outermost grid point).
+        let energies: Vec<f64> = ldos.energies[10..ldos.energies.len() - 10].to_vec();
+        let g = GreenEstimator::diagonal(params, 3, energies.clone()).compute(&h).unwrap();
+        let a = g.spectral_function();
+        for (k, &omega) in energies.iter().enumerate() {
+            let rho = ldos.value_at(omega).unwrap();
+            assert!(
+                (a[k] - rho).abs() < 1e-6 * (1.0 + rho.abs()),
+                "omega = {omega}: A = {} vs LDoS = {rho}",
+                a[k]
+            );
+        }
+    }
+
+    #[test]
+    fn green_estimator_rejects_out_of_range_element() {
+        let h = kpm_lattice::dense_random_symmetric(8, 1.0, 1);
+        let est = GreenEstimator::element(KpmParams::new(16), 2, 8, vec![0.0]);
+        assert!(matches!(est.compute(&h), Err(KpmError::InvalidParameter(_))));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_greens_function_shim_matches_evaluate() {
+        let mu: Vec<f64> = (0..32).map(|k| chebyshev::t(k, 0.2)).collect();
+        let energies = vec![-0.5, 0.0, 0.5];
+        let via_shim = greens_function(&mu, KernelType::Jackson, &energies, 0.0, 1.0).unwrap();
+        let via_eval = evaluate(&mu, KernelType::Jackson, &energies, 0.0, 1.0).unwrap();
+        for (a, b) in via_shim.values.iter().zip(&via_eval.values) {
+            assert_eq!(a.re, b.re);
+            assert_eq!(a.im, b.im);
+        }
     }
 }

@@ -107,6 +107,7 @@ pub fn double_moments<A: LinearOp + Sync>(
     params: &KpmParams,
 ) -> Result<DoubleMoments, KpmError> {
     params.validate()?;
+    let _span = kpm_obs::span("kpm.moments");
     let d = h_scaled.dim();
     assert_eq!(w.nrows(), d, "velocity operator dimension");
     let n_mom = params.num_moments;
@@ -165,6 +166,7 @@ pub fn double_moments<A: LinearOp + Sync>(
                     std::mem::swap(&mut b_prev, &mut b_cur);
                 }
             }
+            kpm_obs::counter_add("kpm.realizations", 1);
             mu
         })
         .collect();
@@ -234,6 +236,88 @@ pub fn conductivity(
             s
         })
         .collect()
+}
+
+/// A reconstructed Kubo–Greenwood conductivity on the original energy
+/// axis.
+#[derive(Debug, Clone)]
+pub struct Conductivity {
+    /// Energies (original axis).
+    pub energies: Vec<f64>,
+    /// `sigma(energies[i])` (arbitrary units — no `e^2/h` prefactor).
+    pub sigma: Vec<f64>,
+}
+
+/// Kubo–Greenwood conductivity estimator — the
+/// [`Estimator`](crate::estimator::Estimator) for
+/// `sigma(E)` via 2D KPM.
+///
+/// Owns the (unscaled) velocity operator `W` and the evaluation energies on
+/// the original axis; the bounds/rescale plumbing and the `E -> E~` map are
+/// handled by the trait methods.
+#[derive(Debug, Clone)]
+pub struct KuboEstimator {
+    params: KpmParams,
+    w: CsrMatrix,
+    energies: Vec<f64>,
+}
+
+impl KuboEstimator {
+    /// Creates an estimator for `sigma` at `energies` (original axis), with
+    /// velocity operator `w` (see [`velocity_operator`]).
+    pub fn new(params: KpmParams, w: CsrMatrix, energies: Vec<f64>) -> Self {
+        Self { params, w, energies }
+    }
+
+    /// The velocity operator.
+    pub fn velocity(&self) -> &CsrMatrix {
+        &self.w
+    }
+
+    /// The evaluation energies (original axis).
+    pub fn energies(&self) -> &[f64] {
+        &self.energies
+    }
+}
+
+impl crate::estimator::Estimator for KuboEstimator {
+    type Moments = DoubleMoments;
+    type Output = Conductivity;
+
+    fn params(&self) -> &KpmParams {
+        &self.params
+    }
+
+    /// Stochastic double moments `mu_nm` of the rescaled Hamiltonian.
+    fn moments<A: LinearOp + Sync>(&self, op: &A) -> Result<DoubleMoments, KpmError> {
+        double_moments(op, &self.w, &self.params)
+    }
+
+    fn reconstruct(
+        &self,
+        moments: DoubleMoments,
+        a_plus: f64,
+        a_minus: f64,
+    ) -> Result<Conductivity, KpmError> {
+        if a_minus <= 0.0 {
+            return Err(KpmError::InvalidParameter(format!(
+                "a_minus must be positive, got {a_minus}"
+            )));
+        }
+        let _span = kpm_obs::span("kpm.reconstruct");
+        let mut rescaled = Vec::with_capacity(self.energies.len());
+        for &e in &self.energies {
+            let x = (e - a_plus) / a_minus;
+            if !(x > -1.0 && x < 1.0) {
+                return Err(KpmError::InvalidParameter(format!(
+                    "energy {e} maps to {x}, outside the open interval (-1, 1)"
+                )));
+            }
+            rescaled.push(x);
+        }
+        let sigma = conductivity(&moments, self.params.kernel, &rescaled);
+        Ok(Conductivity { energies: self.energies.clone(), sigma })
+    }
 }
 
 #[cfg(test)]
@@ -394,5 +478,39 @@ mod tests {
         let clean = run(0.0);
         let dirty = run(8.0);
         assert!(dirty < 0.6 * clean, "disorder must suppress sigma: clean {clean}, dirty {dirty}");
+    }
+
+    #[test]
+    fn kubo_estimator_matches_manual_pipeline() {
+        use crate::estimator::Estimator;
+        let (h, pos) = chain(64, 1.0);
+        let w = velocity_operator(&h, &pos, Some(64.0));
+        let params = KpmParams::new(12).with_random_vectors(6, 2).with_seed(4);
+        let energies = vec![-1.0, 0.0, 0.7];
+
+        let via_trait =
+            KuboEstimator::new(params.clone(), w.clone(), energies.clone()).compute(&h).unwrap();
+
+        // Manual: identical bounds (Gershgorin, padded by params.padding),
+        // double moments, and reconstruction on the mapped energies.
+        let b = gershgorin_csr(&h).padded(params.padding);
+        let hs = RescaledOp::new(&h, b.a_plus(), b.a_minus());
+        let mu = double_moments(&hs, &w, &params).unwrap();
+        let xs: Vec<f64> = energies.iter().map(|&e| (e - b.a_plus()) / b.a_minus()).collect();
+        let manual = conductivity(&mu, KernelType::Jackson, &xs);
+
+        assert_eq!(via_trait.energies, energies);
+        for (a, m) in via_trait.sigma.iter().zip(&manual) {
+            assert!((a - m).abs() < 1e-12 * (1.0 + m.abs()), "{a} vs {m}");
+        }
+    }
+
+    #[test]
+    fn kubo_estimator_rejects_energy_outside_band() {
+        use crate::estimator::Estimator;
+        let (h, pos) = chain(16, 0.0);
+        let w = velocity_operator(&h, &pos, Some(16.0));
+        let est = KuboEstimator::new(KpmParams::new(8).with_random_vectors(2, 1), w, vec![99.0]);
+        assert!(matches!(est.compute(&h), Err(KpmError::InvalidParameter(_))));
     }
 }

@@ -7,46 +7,94 @@
 //! beyond the paper's global DoS (Weiße et al. 2006, Sec. III.A) and is
 //! exercised by the disorder example.
 
-use crate::dos::{Dos, DosEstimator};
+use crate::dos::{reconstruct_density, Dos};
 use crate::error::KpmError;
+use crate::estimator::Estimator;
 use crate::moments::{single_vector_moments, KpmParams, MomentStats};
-use crate::rescale::{rescale, Boundable};
+use crate::rescale::Boundable;
+use kpm_linalg::op::LinearOp;
+
+/// LDoS estimator at a fixed site — the [`Estimator`] for
+/// `rho_site(omega)`.
+///
+/// Uses `params` for the moment count, kernel, bounds method, padding and
+/// grid; the stochastic fields (`R`, `S`, distribution) are ignored because
+/// the start vector `e_site` is deterministic.
+#[derive(Debug, Clone)]
+pub struct LdosEstimator {
+    params: KpmParams,
+    site: usize,
+}
+
+impl LdosEstimator {
+    /// Creates an estimator for the LDoS at `site`.
+    pub fn new(params: KpmParams, site: usize) -> Self {
+        Self { params, site }
+    }
+
+    /// The site whose local density this estimator reconstructs.
+    pub fn site(&self) -> usize {
+        self.site
+    }
+}
+
+impl Estimator for LdosEstimator {
+    type Moments = MomentStats;
+    type Output = Dos;
+
+    fn params(&self) -> &KpmParams {
+        &self.params
+    }
+
+    /// Deterministic single-vector moments `<e_i|T_n(H~)|e_i>`.
+    fn moments<A: LinearOp + Sync>(&self, op: &A) -> Result<MomentStats, KpmError> {
+        self.params.validate()?;
+        if self.site >= op.dim() {
+            return Err(KpmError::InvalidParameter(format!(
+                "site {} out of range for dimension {}",
+                self.site,
+                op.dim()
+            )));
+        }
+        let _span = kpm_obs::span("kpm.moments");
+        let mut e_i = vec![0.0; op.dim()];
+        e_i[self.site] = 1.0;
+        let mu = single_vector_moments(op, &e_i, self.params.num_moments, self.params.recursion);
+        // <e_i|T_n|e_i> is already the LDoS moment: no 1/D, no averaging.
+        Ok(MomentStats { std_err: vec![0.0; mu.len()], samples: 1, mean: mu })
+    }
+
+    fn reconstruct(
+        &self,
+        moments: MomentStats,
+        a_plus: f64,
+        a_minus: f64,
+    ) -> Result<Dos, KpmError> {
+        Ok(reconstruct_density(&self.params, moments, a_plus, a_minus))
+    }
+}
 
 /// Computes the LDoS at `site`.
 ///
-/// Uses `params` for the moment count, kernel, bounds method, padding and
-/// grid; the stochastic fields (`R`, `S`, distribution) are ignored.
-///
 /// # Errors
 /// Bounds or validation failures, or `site` out of range.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `LdosEstimator::new(params, site)` with `Estimator::compute`"
+)]
 pub fn local_dos<A: Boundable + Sync>(
     op: &A,
     site: usize,
     params: &KpmParams,
 ) -> Result<Dos, KpmError> {
-    params.validate()?;
-    if site >= op.dim() {
-        return Err(KpmError::InvalidParameter(format!(
-            "site {site} out of range for dimension {}",
-            op.dim()
-        )));
-    }
-    let bounds = op.spectral_bounds(params.bounds)?;
-    let rescaled = rescale(op, bounds, params.padding)?;
-    let (a_plus, a_minus) = (rescaled.a_plus(), rescaled.a_minus());
-
-    let mut e_i = vec![0.0; op.dim()];
-    e_i[site] = 1.0;
-    let mu = single_vector_moments(&rescaled, &e_i, params.num_moments, params.recursion);
-    // <e_i|T_n|e_i> is already the LDoS moment: no 1/D, no averaging.
-    let stats = MomentStats { std_err: vec![0.0; mu.len()], samples: 1, mean: mu };
-    Ok(DosEstimator::new(params.clone()).reconstruct(stats, a_plus, a_minus))
+    LdosEstimator::new(params.clone(), site).compute(op)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::moments::KpmParams;
+    use crate::rescale::rescale;
     use kpm_lattice::{Boundary, HypercubicLattice, OnSite, TightBinding};
     use kpm_linalg::DenseMatrix;
 
@@ -56,7 +104,7 @@ mod tests {
         let h = kpm_lattice::dense_random_symmetric(24, 1.0, 3);
         let params = KpmParams::new(64);
         for site in [0usize, 7, 23] {
-            let ldos = local_dos(&h, site, &params).unwrap();
+            let ldos = LdosEstimator::new(params.clone(), site).compute(&h).unwrap();
             assert!((ldos.integrate() - 1.0).abs() < 0.02, "site {site}: {}", ldos.integrate());
         }
     }
@@ -71,8 +119,7 @@ mod tests {
             h.set(i, i + 1, -1.0);
             h.set(i + 1, i, -1.0);
         }
-        let params = KpmParams::new(128);
-        let ldos = local_dos(&h, 0, &params).unwrap();
+        let ldos = LdosEstimator::new(KpmParams::new(128), 0).compute(&h).unwrap();
         assert!((ldos.peak_energy() - 0.5).abs() < 0.05, "peak at {}", ldos.peak_energy());
         // And essentially no weight away from it.
         let away = ldos.value_at(-1.5).unwrap_or(0.0);
@@ -88,8 +135,8 @@ mod tests {
         );
         let h = tb.build_csr();
         let params = KpmParams::new(48);
-        let a = local_dos(&h, 0, &params).unwrap();
-        let b = local_dos(&h, 7, &params).unwrap();
+        let a = LdosEstimator::new(params.clone(), 0).compute(&h).unwrap();
+        let b = LdosEstimator::new(params.clone(), 7).compute(&h).unwrap();
         for (x, y) in a.rho.iter().zip(&b.rho) {
             assert!((x - y).abs() < 1e-9, "LDoS must be site-independent under PBC");
         }
@@ -98,8 +145,19 @@ mod tests {
     #[test]
     fn site_out_of_range_rejected() {
         let h = DenseMatrix::identity(4);
-        let e = local_dos(&h, 4, &KpmParams::new(8));
+        let e = LdosEstimator::new(KpmParams::new(8), 4).compute(&h);
         assert!(matches!(e, Err(KpmError::InvalidParameter(_))));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_local_dos_shim_matches_estimator() {
+        let h = kpm_lattice::dense_random_symmetric(16, 1.0, 11);
+        let params = KpmParams::new(32);
+        let via_shim = local_dos(&h, 5, &params).unwrap();
+        let via_trait = LdosEstimator::new(params, 5).compute(&h).unwrap();
+        assert_eq!(via_shim.rho, via_trait.rho);
+        assert_eq!(via_shim.energies, via_trait.energies);
     }
 
     #[test]

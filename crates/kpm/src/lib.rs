@@ -19,9 +19,15 @@
 //!    DCT-III, yielding the density of states (Eq. 6/10).
 //!
 //! Beyond the paper's DoS pipeline the crate provides local densities of
-//! states ([`ldos`]), retarded Green's functions ([`green`]), exact-moment
-//! references for validation ([`moments::exact_moments`]), and CPU cost
-//! accounting ([`workload`]) used by the benchmark harness.
+//! states ([`ldos`]), retarded Green's functions ([`green`]), Kubo
+//! conductivities ([`kubo`]), exact-moment references for validation
+//! ([`moments::exact_moments`]), and CPU cost accounting ([`workload`])
+//! used by the benchmark harness.
+//!
+//! All four spectral workloads implement the shared [`Estimator`] trait
+//! ([`estimator`]), whose `compute` / `compute_with_bounds` / `reconstruct`
+//! methods carry the per-phase [`obs`] spans (`kpm.rescale`,
+//! `kpm.moments`, `kpm.reconstruct`) that `kpm <cmd> --trace` reports.
 //!
 //! # Quickstart
 //!
@@ -43,6 +49,7 @@ pub mod complex;
 pub mod dct;
 pub mod dos;
 pub mod error;
+pub mod estimator;
 pub mod fft;
 pub mod funcapply;
 pub mod green;
@@ -59,18 +66,39 @@ pub mod workload;
 
 pub use dos::{Dos, DosEstimator};
 pub use error::KpmError;
+pub use estimator::Estimator;
+pub use green::{GreenEstimator, GreensFunction};
 pub use kernels::KernelType;
+pub use kubo::{Conductivity, DoubleMoments, KuboEstimator};
+pub use ldos::LdosEstimator;
 pub use moments::{KpmParams, MomentStats, Recursion};
 pub use random::Distribution;
 pub use rescale::BoundsMethod;
 
+/// Re-export of the observability layer so downstream crates (and
+/// applications) can open spans and read counters without a separate
+/// dependency on `kpm-obs`.
+pub use kpm_obs as obs;
+
 /// Convenient glob-import surface.
+///
+/// Downstream crates (`kpm-stream`, `kpm-serve`, the CLI) import this
+/// instead of deep module paths; it covers the [`Estimator`] workloads, the
+/// pipeline primitives they are built from, and the tracing handle.
 pub mod prelude {
     pub use crate::dos::{Dos, DosEstimator};
     pub use crate::error::KpmError;
+    pub use crate::estimator::Estimator;
+    pub use crate::green::{GreenEstimator, GreensFunction};
     pub use crate::kernels::KernelType;
-    pub use crate::moments::{KpmParams, MomentStats, Recursion};
+    pub use crate::kubo::{Conductivity, DoubleMoments, KuboEstimator};
+    pub use crate::ldos::LdosEstimator;
+    pub use crate::moments::{
+        single_vector_moments, stochastic_moments, KpmParams, MomentStats, Recursion,
+    };
     pub use crate::random::Distribution;
-    pub use crate::rescale::BoundsMethod;
+    pub use crate::rescale::{rescale, Boundable, BoundsMethod};
+    pub use kpm_linalg::gershgorin::SpectralBounds;
     pub use kpm_linalg::LinearOp;
+    pub use kpm_obs::TraceHandle;
 }

@@ -139,23 +139,29 @@ impl KpmParams {
     /// Validates the parameter set.
     ///
     /// # Errors
-    /// [`KpmError::InvalidParameter`] naming the offending field.
+    /// [`KpmError::TooFewMoments`] for `num_moments < 2`,
+    /// [`KpmError::GridTooSmall`] for `grid_points < num_moments`,
+    /// [`KpmError::NonFinitePadding`] for NaN/infinite padding, and
+    /// [`KpmError::InvalidParameter`] naming any other offending field.
     pub fn validate(&self) -> Result<(), KpmError> {
         if self.num_moments < 2 {
-            return Err(KpmError::InvalidParameter(format!(
-                "num_moments must be >= 2, got {}",
-                self.num_moments
-            )));
+            return Err(KpmError::TooFewMoments { got: self.num_moments });
         }
         if self.num_random == 0 || self.num_realizations == 0 {
             return Err(KpmError::InvalidParameter(
                 "num_random and num_realizations must be positive".into(),
             ));
         }
-        if self.grid_points == 0 {
-            return Err(KpmError::InvalidParameter("grid_points must be positive".into()));
+        if self.grid_points < self.num_moments {
+            return Err(KpmError::GridTooSmall {
+                grid_points: self.grid_points,
+                num_moments: self.num_moments,
+            });
         }
-        if self.padding.is_nan() || self.padding < 0.0 {
+        if !self.padding.is_finite() {
+            return Err(KpmError::NonFinitePadding(self.padding));
+        }
+        if self.padding < 0.0 {
             return Err(KpmError::InvalidParameter(format!(
                 "padding must be nonnegative, got {}",
                 self.padding
@@ -203,6 +209,12 @@ impl MomentStats {
             std_err: self.std_err[..n].to_vec(),
             samples: self.samples,
         }
+    }
+
+    /// Largest standard error across all moments — a one-number convergence
+    /// indicator (zero for deterministic single-vector runs).
+    pub fn max_std_err(&self) -> f64 {
+        self.std_err.iter().fold(0.0, |m, &e| m.max(e))
     }
 }
 
@@ -277,7 +289,7 @@ fn doubling_moments<A: LinearOp>(op: &A, r0: &[f64], n: usize) -> Vec<f64> {
 
 /// Off-diagonal (pair) moments `<l | T_n(H~) | r0>` — the ingredients of
 /// matrix-element Green's functions `G_ij(omega)` (feed the result to
-/// [`crate::green::greens_function`]). Only the plain recursion applies:
+/// [`crate::green::evaluate`]). Only the plain recursion applies:
 /// the doubling identities require `l == r0`.
 ///
 /// # Panics
@@ -321,6 +333,7 @@ pub fn pair_vector_moments<A: LinearOp>(
 /// a recoverable error).
 pub fn stochastic_moments<A: LinearOp + Sync>(op: &A, params: &KpmParams) -> MomentStats {
     params.validate().expect("invalid KPM parameters");
+    let _span = kpm_obs::span("kpm.moments");
     let d = op.dim();
     let n = params.num_moments;
     let total = params.total_realizations();
@@ -340,6 +353,7 @@ pub fn stochastic_moments<A: LinearOp + Sync>(op: &A, params: &KpmParams) -> Mom
             for m in mu.iter_mut() {
                 *m *= inv_d;
             }
+            kpm_obs::counter_add("kpm.realizations", 1);
             mu
         })
         .collect();
@@ -417,6 +431,42 @@ mod tests {
         assert!(KpmParams::new(8).with_random_vectors(0, 1).validate().is_err());
         assert!(KpmParams::new(8).with_grid_points(0).validate().is_err());
         assert!(KpmParams::new(8).with_padding(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_too_few_moments_with_specific_variant() {
+        assert_eq!(KpmParams::new(0).validate(), Err(KpmError::TooFewMoments { got: 0 }));
+        assert_eq!(KpmParams::new(1).validate(), Err(KpmError::TooFewMoments { got: 1 }));
+        assert!(KpmParams::new(2).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_grid_smaller_than_expansion_order() {
+        assert_eq!(
+            KpmParams::new(64).with_grid_points(32).validate(),
+            Err(KpmError::GridTooSmall { grid_points: 32, num_moments: 64 })
+        );
+        // Equality is the boundary: a grid exactly as fine as the expansion
+        // order is accepted.
+        assert!(KpmParams::new(64).with_grid_points(64).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_non_finite_padding_with_specific_variant() {
+        assert!(matches!(
+            KpmParams::new(8).with_padding(f64::NAN).validate(),
+            Err(KpmError::NonFinitePadding(eps)) if eps.is_nan()
+        ));
+        assert_eq!(
+            KpmParams::new(8).with_padding(f64::INFINITY).validate(),
+            Err(KpmError::NonFinitePadding(f64::INFINITY))
+        );
+        // Negative-but-finite padding stays an InvalidParameter.
+        assert!(matches!(
+            KpmParams::new(8).with_padding(-0.1).validate(),
+            Err(KpmError::InvalidParameter(_))
+        ));
+        assert!(KpmParams::new(8).with_padding(0.0).validate().is_ok());
     }
 
     #[test]

@@ -126,6 +126,7 @@ impl<A: LinearOp> Propagator<A> {
     /// # Panics
     /// Panics if `psi.dim() != op.dim()`.
     pub fn evolve(&self, psi: &ComplexState, t: f64) -> ComplexState {
+        let _span = kpm_obs::span("kpm.evolve");
         let d = self.op.dim();
         assert_eq!(psi.dim(), d, "state dimension");
         let tau = self.op.a_minus() * t;

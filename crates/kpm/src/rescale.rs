@@ -104,6 +104,7 @@ pub fn rescale<A: LinearOp>(
     bounds: SpectralBounds,
     eps: f64,
 ) -> Result<RescaledOp<A>, KpmError> {
+    let _span = kpm_obs::span("kpm.rescale");
     let padded = bounds.padded(eps);
     let a_minus = padded.a_minus();
     if a_minus <= 0.0 {

@@ -14,6 +14,7 @@
 
 use crate::dos::{Dos, DosEstimator};
 use crate::error::KpmError;
+use crate::estimator::Estimator;
 use crate::moments::{single_vector_moments, KpmParams, MomentStats, Recursion};
 use crate::rescale::{rescale, Boundable};
 
@@ -108,7 +109,10 @@ pub fn chain_spectral_function<A: Boundable + Sync>(
             *v /= weight_total;
         }
         let stats = MomentStats { std_err: vec![0.0; mu.len()], samples: 1, mean: mu };
-        out.push(MomentumSpectrum { k_index: m, a: estimator.reconstruct(stats, a_plus, a_minus) });
+        out.push(MomentumSpectrum {
+            k_index: m,
+            a: estimator.reconstruct(stats, a_plus, a_minus)?,
+        });
     }
     Ok(out)
 }

@@ -132,6 +132,7 @@ fn weighted_integral(dos: &Dos, w: impl Fn(f64) -> f64) -> f64 {
 mod tests {
     use super::*;
     use crate::dos::DosEstimator;
+    use crate::estimator::Estimator;
     use crate::moments::KpmParams;
     use kpm_linalg::gershgorin::SpectralBounds;
     use kpm_linalg::op::DiagonalOp;

@@ -297,6 +297,22 @@ impl BatchService {
         &self.metrics
     }
 
+    /// Machine-readable metrics snapshot: versioned JSON carrying the same
+    /// canonical `serve.*` counter names that a `--trace` session records,
+    /// plus queue-depth and latency gauges. Safe to call while the service
+    /// is running (counters are atomics; values are a point-in-time sample).
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::from("{\"version\":1,\"kind\":\"serve-metrics\",\"counters\":{");
+        for (i, (name, value)) in self.metrics.counters(self.queue.depth()).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{value}", kpm_obs::json::quote(name));
+        }
+        out.push_str("}}");
+        out
+    }
+
     /// Graceful shutdown: stop accepting jobs, drain the queue, join the
     /// workers, flush the cache, and report.
     pub fn finish(self) -> BatchReport {
@@ -432,6 +448,64 @@ mod tests {
         let report = service.abort();
         assert!(report.cancelled() >= 1, "{}", report.render());
         assert_eq!(report.records.len(), 5);
+    }
+
+    #[test]
+    fn cache_counters_match_direct_lookup_replay_over_ten_jobs() {
+        // The same 10-job sequence, replayed directly against a fresh
+        // MomentCache with the worker's bookkeeping rules, must predict the
+        // service's hit/miss/upgrade counters exactly (workers = 1 makes the
+        // service process jobs in submission order, so the interleavings
+        // coincide).
+        use crate::cache::Lookup;
+        let lines = [
+            "lattice=chain:32 moments=32 random=2 sets=1", // miss (compute)
+            "lattice=chain:32 moments=32 random=2 sets=1", // hit (exact)
+            "lattice=chain:32 moments=32 random=2 sets=1", // hit
+            "lattice=chain:32 moments=32 random=2 sets=1", // hit
+            "lattice=chain:32 moments=16 random=2 sets=1", // hit (prefix)
+            "lattice=chain:32 moments=64 random=2 sets=1", // miss -> upgrade
+            "lattice=chain:32 moments=64 random=2 sets=1", // hit
+            "lattice=chain:48 moments=32 random=2 sets=1", // miss
+            "lattice=chain:48 moments=32 random=2 sets=1", // hit
+            "lattice=chain:16 moments=32 random=2 sets=1", // miss
+        ];
+
+        let (mut hits, mut misses, mut upgrades) = (0u64, 0u64, 0u64);
+        let cache = MomentCache::new(128, None);
+        for line in &lines {
+            let spec = job(line);
+            let key = spec.cache_key();
+            match cache.lookup(key, spec.num_moments) {
+                Lookup::Hit(_) => hits += 1,
+                lookup => {
+                    misses += 1;
+                    let stale = matches!(lookup, Lookup::Stale { .. });
+                    let (stats, a_plus, a_minus) = worker::compute_raw_moments(&spec, 0).unwrap();
+                    let report = cache.insert(key, stats, a_plus, a_minus);
+                    if report.upgraded || stale {
+                        upgrades += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!((hits, misses, upgrades), (6, 4, 1), "replay bookkeeping");
+
+        let service = BatchService::start(BatchConfig { workers: 1, ..quick_config() });
+        for line in &lines {
+            service.submit(job(line)).unwrap();
+        }
+        let json = service.metrics_json();
+        assert!(json.starts_with("{\"version\":1,\"kind\":\"serve-metrics\""), "{json}");
+        let report = service.finish();
+        assert_eq!(report.completed(), 10, "{}", report.render());
+        for needle in [format!("hits {hits} | misses {misses}"), format!("upgrades {upgrades}")] {
+            assert!(
+                report.metrics_text.contains(&needle),
+                "missing '{needle}' in:\n{}",
+                report.metrics_text
+            );
+        }
     }
 
     #[test]

@@ -1,112 +1,126 @@
-//! Lock-free service counters and latency histograms.
+//! Service counters and latency histograms on the shared observability
+//! layer.
 //!
-//! Everything is an atomic so workers record without contending on a lock;
+//! Counters are [`kpm_obs::Counter`]s with canonical `serve.*` names: each
+//! [`Metrics`] instance counts locally (plain atomics, one instance per
+//! [`BatchService`](crate::BatchService), so concurrent services — and the
+//! integration tests — see exact per-service totals), and while a trace
+//! session is active every increment is additionally mirrored into the
+//! ambient [`kpm_obs`] counter of the same name, so a `--trace` run records
+//! the service totals next to the pipeline spans.
+//!
 //! [`Metrics::render`] produces the human-readable block the front-ends
-//! print at shutdown (and which the integration tests assert against).
+//! print at shutdown (and which the integration tests assert against);
+//! [`Metrics::counters`] is the machine-readable snapshot behind
+//! [`BatchService::metrics_json`](crate::BatchService::metrics_json).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use kpm_obs::Counter;
+pub use kpm_obs::Histogram;
 use std::time::Duration;
 
-/// Power-of-two latency histogram: bucket `i` counts durations in
-/// `[2^i, 2^{i+1})` microseconds (bucket 0 also absorbs sub-microsecond).
-#[derive(Debug, Default)]
-pub struct Histogram {
-    buckets: [AtomicU64; 32],
-    sum_micros: AtomicU64,
-    count: AtomicU64,
-}
-
-impl Histogram {
-    /// Records one duration.
-    pub fn record(&self, d: Duration) {
-        let micros = d.as_micros().min(u128::from(u64::MAX)) as u64;
-        let idx = (64 - micros.max(1).leading_zeros() as usize - 1).min(31);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean of recorded durations (zero when empty).
-    pub fn mean(&self) -> Duration {
-        let n = self.count();
-        if n == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_micros(self.sum_micros.load(Ordering::Relaxed) / n)
-    }
-
-    /// Upper edge (exclusive, in µs) of the smallest bucket prefix holding
-    /// at least `q` of the samples — a coarse quantile.
-    pub fn quantile_upper_micros(&self, q: f64) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            return 0;
-        }
-        let target = (q * n as f64).ceil() as u64;
-        let mut seen = 0;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return 1u64 << (i + 1);
-            }
-        }
-        u64::MAX
-    }
-}
-
 /// Service-wide counters.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
     /// Jobs accepted into the queue.
-    pub submitted: AtomicU64,
+    pub submitted: Counter,
     /// Jobs rejected by backpressure.
-    pub rejected: AtomicU64,
+    pub rejected: Counter,
     /// Jobs that produced a result.
-    pub completed: AtomicU64,
+    pub completed: Counter,
     /// Jobs that exhausted retries (or failed terminally).
-    pub failed: AtomicU64,
+    pub failed: Counter,
     /// Jobs cancelled while still queued (shutdown).
-    pub cancelled: AtomicU64,
+    pub cancelled: Counter,
     /// Individual retry attempts.
-    pub retried: AtomicU64,
+    pub retried: Counter,
     /// Attempts that hit the per-job timeout.
-    pub timed_out: AtomicU64,
+    pub timed_out: Counter,
     /// Attempts that panicked (caught; pool survived).
-    pub panicked: AtomicU64,
+    pub panicked: Counter,
     /// Moment-cache hits (including prefix hits).
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Counter,
     /// Moment-cache misses.
-    pub cache_misses: AtomicU64,
+    pub cache_misses: Counter,
     /// Cache entries upgraded in place to a higher order.
-    pub cache_upgrades: AtomicU64,
+    pub cache_upgrades: Counter,
     /// Cache entries evicted by the LRU policy.
-    pub cache_evictions: AtomicU64,
+    pub cache_evictions: Counter,
+    /// Total worker time spent processing jobs, in microseconds (the
+    /// utilization numerator; workers × wall time is the denominator).
+    pub busy_us: Counter,
     /// Time jobs spent queued before a worker picked them up.
     pub queue_wait: Histogram,
     /// Time spent executing (per successful attempt).
     pub exec_time: Histogram,
 }
 
-/// Increments an atomic counter by one.
-pub fn bump(counter: &AtomicU64) {
-    counter.fetch_add(1, Ordering::Relaxed);
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            submitted: Counter::new("serve.jobs.submitted"),
+            rejected: Counter::new("serve.jobs.rejected"),
+            completed: Counter::new("serve.jobs.completed"),
+            failed: Counter::new("serve.jobs.failed"),
+            cancelled: Counter::new("serve.jobs.cancelled"),
+            retried: Counter::new("serve.attempts.retried"),
+            timed_out: Counter::new("serve.attempts.timed_out"),
+            panicked: Counter::new("serve.attempts.panicked"),
+            cache_hits: Counter::new("serve.cache.hits"),
+            cache_misses: Counter::new("serve.cache.misses"),
+            cache_upgrades: Counter::new("serve.cache.upgrades"),
+            cache_evictions: Counter::new("serve.cache.evictions"),
+            busy_us: Counter::new("serve.worker.busy_us"),
+            queue_wait: Histogram::default(),
+            exec_time: Histogram::default(),
+        }
+    }
 }
 
-fn load(counter: &AtomicU64) -> u64 {
-    counter.load(Ordering::Relaxed)
+/// Increments a counter by one (kept for call-site brevity; also mirrors
+/// into the ambient trace session, see [`kpm_obs::Counter::add`]).
+pub fn bump(counter: &Counter) {
+    counter.inc();
 }
 
 impl Metrics {
+    /// Records worker busy time (mirrored under `serve.worker.busy_us`).
+    pub fn record_busy(&self, d: Duration) {
+        self.busy_us.add(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Snapshot of every counter plus derived queue/latency gauges, as
+    /// `(canonical name, value)` pairs in stable order. `queue_depth` is
+    /// sampled by the caller (the queue owns it).
+    pub fn counters(&self, queue_depth: usize) -> Vec<(&'static str, u64)> {
+        let own = [
+            &self.submitted,
+            &self.rejected,
+            &self.completed,
+            &self.failed,
+            &self.cancelled,
+            &self.retried,
+            &self.timed_out,
+            &self.panicked,
+            &self.cache_hits,
+            &self.cache_misses,
+            &self.cache_upgrades,
+            &self.cache_evictions,
+            &self.busy_us,
+        ];
+        let mut out: Vec<(&'static str, u64)> = own.iter().map(|c| (c.name(), c.get())).collect();
+        out.push(("serve.queue.depth", queue_depth as u64));
+        out.push(("serve.queue.wait_mean_us", self.queue_wait.mean().as_micros() as u64));
+        out.push(("serve.queue.wait_p90_us", self.queue_wait.quantile_upper_micros(0.9)));
+        out.push(("serve.exec.mean_us", self.exec_time.mean().as_micros() as u64));
+        out.push(("serve.exec.p90_us", self.exec_time.quantile_upper_micros(0.9)));
+        out
+    }
+
     /// Renders the metrics block. `queue_depth` is sampled by the caller at
     /// render time (the queue owns it).
     pub fn render(&self, queue_depth: usize) -> String {
-        let hits = load(&self.cache_hits);
-        let misses = load(&self.cache_misses);
+        let hits = self.cache_hits.get();
+        let misses = self.cache_misses.get();
         let total_lookups = hits + misses;
         let hit_rate =
             if total_lookups == 0 { 0.0 } else { 100.0 * hits as f64 / total_lookups as f64 };
@@ -117,16 +131,16 @@ impl Metrics {
              evictions {}\n\
              queue     : depth {queue_depth} | wait mean {:?} | wait p90 < {} us\n\
              execution : mean {:?} | p90 < {} us\n",
-            load(&self.submitted),
-            load(&self.completed),
-            load(&self.failed),
-            load(&self.cancelled),
-            load(&self.rejected),
-            load(&self.retried),
-            load(&self.timed_out),
-            load(&self.panicked),
-            load(&self.cache_upgrades),
-            load(&self.cache_evictions),
+            self.submitted.get(),
+            self.completed.get(),
+            self.failed.get(),
+            self.cancelled.get(),
+            self.rejected.get(),
+            self.retried.get(),
+            self.timed_out.get(),
+            self.panicked.get(),
+            self.cache_upgrades.get(),
+            self.cache_evictions.get(),
             self.queue_wait.mean(),
             self.queue_wait.quantile_upper_micros(0.9),
             self.exec_time.mean(),
@@ -168,5 +182,22 @@ mod tests {
         for needle in ["submitted 1", "hits 1", "hit rate 100.0%", "depth 4"] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }
+    }
+
+    #[test]
+    fn counters_snapshot_uses_canonical_names() {
+        let m = Metrics::default();
+        bump(&m.submitted);
+        m.record_busy(Duration::from_millis(2));
+        m.exec_time.record(Duration::from_micros(100));
+        let snap = m.counters(3);
+        let get = |name: &str| {
+            snap.iter().find(|(n, _)| *n == name).map(|&(_, v)| v).expect("counter present")
+        };
+        assert_eq!(get("serve.jobs.submitted"), 1);
+        assert_eq!(get("serve.worker.busy_us"), 2000);
+        assert_eq!(get("serve.queue.depth"), 3);
+        assert_eq!(get("serve.exec.mean_us"), 100);
+        assert_eq!(get("serve.jobs.failed"), 0);
     }
 }

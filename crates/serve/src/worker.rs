@@ -13,9 +13,7 @@ use crate::job::{Backend, Fault, JobMatrix, JobSpec};
 use crate::metrics::{bump, Metrics};
 use crate::queue::{JobId, JobQueue};
 use crate::{CacheStatus, JobOutcome, JobRecord, JobSuccess};
-use kpm::moments::stochastic_moments;
-use kpm::rescale::{rescale, Boundable};
-use kpm::{KpmError, MomentStats};
+use kpm::prelude::*;
 use kpm_stream::StreamKpmEngine;
 use kpm_streamsim::GpuSpec;
 use std::collections::BTreeMap;
@@ -57,6 +55,12 @@ impl std::fmt::Display for JobError {
 
 impl std::error::Error for JobError {}
 
+impl From<KpmError> for JobError {
+    fn from(e: KpmError) -> Self {
+        JobError::Kpm(e.to_string())
+    }
+}
+
 /// Retry/timeout policy for one worker.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkerPolicy {
@@ -80,7 +84,16 @@ pub(crate) struct WorkerContext {
 pub(crate) fn run_worker(ctx: Arc<WorkerContext>) {
     while let Some(job) = ctx.queue.pop() {
         ctx.metrics.queue_wait.record(job.enqueued.elapsed());
-        let record = process(&ctx, job.id, &job.spec);
+        let busy_start = Instant::now();
+        let record = {
+            let _span = if kpm_obs::enabled() {
+                kpm_obs::span_labeled("serve.job", &job.spec.canonical())
+            } else {
+                kpm_obs::span("serve.job")
+            };
+            process(&ctx, job.id, &job.spec)
+        };
+        ctx.metrics.record_busy(busy_start.elapsed());
         match &record.outcome {
             JobOutcome::Completed(_) => bump(&ctx.metrics.completed),
             JobOutcome::Failed { .. } => bump(&ctx.metrics.failed),
@@ -118,11 +131,23 @@ fn process(ctx: &WorkerContext, id: JobId, spec: &JobSpec) -> JobRecord {
     let outcome = match moments {
         Err((error, attempts)) => JobOutcome::Failed { error: error.to_string(), attempts },
         Ok(hit) => {
-            let dos = kpm::DosEstimator::new(spec.kpm_params()).reconstruct(
+            let dos = match DosEstimator::new(spec.kpm_params()).reconstruct(
                 hit.stats,
                 hit.a_plus,
                 hit.a_minus,
-            );
+            ) {
+                Ok(dos) => dos,
+                Err(e) => {
+                    return JobRecord {
+                        id,
+                        spec_line: spec.canonical(),
+                        outcome: JobOutcome::Failed {
+                            error: JobError::from(e).to_string(),
+                            attempts: 1,
+                        },
+                    };
+                }
+            };
             let wrote = spec.out.clone();
             if let Some(path) = &wrote {
                 if let Err(e) = write_dos_csv(path, &dos) {
@@ -274,7 +299,7 @@ pub fn compute_raw_moments(
         _ => {}
     }
     let params = spec.kpm_params();
-    params.validate().map_err(kpm_err)?;
+    params.validate()?;
     let matrix = spec.build_matrix();
     match spec.backend {
         Backend::Cpu => match &matrix {
@@ -293,19 +318,15 @@ pub fn compute_raw_moments(
     }
 }
 
-fn kpm_err(e: KpmError) -> JobError {
-    JobError::Kpm(e.to_string())
-}
-
 /// Shim so sparse and dense matrices share the CPU pipeline.
 trait Erased {
-    fn cpu(&self, params: &kpm::KpmParams) -> Result<(MomentStats, f64, f64), JobError>;
+    fn cpu(&self, params: &KpmParams) -> Result<(MomentStats, f64, f64), JobError>;
 }
 
 impl<A: Boundable + Sync> Erased for A {
-    fn cpu(&self, params: &kpm::KpmParams) -> Result<(MomentStats, f64, f64), JobError> {
-        let bounds = self.spectral_bounds(params.bounds).map_err(kpm_err)?;
-        let rescaled = rescale(self, bounds, params.padding).map_err(kpm_err)?;
+    fn cpu(&self, params: &KpmParams) -> Result<(MomentStats, f64, f64), JobError> {
+        let bounds = self.spectral_bounds(params.bounds)?;
+        let rescaled = rescale(self, bounds, params.padding)?;
         let stats = stochastic_moments(&rescaled, params);
         Ok((stats, rescaled.a_plus(), rescaled.a_minus()))
     }

@@ -11,7 +11,6 @@
 //! cargo run --release --example anderson_disorder
 //! ```
 
-use kpm_suite::kpm::ldos::local_dos;
 use kpm_suite::kpm::prelude::*;
 use kpm_suite::lattice::{Boundary, HypercubicLattice, OnSite, TightBinding};
 
@@ -52,7 +51,7 @@ fn main() {
         // inhomogeneous the system has become.
         let mut values = Vec::new();
         for site in [0usize, 111, 333] {
-            let ldos = local_dos(&h, site, &params).expect("LDoS");
+            let ldos = LdosEstimator::new(params.clone(), site).compute(&h).expect("LDoS");
             values.push(ldos.value_at(0.0).unwrap_or(0.0));
         }
         let spread = values.iter().cloned().fold(0.0f64, f64::max)

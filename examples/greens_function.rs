@@ -9,7 +9,7 @@
 //! cargo run --release --example greens_function
 //! ```
 
-use kpm_suite::kpm::green::greens_function;
+use kpm_suite::kpm::green;
 use kpm_suite::kpm::moments::{exact_moments, stochastic_moments};
 use kpm_suite::kpm::prelude::*;
 use kpm_suite::kpm::rescale::{rescale, Boundable};
@@ -30,7 +30,7 @@ fn main() {
     let stats = stochastic_moments(&rescaled, &params);
 
     let energies: Vec<f64> = (-190..=190).map(|i| i as f64 * 0.01).collect();
-    let g = greens_function(
+    let g = green::evaluate(
         &stats.mean,
         KernelType::Lorentz { lambda: 4.0 },
         &energies,

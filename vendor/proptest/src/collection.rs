@@ -2,7 +2,7 @@
 
 use crate::strategy::{Strategy, TestRng};
 
-/// A length specification for [`vec`]: an exact size, `lo..hi`, or
+/// A length specification for [`vec()`](vec()): an exact size, `lo..hi`, or
 /// `lo..=hi`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SizeRange {
@@ -37,7 +37,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// See [`vec`].
+/// See [`vec()`](vec()).
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
