@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kpm::moments::KpmParams;
 use kpm_lattice::paper_cubic_hamiltonian;
-use kpm_stream::cost::{MomentLaunchShape, Precision};
+use kpm_stream::cost::{MomentLaunchShape, Precision, SparseFormat};
 use kpm_stream::tune::tune_block_size;
 use kpm_stream::{Mapping, StreamKpmEngine, VectorLayout};
 use kpm_streamsim::GpuSpec;
@@ -21,6 +21,7 @@ fn bench_tuner(c: &mut Criterion) {
         dim: 1000,
         stored_entries: 7000,
         dense: false,
+        format: SparseFormat::Csr,
         num_moments: 1024,
         realizations: 1792,
         mapping: Mapping::ThreadPerRealization,

@@ -9,7 +9,7 @@ use kpm::obs;
 use kpm::prelude::*;
 use kpm::propagate::{ComplexState, Propagator};
 use kpm_lattice::OnSite;
-use kpm_linalg::CsrMatrix;
+use kpm_linalg::{MatrixFormat, SparseMatrix};
 use kpm_stream::tune::tune_block_size;
 use kpm_stream::{Mapping, StreamKpmEngine};
 use kpm_streamsim::GpuSpec;
@@ -128,6 +128,7 @@ COMMON OPTIONS:
   --bc       open | periodic        (default periodic)
   --hopping  t                      (default 1.0)
   --disorder W [--dseed S]          (default none)
+  --format   csr | ell | stencil | auto   (default csr)
   --moments  N                      (default 256)
   --random   R  --sets S            (default 14, 2)
   --kernel   jackson | lorentz | fejer | dirichlet   (default jackson)
@@ -152,7 +153,7 @@ EXIT CODES: 0 ok | 1 other | 2 args | 3 lattice spec | 4 kpm | 5 io | 6 jobs fai
 
 /// Shared workload assembled from common options.
 struct Workload {
-    h: CsrMatrix,
+    h: SparseMatrix,
     params: KpmParams,
 }
 
@@ -170,7 +171,12 @@ fn workload(args: &Args) -> Result<Workload, CmdError> {
             seed: args.get_or("dseed", 7u64)?,
         },
     };
-    let h = spec.build(t, onsite, bc);
+    let format: MatrixFormat = args
+        .get("format")
+        .unwrap_or("csr")
+        .parse()
+        .map_err(|e: String| CmdError::Other(format!("--format: {e}")))?;
+    let h = spec.build_format(t, onsite, bc, format);
 
     let kernel = match args.get("kernel").unwrap_or("jackson") {
         "jackson" => KernelType::Jackson,
@@ -234,10 +240,11 @@ pub fn dos(args: &Args) -> Result<String, CmdError> {
     let mut report = dos_report(
         &dos,
         &format!(
-            "DoS of a {} x {} Hamiltonian ({} stored entries)",
+            "DoS of a {} x {} Hamiltonian ({} stored entries, {} format)",
             w.h.nrows(),
             w.h.ncols(),
-            w.h.nnz()
+            w.h.nnz(),
+            w.h.format_name()
         ),
     );
     if let Some(path) = maybe_write_csv(
@@ -487,6 +494,37 @@ mod tests {
         let report = dos(&a).unwrap();
         assert!(report.contains("integral"), "{report}");
         assert!(report.contains("64 x 64"));
+    }
+
+    #[test]
+    fn dos_format_flag_selects_backend_without_changing_physics() {
+        let base = ["--lattice", "cubic:4,4,4", "--moments", "64", "--sets", "1"];
+        let reports: Vec<String> = ["csr", "ell", "stencil", "auto"]
+            .iter()
+            .map(|f| {
+                let mut words: Vec<&str> = base.to_vec();
+                words.extend_from_slice(&["--format", f]);
+                dos(&args(&words)).unwrap()
+            })
+            .collect();
+        assert!(reports[0].contains("csr format"), "{}", reports[0]);
+        assert!(reports[1].contains("ell format"), "{}", reports[1]);
+        assert!(reports[2].contains("stencil format"), "{}", reports[2]);
+        // Regular cubic rows: auto must pick ELL.
+        assert!(reports[3].contains("ell format"), "{}", reports[3]);
+        // Identical physics: reports differ only in the format label.
+        let strip = |r: &str| {
+            r.replace("csr format", "X").replace("ell format", "X").replace("stencil format", "X")
+        };
+        assert_eq!(strip(&reports[0]), strip(&reports[1]));
+        assert_eq!(strip(&reports[0]), strip(&reports[2]));
+    }
+
+    #[test]
+    fn dos_rejects_unknown_format() {
+        let a = args(&["--lattice", "chain:8", "--format", "coo"]);
+        let err = dos(&a).unwrap_err();
+        assert!(err.to_string().contains("unknown matrix format"), "{err}");
     }
 
     #[test]

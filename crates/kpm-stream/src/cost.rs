@@ -47,16 +47,38 @@ impl Precision {
     }
 }
 
+/// Sparse storage format of a priced launch.
+///
+/// The formats process the same coefficients but stream different bytes:
+/// CSR pays a row-pointer traversal on top of the per-entry gather, ELL
+/// streams its (padded) slots contiguously with no row pointers, and the
+/// stencil regenerates the pattern in registers so the matrix costs no
+/// DRAM traffic at all. Callers pricing an ELL launch must pass the
+/// *padded* slot count (`model_entries`), not the true `nnz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SparseFormat {
+    /// Compressed sparse row — the paper's CRS format.
+    #[default]
+    Csr,
+    /// Padded slot-major ELLPACK.
+    Ell,
+    /// Matrix-free lattice stencil.
+    Stencil,
+}
+
 /// Shape of one *moment-generation* launch (the paper's Fig. 4a kernel:
 /// RNG init + the full `N`-iteration recursion + per-realization dots).
 #[derive(Debug, Clone, Copy)]
 pub struct MomentLaunchShape {
     /// Operator dimension `D` (`H_SIZE`).
     pub dim: usize,
-    /// Stored matrix entries (dense `D^2`, paper's lattice `7 D`).
+    /// Coefficient slots the kernel processes per sweep (dense `D^2`,
+    /// paper's lattice `7 D`; for ELL this is the padded slot count).
     pub stored_entries: usize,
     /// Whether the matrix is stored dense.
     pub dense: bool,
+    /// Sparse storage format (ignored when `dense`).
+    pub format: SparseFormat,
     /// Moments `N`.
     pub num_moments: usize,
     /// Total realizations `S * R`.
@@ -90,15 +112,25 @@ impl MomentLaunchShape {
         self.realizations as u64 * per_real
     }
 
-    /// Matrix bytes per full sweep (values + 4-byte column indices for
-    /// sparse, matching CSR storage).
+    /// Matrix bytes per full sweep.
+    ///
+    /// * dense — values only;
+    /// * CSR — values + 4-byte column indices + 8-byte row pointers (the
+    ///   pointer chase that makes CSR loads a gather);
+    /// * ELL — values + column indices for every *padded* slot, streamed
+    ///   contiguously with no row pointers;
+    /// * stencil — zero: the pattern lives in registers, nothing is stored.
     pub fn matrix_bytes(&self) -> u64 {
         let e = self.stored_entries as u64;
         let w = self.precision.word_bytes();
         if self.dense {
             w * e
         } else {
-            (w + 4) * e + 8 * (self.dim as u64 + 1) // values + col idx + row ptr
+            match self.format {
+                SparseFormat::Csr => (w + 4) * e + 8 * (self.dim as u64 + 1),
+                SparseFormat::Ell => (w + 4) * e,
+                SparseFormat::Stencil => 0,
+            }
         }
     }
 
@@ -219,6 +251,7 @@ mod tests {
             dim: 1000,
             stored_entries: 7000,
             dense: false,
+            format: SparseFormat::Csr,
             num_moments: n,
             realizations: 1792,
             mapping: Mapping::ThreadPerRealization,
@@ -233,6 +266,7 @@ mod tests {
             dim: d,
             stored_entries: d * d,
             dense: true,
+            format: SparseFormat::Csr,
             num_moments: 128,
             realizations: 1792,
             mapping: Mapping::ThreadPerRealization,
@@ -267,6 +301,36 @@ mod tests {
         let s = paper_fig5(128);
         assert_eq!(s.matrix_bytes(), 12 * 7000 + 8 * 1001);
         assert_eq!(paper_fig8(512).matrix_bytes(), 8 * 512 * 512);
+    }
+
+    #[test]
+    fn format_traffic_orders_stencil_below_ell_below_csr() {
+        let spec = GpuSpec::tesla_c2050();
+        // Paper lattice: 7 entries in every row, so ELL pads nothing and
+        // its only saving over CSR is the row-pointer stream.
+        let csr = paper_fig5(512);
+        let ell = MomentLaunchShape { format: SparseFormat::Ell, ..csr };
+        let stencil = MomentLaunchShape { format: SparseFormat::Stencil, ..csr };
+        assert_eq!(csr.matrix_bytes(), 12 * 7000 + 8 * 1001);
+        assert_eq!(ell.matrix_bytes(), 12 * 7000);
+        assert_eq!(stencil.matrix_bytes(), 0);
+        let t = |s: &MomentLaunchShape| s.estimate_total(&spec, 0.2).as_secs_f64();
+        assert!(t(&stencil) < t(&ell), "stencil must beat ELL");
+        assert!(t(&ell) < t(&csr), "ELL must beat CSR");
+        // Same arithmetic regardless of storage.
+        assert_eq!(csr.flops(), ell.flops());
+        assert_eq!(csr.flops(), stencil.flops());
+    }
+
+    #[test]
+    fn ell_padding_charges_extra_slots() {
+        // A ragged matrix padded to width 12 at D = 1000 with true
+        // nnz = 7000: the ELL shape must be priced at the padded slots.
+        let csr = paper_fig5(512);
+        let padded =
+            MomentLaunchShape { format: SparseFormat::Ell, stored_entries: 12 * 1000, ..csr };
+        assert_eq!(padded.matrix_bytes(), 12 * 12_000);
+        assert!(padded.matrix_bytes() > csr.matrix_bytes());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! and reads the moments back. Produces both verified numbers and a
 //! modeled-time breakdown.
 
-use crate::cost::{MomentLaunchShape, Precision};
+use crate::cost::{MomentLaunchShape, Precision, SparseFormat};
 use crate::kernels::{MomentGenKernel, MomentReduceKernel};
 use crate::layout::{Mapping, VectorLayout};
 use kpm::prelude::*;
@@ -55,6 +55,16 @@ impl DeviceMatrix {
             DeviceMatrix::Dense { dim, .. } => dim * dim,
             DeviceMatrix::Csr { nnz, .. } => *nnz,
         }
+    }
+
+    /// Coefficient slots a memory-traffic model should charge for.
+    ///
+    /// Mirrors `LinearOp::model_entries`: equal to [`Self::stored_entries`]
+    /// for the dense and CSR variants resident here, but kept distinct so
+    /// cost-model call sites charge padded slot counts if a padded format
+    /// is ever uploaded.
+    pub fn model_entries(&self) -> usize {
+        self.stored_entries()
     }
 
     /// Whether storage is dense.
@@ -217,6 +227,7 @@ impl StreamKpmEngine {
             dim,
             stored_entries,
             dense,
+            format: SparseFormat::Csr,
             num_moments,
             realizations,
             mapping: self.mapping,
@@ -319,8 +330,9 @@ impl StreamKpmEngine {
 
         let shape = MomentLaunchShape {
             dim: d,
-            stored_entries: dmat.stored_entries(),
+            stored_entries: dmat.model_entries(),
             dense: dmat.is_dense(),
+            format: SparseFormat::Csr,
             num_moments: n_mom,
             realizations: sr,
             mapping: self.mapping,

@@ -466,6 +466,7 @@ mod tests {
             dim: 1000,
             stored_entries: 7000,
             dense: false,
+            format: crate::cost::SparseFormat::Csr,
             num_moments: 256,
             realizations: 1792,
             mapping: Mapping::ThreadPerRealization,

@@ -35,7 +35,7 @@ pub mod propagate;
 pub mod tune;
 
 pub use cluster::DeviceCluster;
-pub use cost::{MomentLaunchShape, Precision};
+pub use cost::{MomentLaunchShape, Precision, SparseFormat};
 pub use engine::{DeviceMatrix, EngineError, GpuRunResult, StreamKpmEngine, TimeBreakdown};
 pub use kubo_stream::{device_double_moments, DoubleMomentShape};
 pub use layout::{Mapping, VectorLayout};

@@ -93,6 +93,7 @@ mod tests {
             dim: 1000,
             stored_entries: 7000,
             dense: false,
+            format: crate::cost::SparseFormat::Csr,
             num_moments: 512,
             realizations: 1792,
             mapping: Mapping::ThreadPerRealization,

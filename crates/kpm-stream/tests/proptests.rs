@@ -3,7 +3,7 @@
 use kpm::moments::KpmParams;
 use kpm::rescale::{rescale, Boundable};
 use kpm_lattice::{Boundary, HypercubicLattice, OnSite, TightBinding};
-use kpm_stream::cost::{MomentLaunchShape, Precision};
+use kpm_stream::cost::{MomentLaunchShape, Precision, SparseFormat};
 use kpm_stream::{Mapping, StreamKpmEngine, VectorLayout};
 use kpm_streamsim::GpuSpec;
 use proptest::prelude::*;
@@ -13,6 +13,7 @@ fn shape(dim: usize, n: usize, reals: usize, mapping: Mapping, block: usize) -> 
         dim,
         stored_entries: 7 * dim,
         dense: false,
+        format: SparseFormat::Csr,
         num_moments: n,
         realizations: reals,
         mapping,

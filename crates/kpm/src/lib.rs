@@ -94,11 +94,12 @@ pub mod prelude {
     pub use crate::kubo::{Conductivity, DoubleMoments, KuboEstimator};
     pub use crate::ldos::LdosEstimator;
     pub use crate::moments::{
-        single_vector_moments, stochastic_moments, KpmParams, MomentStats, Recursion,
+        block_vector_moments, single_vector_moments, stochastic_moments, KpmParams, MomentStats,
+        Recursion,
     };
     pub use crate::random::Distribution;
     pub use crate::rescale::{rescale, Boundable, BoundsMethod};
     pub use kpm_linalg::gershgorin::SpectralBounds;
-    pub use kpm_linalg::LinearOp;
+    pub use kpm_linalg::{BlockOp, LinearOp};
     pub use kpm_obs::TraceHandle;
 }

@@ -17,11 +17,22 @@
 //!   `mu_{2k} = 2 <r_k|r_k> - mu_0` and `mu_{2k+1} = 2 <r_{k+1}|r_k> - mu_1`,
 //!   halving the matvec count (Weiße et al. 2006, Sec. II.D). The paper does
 //!   not use this; we include it as a measured ablation.
+//!
+//! Stochastic estimation is a multiple-right-hand-side problem: every step
+//! applies the same `H~` to all `R` vectors of a realization set. The
+//! stochastic driver therefore carries each set as one `D x R` column-block
+//! through [`kpm_linalg::BlockOp::apply_block`] — three `D x R` buffers
+//! pointer-swapped exactly like the single-vector scheme, one matrix sweep
+//! amortized over `R` right-hand sides. Per-realization RNG streams are
+//! keyed `(s, r)` as before and every block column performs bitwise the
+//! same arithmetic as the scalar recursion, so results are bitwise
+//! identical to the one-vector-at-a-time path.
 
 use crate::error::KpmError;
 use crate::kernels::KernelType;
 use crate::random::{fill_random_vector, Distribution};
 use crate::rescale::BoundsMethod;
+use kpm_linalg::block::BlockOp;
 use kpm_linalg::op::LinearOp;
 use kpm_linalg::vecops;
 use rayon::prelude::*;
@@ -248,11 +259,12 @@ fn plain_moments<A: LinearOp>(op: &A, r0: &[f64], n: usize) -> Vec<f64> {
     let mut scratch = vec![0.0; d];
     for _ in 2..n {
         // r_{n+2} = 2 H r_{n+1} - r_n, reusing `prev` as the output buffer —
-        // the same pointer-swap scheme the paper's GPU code uses.
+        // the same pointer-swap scheme the paper's GPU code uses. The
+        // combine and the moment dot run fused in one pass.
         op.apply(&cur, &mut scratch);
-        vecops::chebyshev_combine_inplace(&scratch, &mut prev);
+        let mu_n = vecops::chebyshev_combine_dot(&scratch, &mut prev, r0);
         std::mem::swap(&mut prev, &mut cur);
-        mu.push(vecops::dot(r0, &cur));
+        mu.push(mu_n);
     }
     mu
 }
@@ -275,14 +287,146 @@ fn doubling_moments<A: LinearOp>(op: &A, r0: &[f64], n: usize) -> Vec<f64> {
         // mu_{2k} = 2 <r_k|r_k> - mu_0
         mu[2 * k] = 2.0 * vecops::dot(&cur, &cur) - mu0;
         if 2 * k + 1 < n {
-            // r_{k+1} = 2 H r_k - r_{k-1}
+            // r_{k+1} = 2 H r_k - r_{k-1}; the combine is fused with the
+            // cross dot <r_{k+1}|r_k> (dotting against `cur` = r_k before the
+            // swap — multiplication is commutative, so the product sequence
+            // is bitwise the one the unfused path computed).
             op.apply(&cur, &mut scratch);
-            vecops::chebyshev_combine_inplace(&scratch, &mut prev);
+            let cross = vecops::chebyshev_combine_dot(&scratch, &mut prev, &cur);
             std::mem::swap(&mut prev, &mut cur);
-            // mu_{2k+1} = 2 <r_{k+1}|r_k> - mu_1  (cur = r_{k+1}, prev = r_k)
-            mu[2 * k + 1] = 2.0 * vecops::dot(&cur, &prev) - mu1;
+            // mu_{2k+1} = 2 <r_{k+1}|r_k> - mu_1
+            mu[2 * k + 1] = 2.0 * cross - mu1;
         }
         k += 1;
+    }
+    mu
+}
+
+/// One blocked matrix sweep, instrumented: `kpm.spmm.sweeps` counts block
+/// applications, `kpm.spmm.rows` the rows streamed, and
+/// `kpm.spmm.width.<k>` forms a per-block-width histogram in the trace
+/// counters.
+fn apply_block_counted<A: BlockOp + ?Sized>(op: &A, x: &[f64], y: &mut [f64], k: usize) {
+    op.apply_block(x, y, k);
+    if kpm_obs::enabled() {
+        kpm_obs::counter_add("kpm.spmm.sweeps", 1);
+        kpm_obs::counter_add("kpm.spmm.rows", op.dim() as u64);
+        kpm_obs::counter_add(&format!("kpm.spmm.width.{k}"), 1);
+    }
+}
+
+/// Computes the moments `<r_j|T_n(H~)|r_j>` (not normalized by `D`) for all
+/// `k` columns of a `D x k` start block in one recursion: each step is a
+/// single [`BlockOp::apply_block`] sweep amortized over the whole block.
+///
+/// Column `j` of the result is bitwise identical to
+/// [`single_vector_moments`] on `block[j * D..(j + 1) * D]`: per column the
+/// blocked recursion performs exactly the same arithmetic in the same
+/// order, and the [`BlockOp`] contract guarantees the same for the operator
+/// application.
+///
+/// # Panics
+/// Panics if `block.len() != op.dim() * k`, `k == 0`, or `num_moments < 2`.
+pub fn block_vector_moments<A: BlockOp + ?Sized>(
+    op: &A,
+    block: &[f64],
+    k: usize,
+    num_moments: usize,
+    recursion: Recursion,
+) -> Vec<Vec<f64>> {
+    assert!(k > 0, "block must have at least one column");
+    assert_eq!(block.len(), op.dim() * k, "start block length");
+    assert!(num_moments >= 2, "need at least two moments");
+    match recursion {
+        Recursion::Plain => block_plain_moments(op, block, k, num_moments),
+        Recursion::Doubling => block_doubling_moments(op, block, k, num_moments),
+    }
+}
+
+fn block_plain_moments<A: BlockOp + ?Sized>(
+    op: &A,
+    r0: &[f64],
+    k: usize,
+    n: usize,
+) -> Vec<Vec<f64>> {
+    let d = op.dim();
+    let mut mu: Vec<Vec<f64>> = (0..k).map(|_| Vec::with_capacity(n)).collect();
+    let mut prev = r0.to_vec(); // R_0
+    let mut cur = vec![0.0; d * k]; // R_1
+    apply_block_counted(op, &prev, &mut cur, k);
+    for (j, mu_j) in mu.iter_mut().enumerate() {
+        let col = j * d..(j + 1) * d;
+        mu_j.push(vecops::dot(&r0[col.clone()], &prev[col.clone()])); // mu~_0
+        mu_j.push(vecops::dot(&r0[col.clone()], &cur[col])); // mu~_1
+    }
+    let mut scratch = vec![0.0; d * k];
+    for _ in 2..n {
+        // R_{n+2} = 2 H R_{n+1} - R_n for the whole block, reusing `prev`
+        // as the output — the paper's Fig. 3 pointer swap, widened to R
+        // columns so the matrix is streamed once per step. The combine and
+        // the per-column moment dots run fused, one pass per column.
+        apply_block_counted(op, &cur, &mut scratch, k);
+        for (j, mu_j) in mu.iter_mut().enumerate() {
+            let col = j * d..(j + 1) * d;
+            mu_j.push(vecops::chebyshev_combine_dot(
+                &scratch[col.clone()],
+                &mut prev[col.clone()],
+                &r0[col],
+            ));
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    mu
+}
+
+fn block_doubling_moments<A: BlockOp + ?Sized>(
+    op: &A,
+    r0: &[f64],
+    k: usize,
+    n: usize,
+) -> Vec<Vec<f64>> {
+    let d = op.dim();
+    let mut mu: Vec<Vec<f64>> = vec![vec![0.0; n]; k];
+    let mut prev = r0.to_vec(); // R_{m-1}, starts as R_0
+    let mut cur = vec![0.0; d * k]; // R_m, starts as R_1
+    apply_block_counted(op, &prev, &mut cur, k);
+    let mut mu0 = vec![0.0; k];
+    let mut mu1 = vec![0.0; k];
+    for j in 0..k {
+        let col = j * d..(j + 1) * d;
+        mu0[j] = vecops::dot(&r0[col.clone()], &r0[col.clone()]);
+        mu1[j] = vecops::dot(&cur[col.clone()], &r0[col]);
+        mu[j][0] = mu0[j];
+        if n > 1 {
+            mu[j][1] = mu1[j];
+        }
+    }
+    let mut scratch = vec![0.0; d * k];
+    let mut m = 1usize;
+    while 2 * m < n {
+        for (j, mu_j) in mu.iter_mut().enumerate() {
+            let col = j * d..(j + 1) * d;
+            // mu_{2m} = 2 <r_m|r_m> - mu_0
+            mu_j[2 * m] = 2.0 * vecops::dot(&cur[col.clone()], &cur[col]) - mu0[j];
+        }
+        if 2 * m + 1 < n {
+            // R_{m+1} = 2 H R_m - R_{m-1}; per column the combine fuses with
+            // the cross dot <r_{m+1}|r_m> (against `cur` = R_m before the
+            // swap; commutative products, bitwise unchanged).
+            apply_block_counted(op, &cur, &mut scratch, k);
+            for (j, mu_j) in mu.iter_mut().enumerate() {
+                let col = j * d..(j + 1) * d;
+                let cross = vecops::chebyshev_combine_dot(
+                    &scratch[col.clone()],
+                    &mut prev[col.clone()],
+                    &cur[col],
+                );
+                // mu_{2m+1} = 2 <r_{m+1}|r_m> - mu_1
+                mu_j[2 * m + 1] = 2.0 * cross - mu1[j];
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        m += 1;
     }
     mu
 }
@@ -313,25 +457,30 @@ pub fn pair_vector_moments<A: LinearOp>(
     let mut scratch = vec![0.0; d];
     for _ in 2..num_moments {
         op.apply(&cur, &mut scratch);
-        vecops::chebyshev_combine_inplace(&scratch, &mut prev);
+        let mu_n = vecops::chebyshev_combine_dot(&scratch, &mut prev, l);
         std::mem::swap(&mut prev, &mut cur);
-        mu.push(vecops::dot(l, &cur));
+        mu.push(mu_n);
     }
     mu
 }
 
 /// Stochastic trace estimation of the normalized moments
 /// `mu_n = Tr[T_n(H~)]/D` over `S * R` random vectors (the paper's step
-/// (1)–(3), Fig. 3). Realizations are independent and run in parallel;
-/// results are reduced in a fixed order so the output is deterministic for
-/// a given seed regardless of thread count.
+/// (1)–(3), Fig. 3). Each realization set's `R` vectors advance together as
+/// one `D x R` block ([`block_vector_moments`]), so the matrix is streamed
+/// once per moment step instead of once per vector. Sets are independent
+/// and run in parallel when the dimension is large enough to amortize the
+/// fork-join overhead ([`vecops::use_parallel`]); results are reduced in a
+/// fixed `(s, r)` order so the output is deterministic for a given seed
+/// regardless of thread count — and bitwise identical to the serial,
+/// one-vector-at-a-time path.
 ///
 /// The operator must already be rescaled into `[-1, 1]`.
 ///
 /// # Panics
 /// Panics if parameters are invalid (call [`KpmParams::validate`] first for
 /// a recoverable error).
-pub fn stochastic_moments<A: LinearOp + Sync>(op: &A, params: &KpmParams) -> MomentStats {
+pub fn stochastic_moments<A: BlockOp + Sync>(op: &A, params: &KpmParams) -> MomentStats {
     params.validate().expect("invalid KPM parameters");
     let _span = kpm_obs::span("kpm.moments");
     let d = op.dim();
@@ -339,24 +488,36 @@ pub fn stochastic_moments<A: LinearOp + Sync>(op: &A, params: &KpmParams) -> Mom
     let total = params.total_realizations();
     let r_per_s = params.num_random;
 
-    // Each realization returns its own mu~ vector; collected in index order
-    // for deterministic reduction.
-    let per_realization: Vec<Vec<f64>> = (0..total)
-        .into_par_iter()
-        .map(|idx| {
-            let s = idx / r_per_s;
-            let r = idx % r_per_s;
-            let mut r0 = vec![0.0; d];
-            fill_random_vector(params.distribution, params.seed, s, r, &mut r0);
-            let mut mu = single_vector_moments(op, &r0, n, params.recursion);
-            let inv_d = 1.0 / d as f64;
+    // One realization set = one D x R block. Each set returns its columns'
+    // mu~ vectors in r order; sets are collected in s order, so flattening
+    // reproduces the historical idx = s * R + r reduction order exactly.
+    let run_set = |s: usize| -> Vec<Vec<f64>> {
+        let mut block = vec![0.0; d * r_per_s];
+        for r in 0..r_per_s {
+            fill_random_vector(
+                params.distribution,
+                params.seed,
+                s,
+                r,
+                &mut block[r * d..(r + 1) * d],
+            );
+        }
+        let mut per_column = block_vector_moments(op, &block, r_per_s, n, params.recursion);
+        let inv_d = 1.0 / d as f64;
+        for mu in per_column.iter_mut() {
             for m in mu.iter_mut() {
                 *m *= inv_d;
             }
-            kpm_obs::counter_add("kpm.realizations", 1);
-            mu
-        })
-        .collect();
+        }
+        kpm_obs::counter_add("kpm.realizations", r_per_s as u64);
+        per_column
+    };
+    let per_set: Vec<Vec<Vec<f64>>> = if vecops::use_parallel(d) && params.num_realizations > 1 {
+        (0..params.num_realizations).into_par_iter().map(run_set).collect()
+    } else {
+        (0..params.num_realizations).map(run_set).collect()
+    };
+    let per_realization: Vec<Vec<f64>> = per_set.into_iter().flatten().collect();
 
     let mut mean = vec![0.0; n];
     let mut m2 = vec![0.0; n]; // sum of squared deviations (Welford)
@@ -499,6 +660,67 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn block_recursion_matches_scalar_per_column_bitwise() {
+        // The K = 1 case and every wider block must reproduce the scalar
+        // recursion bit for bit, for both recursion strategies.
+        let d = 24;
+        let op = DiagonalOp::new((0..d).map(|i| ((i as f64) * 0.41).sin() * 0.9).collect());
+        for recursion in [Recursion::Plain, Recursion::Doubling] {
+            for k in [1usize, 2, 5] {
+                let mut block = vec![0.0; d * k];
+                for (j, col) in block.chunks_exact_mut(d).enumerate() {
+                    fill_random_vector(Distribution::Gaussian, 77, 0, j, col);
+                }
+                let blocked = block_vector_moments(&op, &block, k, 17, recursion);
+                for (j, col_mu) in blocked.iter().enumerate() {
+                    let scalar =
+                        single_vector_moments(&op, &block[j * d..(j + 1) * d], 17, recursion);
+                    assert_eq!(col_mu, &scalar, "{recursion:?}, k = {k}, column {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_block_path_is_bitwise_equal_to_scalar_seed_path() {
+        // Replays the historical one-vector-at-a-time driver (loop over
+        // idx = s * R + r, scalar recursion, index-ordered Welford) and
+        // demands bitwise agreement with the blocked implementation.
+        let d = 40;
+        let op = DiagonalOp::new((0..d).map(|i| (i as f64 * 0.77).sin() * 0.8).collect());
+        let p = KpmParams::new(16)
+            .with_random_vectors(4, 3)
+            .with_distribution(Distribution::Gaussian)
+            .with_seed(13);
+        let stats = stochastic_moments(&op, &p);
+
+        let n = p.num_moments;
+        let total = p.total_realizations();
+        let mut mean = vec![0.0; n];
+        let mut m2 = vec![0.0; n];
+        for idx in 0..total {
+            let (s, r) = (idx / p.num_random, idx % p.num_random);
+            let mut r0 = vec![0.0; d];
+            fill_random_vector(p.distribution, p.seed, s, r, &mut r0);
+            let mut mu = single_vector_moments(&op, &r0, n, p.recursion);
+            let inv_d = 1.0 / d as f64;
+            for m in mu.iter_mut() {
+                *m *= inv_d;
+            }
+            let count = (idx + 1) as f64;
+            for i in 0..n {
+                let delta = mu[i] - mean[i];
+                mean[i] += delta / count;
+                m2[i] += delta * (mu[i] - mean[i]);
+            }
+        }
+        let std_err: Vec<f64> =
+            m2.iter().map(|&s| (s / (total as f64 - 1.0)).sqrt() / (total as f64).sqrt()).collect();
+        assert_eq!(stats.mean, mean, "blocked driver must match the scalar seed path bitwise");
+        assert_eq!(stats.std_err, std_err);
     }
 
     #[test]

@@ -5,9 +5,12 @@
 //! with on-site energies `ε_i` (uniform or Anderson-disordered) and
 //! nearest-neighbour hopping amplitude `t`.
 
-use crate::hypercubic::HypercubicLattice;
+use crate::hypercubic::{Boundary, HypercubicLattice};
 use kpm_linalg::coo::CooMatrix;
 use kpm_linalg::csr::CsrMatrix;
+use kpm_linalg::ell::EllMatrix;
+use kpm_linalg::sparse::{MatrixFormat, SparseMatrix};
+use kpm_linalg::stencil::{StencilGeometry, StencilOp};
 use rand::distributions::{Distribution, Uniform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -113,6 +116,47 @@ impl TightBinding {
             }
         }
         coo.to_csr()
+    }
+
+    /// Assembles the Hamiltonian in padded ELL form (same entries as
+    /// [`Self::build_csr`], bitwise-identical application).
+    pub fn build_ell(&self) -> EllMatrix {
+        EllMatrix::from_csr(&self.build_csr())
+    }
+
+    /// Assembles the Hamiltonian as a matrix-free stencil, or `None` when
+    /// the model has terms the stencil cannot express (next-nearest
+    /// hopping) or the lattice exceeds the stencil's dimension limit.
+    pub fn build_stencil(&self) -> Option<StencilOp> {
+        if self.next_nearest != 0.0 || self.lattice.ndim() > 8 {
+            return None;
+        }
+        let geometry = StencilGeometry::Hypercubic {
+            dims: self.lattice.dims().to_vec(),
+            periodic: self.lattice.boundaries().iter().map(|&b| b == Boundary::Periodic).collect(),
+        };
+        Some(StencilOp::new(
+            geometry,
+            self.hopping,
+            self.onsite_energies(),
+            self.store_zero_diagonal,
+        ))
+    }
+
+    /// Assembles the Hamiltonian in the requested storage format.
+    ///
+    /// [`MatrixFormat::Stencil`] falls back to CSR when
+    /// [`Self::build_stencil`] cannot express the model.
+    pub fn build_format(&self, format: MatrixFormat) -> SparseMatrix {
+        match format {
+            MatrixFormat::Csr => SparseMatrix::Csr(self.build_csr()),
+            MatrixFormat::Ell => SparseMatrix::Ell(self.build_ell()),
+            MatrixFormat::Stencil => match self.build_stencil() {
+                Some(s) => SparseMatrix::Stencil(s),
+                None => SparseMatrix::Csr(self.build_csr()),
+            },
+            MatrixFormat::Auto => SparseMatrix::auto(self.build_csr()),
+        }
     }
 }
 

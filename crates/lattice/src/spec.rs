@@ -5,7 +5,8 @@
 //! everywhere.
 
 use crate::{Boundary, HoneycombLattice, HypercubicLattice, OnSite, TightBinding};
-use kpm_linalg::CsrMatrix;
+use kpm_linalg::stencil::{StencilGeometry, StencilOp};
+use kpm_linalg::{CsrMatrix, MatrixFormat, SparseMatrix};
 use std::fmt;
 
 /// Errors from lattice-spec parsing.
@@ -140,6 +141,59 @@ impl LatticeSpec {
                     _ => add_diagonal(&h, &onsite_energies(self.num_sites(), onsite)),
                 }
             }
+        }
+    }
+
+    /// Builds the Hamiltonian in the requested storage format.
+    ///
+    /// Unlike [`SparseMatrix::from_csr`], this knows the generating
+    /// geometry, so [`MatrixFormat::Stencil`] produces a genuine
+    /// matrix-free operator (for every family — honeycomb included). All
+    /// formats apply bitwise-identically to the CSR build.
+    pub fn build_format(
+        &self,
+        t: f64,
+        onsite: OnSite,
+        bc: Boundary,
+        format: MatrixFormat,
+    ) -> SparseMatrix {
+        match (self.clone(), format) {
+            (LatticeSpec::Chain(l), _) => {
+                TightBinding::new(HypercubicLattice::chain(l, bc), t, onsite).build_format(format)
+            }
+            (LatticeSpec::Square(a, b), _) => {
+                TightBinding::new(HypercubicLattice::square(a, b, bc), t, onsite)
+                    .build_format(format)
+            }
+            (LatticeSpec::Cubic(a, b, c), _) => {
+                TightBinding::new(HypercubicLattice::cubic(a, b, c, bc), t, onsite)
+                    .build_format(format)
+            }
+            (LatticeSpec::Honeycomb(a, b), MatrixFormat::Stencil) => {
+                SparseMatrix::Stencil(self.honeycomb_stencil(a, b, t, onsite, bc))
+            }
+            (LatticeSpec::Honeycomb(..), _) => {
+                SparseMatrix::from_csr(self.build(t, onsite, bc), format)
+            }
+        }
+    }
+
+    /// Honeycomb stencil mirroring [`Self::build`]'s CSR exactly: the
+    /// `add_diagonal` path stores every diagonal entry whenever the on-site
+    /// term is not identically zero, so the stencil does the same.
+    fn honeycomb_stencil(
+        &self,
+        lx: usize,
+        ly: usize,
+        t: f64,
+        onsite: OnSite,
+        bc: Boundary,
+    ) -> StencilOp {
+        let geometry = StencilGeometry::Honeycomb { lx, ly, periodic: bc == Boundary::Periodic };
+        let n = self.num_sites();
+        match onsite {
+            OnSite::Uniform(0.0) => StencilOp::new(geometry, t, vec![0.0; n], false),
+            _ => StencilOp::new(geometry, t, onsite_energies(n, onsite), true),
         }
     }
 }

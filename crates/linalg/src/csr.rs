@@ -145,6 +145,23 @@ impl CsrMatrix {
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_impl(x, y, |acc, _| acc);
+    }
+
+    /// Fused rescaled product `y = (A x - a_plus * x) * inv_a_minus`: the
+    /// shift-and-scale runs on each row's accumulator before the store, so
+    /// the raw result never round-trips through memory. Per element this is
+    /// exactly the [`crate::LinearOp::apply_rescaled`] sequence, keeping the
+    /// result bitwise identical to the unfused two-pass form.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or if the matrix is not square.
+    pub fn spmv_rescaled(&self, x: &[f64], y: &mut [f64], a_plus: f64, inv_a_minus: f64) {
+        assert_eq!(self.nrows, self.ncols, "spmv_rescaled: matrix must be square");
+        self.spmv_impl(x, y, |acc, i| (acc - a_plus * x[i]) * inv_a_minus);
+    }
+
+    fn spmv_impl<F: Fn(f64, usize) -> f64>(&self, x: &[f64], y: &mut [f64], f: F) {
         assert_eq!(x.len(), self.ncols, "spmv: x length");
         assert_eq!(y.len(), self.nrows, "spmv: y length");
         for (i, yi) in y.iter_mut().enumerate() {
@@ -153,7 +170,79 @@ impl CsrMatrix {
             for (&c, &v) in self.col_idx[seg.clone()].iter().zip(&self.values[seg]) {
                 acc += v * x[c];
             }
-            *yi = acc;
+            *yi = f(acc, i);
+        }
+    }
+
+    /// Sparse matrix-multi-vector product `Y = A X` over a column-block.
+    ///
+    /// `x` holds `k` input columns of length `ncols` back to back
+    /// (`x[j * ncols..(j + 1) * ncols]` is column `j`); `y` holds the `k`
+    /// output columns of length `nrows` in the same layout. Each row's index
+    /// and value segment is loaded once and reused across all `k` columns,
+    /// which is the whole point of blocking: the matrix is streamed once per
+    /// sweep instead of once per vector.
+    ///
+    /// Column `j` of the result is bitwise identical to
+    /// `spmv(&x[j * ncols..], ..)` — the per-row accumulation order is the
+    /// same ascending-column order, so blocked and one-vector code paths are
+    /// interchangeable in the deterministic tests.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn spmm(&self, x: &[f64], y: &mut [f64], k: usize) {
+        self.spmm_impl(x, y, k, |acc, _, _| acc);
+    }
+
+    /// Blocked form of [`CsrMatrix::spmv_rescaled`]:
+    /// `Y = (A X - a_plus * X) * inv_a_minus` with the shift-and-scale fused
+    /// into the store step, column by column bitwise identical to the
+    /// one-vector fused kernel.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or if the matrix is not square.
+    pub fn spmm_rescaled(&self, x: &[f64], y: &mut [f64], k: usize, a_plus: f64, inv_a_minus: f64) {
+        assert_eq!(self.nrows, self.ncols, "spmm_rescaled: matrix must be square");
+        let n = self.ncols;
+        self.spmm_impl(x, y, k, |acc, i, j| (acc - a_plus * x[j * n + i]) * inv_a_minus);
+    }
+
+    // Columns are processed in register-blocked chunks of four so each
+    // decoded (col, value) pair is reused across four accumulators; per
+    // column the accumulation still runs over the row's entries in
+    // ascending-column order, so results stay bitwise equal to `spmv`. The
+    // store transform `f(acc, row, col)` is where the rescaled variant fuses
+    // its shift-and-scale.
+    fn spmm_impl<F: Fn(f64, usize, usize) -> f64>(&self, x: &[f64], y: &mut [f64], k: usize, f: F) {
+        assert_eq!(x.len(), self.ncols * k, "spmm: x length");
+        assert_eq!(y.len(), self.nrows * k, "spmm: y length");
+        const CHUNK: usize = 4;
+        for i in 0..self.nrows {
+            let seg = self.row_ptr[i]..self.row_ptr[i + 1];
+            let cols = &self.col_idx[seg.clone()];
+            let vals = &self.values[seg];
+            let mut j = 0;
+            while j + CHUNK <= k {
+                let mut acc = [0.0f64; CHUNK];
+                for (&c, &v) in cols.iter().zip(vals) {
+                    for (u, a) in acc.iter_mut().enumerate() {
+                        *a += v * x[(j + u) * self.ncols + c];
+                    }
+                }
+                for (u, &a) in acc.iter().enumerate() {
+                    y[(j + u) * self.nrows + i] = f(a, i, j + u);
+                }
+                j += CHUNK;
+            }
+            while j < k {
+                let xcol = &x[j * self.ncols..(j + 1) * self.ncols];
+                let mut acc = 0.0;
+                for (&c, &v) in cols.iter().zip(vals) {
+                    acc += v * xcol[c];
+                }
+                y[j * self.nrows + i] = f(acc, i, j);
+                j += 1;
+            }
         }
     }
 
@@ -251,6 +340,10 @@ impl LinearOp for CsrMatrix {
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         self.spmv(x, y);
+    }
+
+    fn apply_rescaled(&self, x: &[f64], y: &mut [f64], a_plus: f64, inv_a_minus: f64) {
+        self.spmv_rescaled(x, y, a_plus, inv_a_minus);
     }
 
     fn stored_entries(&self) -> usize {

@@ -21,19 +21,27 @@
 //! Everything is `f64`: the paper performs all KPM calculations in double
 //! precision, and so do we.
 
+pub mod block;
 pub mod coo;
 pub mod csr;
 pub mod dense;
 pub mod eigen;
+pub mod ell;
 pub mod error;
 pub mod gershgorin;
 pub mod lanczos;
 pub mod op;
+pub mod sparse;
+pub mod stencil;
 pub mod vecops;
 
+pub use block::BlockOp;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
+pub use ell::EllMatrix;
 pub use error::LinalgError;
 pub use gershgorin::SpectralBounds;
 pub use op::LinearOp;
+pub use sparse::{MatrixFormat, SparseMatrix};
+pub use stencil::{StencilGeometry, StencilOp};

@@ -26,6 +26,36 @@ pub trait LinearOp {
     /// Drives the cost models.
     fn stored_entries(&self) -> usize;
 
+    /// Number of coefficient slots a memory-traffic model should charge for.
+    ///
+    /// Identical to [`LinearOp::stored_entries`] for most formats, but padded
+    /// formats (ELL) stream their padding too: there `model_entries` reports
+    /// the padded slot count while `stored_entries` keeps the true `nnz` for
+    /// physics-facing callers. Matrix-free operators report `0`.
+    fn model_entries(&self) -> usize {
+        self.stored_entries()
+    }
+
+    /// Computes `y = (A x - a_plus * x) * inv_a_minus` — the spectrally
+    /// rescaled application `y = H~ x` in one logical operation.
+    ///
+    /// The default runs [`LinearOp::apply`] followed by the element-wise
+    /// shift-and-scale pass; formats with their own kernels override it to
+    /// apply the transform while the raw result is still in registers,
+    /// saving a full read-modify-write pass over `y` (and a read of `x`)
+    /// per application. Every implementation must compute exactly
+    /// `(raw_i - a_plus * x_i) * inv_a_minus` per element so results stay
+    /// bitwise identical to the default.
+    ///
+    /// # Panics
+    /// Same contract as [`LinearOp::apply`].
+    fn apply_rescaled(&self, x: &[f64], y: &mut [f64], a_plus: f64, inv_a_minus: f64) {
+        self.apply(x, y);
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi = (*yi - a_plus * xi) * inv_a_minus;
+        }
+    }
+
     /// Convenience: allocate and return `A x`.
     fn apply_alloc(&self, x: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; self.dim()];
@@ -95,16 +125,18 @@ impl<A: LinearOp> LinearOp for RescaledOp<A> {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        self.inner.apply(x, y);
-        // y = (y - a_plus * x) / a_minus, fused into one pass.
-        let inv = 1.0 / self.a_minus;
-        for (yi, &xi) in y.iter_mut().zip(x) {
-            *yi = (*yi - self.a_plus * xi) * inv;
-        }
+        // y = (y - a_plus * x) / a_minus; formats fuse the pass into their
+        // kernel's store step, the default runs it separately — bitwise
+        // identical either way.
+        self.inner.apply_rescaled(x, y, self.a_plus, 1.0 / self.a_minus);
     }
 
     fn stored_entries(&self) -> usize {
         self.inner.stored_entries()
+    }
+
+    fn model_entries(&self) -> usize {
+        self.inner.model_entries()
     }
 }
 
@@ -115,8 +147,14 @@ impl<A: LinearOp + ?Sized> LinearOp for &A {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         (**self).apply(x, y)
     }
+    fn apply_rescaled(&self, x: &[f64], y: &mut [f64], a_plus: f64, inv_a_minus: f64) {
+        (**self).apply_rescaled(x, y, a_plus, inv_a_minus)
+    }
     fn stored_entries(&self) -> usize {
         (**self).stored_entries()
+    }
+    fn model_entries(&self) -> usize {
+        (**self).model_entries()
     }
 }
 

@@ -5,6 +5,22 @@
 //! vectorize; all panic on length mismatch (a programming error, not a
 //! recoverable condition).
 
+/// Smallest operator dimension at which realization-level rayon parallelism
+/// pays for its fork-join overhead.
+///
+/// The paper's flagship 10x10x10 lattice has `D = 1000`: per realization a
+/// moment step is a few microseconds of work there, far below thread
+/// dispatch cost, so the blocked recursion runs serially below this
+/// threshold. Tuned empirically; see [`use_parallel`].
+pub const PAR_MIN_DIM: usize = 4096;
+
+/// `true` when a `dim`-dimensional KPM workload is large enough that
+/// splitting realizations across rayon workers beats running serially.
+#[inline]
+pub fn use_parallel(dim: usize) -> bool {
+    dim >= PAR_MIN_DIM
+}
+
 /// Dot product `x · y`.
 ///
 /// # Panics
@@ -99,6 +115,49 @@ pub fn chebyshev_combine_inplace(hx: &[f64], prev: &mut [f64]) {
     }
 }
 
+/// Fuses [`chebyshev_combine_inplace`] with the moment dot product: updates
+/// `prev[i] = 2 * hx[i] - prev[i]` and returns `dot(r0, prev_new)` in a
+/// single pass over the three vectors.
+///
+/// The KPM recursion computes the combine and then immediately dots the
+/// result against the seed vector, which re-reads the freshly written block
+/// from memory; fusing the two keeps each element in registers between the
+/// update and the multiply. The reduction replicates [`dot`]'s exact
+/// four-way-unrolled summation order, so the returned moment is bitwise
+/// identical to `chebyshev_combine_inplace(hx, prev); dot(r0, prev)`.
+///
+/// # Panics
+/// Panics if the three slices differ in length.
+pub fn chebyshev_combine_dot(hx: &[f64], prev: &mut [f64], r0: &[f64]) -> f64 {
+    assert_eq!(hx.len(), prev.len(), "chebyshev_combine_dot: length mismatch");
+    assert_eq!(r0.len(), prev.len(), "chebyshev_combine_dot: length mismatch");
+    let mut acc = [0.0f64; 4];
+    let split = prev.len() - prev.len() % 4;
+    let (pc, pr) = prev.split_at_mut(split);
+    let (hc, hr) = hx.split_at(split);
+    let (rc, rr) = r0.split_at(split);
+    for ((ps, hs), rs) in pc.chunks_exact_mut(4).zip(hc.chunks_exact(4)).zip(rc.chunks_exact(4)) {
+        ps[0] = 2.0 * hs[0] - ps[0];
+        ps[1] = 2.0 * hs[1] - ps[1];
+        ps[2] = 2.0 * hs[2] - ps[2];
+        ps[3] = 2.0 * hs[3] - ps[3];
+        acc[0] += rs[0] * ps[0];
+        acc[1] += rs[1] * ps[1];
+        acc[2] += rs[2] * ps[2];
+        acc[3] += rs[3] * ps[3];
+    }
+    let tail: f64 = rr
+        .iter()
+        .zip(pr.iter_mut())
+        .zip(hr)
+        .map(|((&r, p), &h)| {
+            *p = 2.0 * h - *p;
+            r * *p
+        })
+        .sum();
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
 /// Copies `src` into `dst`.
 ///
 /// # Panics
@@ -121,6 +180,23 @@ pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn combine_dot_is_bitwise_equal_to_combine_then_dot() {
+        // Cover every residue class mod 4 so both the unrolled body and the
+        // scalar tail are exercised.
+        for n in 0..10usize {
+            let hx: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 0.3).collect();
+            let r0: Vec<f64> = (0..n).map(|i| (i as f64).cos() - 0.7).collect();
+            let mut fused = (0..n).map(|i| 0.1 * i as f64 - 0.4).collect::<Vec<_>>();
+            let mut unfused = fused.clone();
+            let mu_fused = chebyshev_combine_dot(&hx, &mut fused, &r0);
+            chebyshev_combine_inplace(&hx, &mut unfused);
+            let mu_unfused = dot(&r0, &unfused);
+            assert_eq!(fused, unfused, "n = {n}");
+            assert_eq!(mu_fused.to_bits(), mu_unfused.to_bits(), "n = {n}");
+        }
+    }
 
     #[test]
     fn dot_matches_naive_for_various_lengths() {

@@ -15,7 +15,7 @@
 use kpm::KernelType;
 use kpm_lattice::spec::{parse_boundary, LatticeSpec, SpecError};
 use kpm_lattice::{Boundary, OnSite};
-use kpm_linalg::{CsrMatrix, DenseMatrix};
+use kpm_linalg::{DenseMatrix, MatrixFormat, SparseMatrix};
 use std::fmt;
 
 /// Where a job executes.
@@ -167,6 +167,8 @@ pub struct JobSpec {
     pub seed: u64,
     /// Execution backend.
     pub backend: Backend,
+    /// Sparse storage format for lattice models (dense models ignore it).
+    pub format: MatrixFormat,
     /// Queue lane.
     pub priority: Priority,
     /// Failure injection for tests.
@@ -188,6 +190,7 @@ impl Default for JobSpec {
             kernel: KernelType::Jackson,
             seed: 42,
             backend: Backend::Cpu,
+            format: MatrixFormat::Csr,
             priority: Priority::Normal,
             fault: None,
             out: None,
@@ -237,8 +240,9 @@ impl JobSpec {
     ///
     /// Keys: `lattice` (incl. `dense:D`), `bc`, `hopping`, `disorder`,
     /// `dseed`, `moments`, `random`, `sets`, `kernel`, `seed`, `backend`,
-    /// `priority`, `fault` (`panic | flaky:K | sleep:MS`), `out`. Unset keys
-    /// take the CLI defaults.
+    /// `format` (`csr | ell | stencil | auto`), `priority`, `fault`
+    /// (`panic | flaky:K | sleep:MS`), `out`. Unset keys take the CLI
+    /// defaults.
     ///
     /// # Errors
     /// [`JobParseError`] naming the offending token.
@@ -307,6 +311,9 @@ impl JobSpec {
                         _ => return Err(bad(key, value)),
                     };
                 }
+                "format" => {
+                    job.format = value.parse().map_err(|_| bad(key, value))?;
+                }
                 "priority" => {
                     job.priority = match value {
                         "high" => Priority::High,
@@ -353,7 +360,7 @@ impl JobSpec {
         };
         format!(
             "lattice={} bc={} hopping={} disorder={} moments={} random={} sets={} kernel={} \
-             seed={} backend={} priority={}",
+             seed={} backend={} format={} priority={}",
             model_to_str(&self.model),
             match self.boundary {
                 Boundary::Open => "open",
@@ -367,6 +374,7 @@ impl JobSpec {
             kernel_to_str(self.kernel),
             self.seed,
             self.backend.as_str(),
+            self.format.as_str(),
             self.priority.as_str(),
         )
     }
@@ -376,16 +384,19 @@ impl JobSpec {
         fnv1a(self.canonical().as_bytes())
     }
 
-    /// Cache key: the content hash with `moments`, `kernel`, and `priority`
-    /// masked out. Raw Chebyshev moments `mu_0..mu_{N-1}` are a prefix of
-    /// any longer run and are kernel-independent, so entries are shared
-    /// across truncation orders and kernels. The backend *stays* in the key:
-    /// the stream engine's padding/rescaling path is not guaranteed bitwise
-    /// identical to the host path.
+    /// Cache key: the content hash with `moments`, `kernel`, `format`, and
+    /// `priority` masked out. Raw Chebyshev moments `mu_0..mu_{N-1}` are a
+    /// prefix of any longer run and are kernel-independent, so entries are
+    /// shared across truncation orders and kernels; the storage format is
+    /// excluded too because every format applies bitwise-identically, so a
+    /// moment vector computed via ELL serves a CSR job verbatim. The
+    /// backend *stays* in the key: the stream engine's padding/rescaling
+    /// path is not guaranteed bitwise identical to the host path.
     pub fn cache_key(&self) -> u64 {
         let neutral = JobSpec {
             num_moments: 2,
             kernel: KernelType::Jackson,
+            format: MatrixFormat::Csr,
             priority: Priority::Normal,
             ..self.clone()
         };
@@ -402,7 +413,7 @@ impl JobSpec {
         };
         match &self.model {
             ModelSpec::Lattice(l) => {
-                JobMatrix::Sparse(l.build(self.hopping, onsite, self.boundary))
+                JobMatrix::Sparse(l.build_format(self.hopping, onsite, self.boundary, self.format))
             }
             ModelSpec::Dense { dim, seed } => {
                 JobMatrix::Dense(kpm_lattice::dense_random_symmetric(*dim, self.hopping, *seed))
@@ -421,8 +432,8 @@ impl JobSpec {
 
 /// A built job Hamiltonian in its natural storage.
 pub enum JobMatrix {
-    /// CSR storage (lattice models).
-    Sparse(CsrMatrix),
+    /// Sparse storage in the spec's selected format (lattice models).
+    Sparse(SparseMatrix),
     /// Dense storage (`dense:D` models).
     Dense(DenseMatrix),
 }
@@ -506,6 +517,38 @@ mod tests {
         let stream = JobSpec::parse("lattice=chain:32 moments=64 backend=stream").unwrap();
         assert_ne!(base.cache_key(), other_seed.cache_key());
         assert_ne!(base.cache_key(), stream.cache_key());
+    }
+
+    #[test]
+    fn format_parses_and_shares_cache_but_not_content_hash() {
+        let base = JobSpec::parse("lattice=cubic:4,4,4").unwrap();
+        assert_eq!(base.format, MatrixFormat::Csr);
+        for (token, format) in [
+            ("format=ell", MatrixFormat::Ell),
+            ("format=stencil", MatrixFormat::Stencil),
+            ("format=auto", MatrixFormat::Auto),
+        ] {
+            let job = JobSpec::parse(&format!("lattice=cubic:4,4,4 {token}")).unwrap();
+            assert_eq!(job.format, format);
+            // Distinct canonical identity (the spec says what to run)...
+            assert_ne!(job.content_hash(), base.content_hash(), "{token}");
+            // ...but the same cached moments serve every format, since the
+            // CPU pipeline is bitwise format-invariant.
+            assert_eq!(job.cache_key(), base.cache_key(), "{token}");
+            // Round-trips through the canonical line.
+            let again = JobSpec::parse(&job.canonical()).unwrap();
+            assert_eq!(again.format, format);
+        }
+        assert!(matches!(JobSpec::parse("format=coo"), Err(JobParseError::BadValue { .. })));
+    }
+
+    #[test]
+    fn format_selects_matrix_storage() {
+        let job = JobSpec::parse("lattice=cubic:3,3,3 format=stencil").unwrap();
+        match job.build_matrix() {
+            JobMatrix::Sparse(m) => assert_eq!(m.format_name(), "stencil"),
+            JobMatrix::Dense(_) => panic!("expected sparse"),
+        }
     }
 
     #[test]

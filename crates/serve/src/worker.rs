@@ -309,7 +309,9 @@ pub fn compute_raw_moments(
         Backend::Stream => {
             let mut engine = StreamKpmEngine::new(GpuSpec::tesla_c2050());
             let result = match &matrix {
-                JobMatrix::Sparse(h) => engine.compute_moments_csr(h, &params),
+                // The stream engine models CSR transfers, so materialize
+                // whatever format the spec chose as concrete CSR storage.
+                JobMatrix::Sparse(h) => engine.compute_moments_csr(&h.to_csr(), &params),
                 JobMatrix::Dense(h) => engine.compute_moments_dense(h, &params),
             }
             .map_err(|e| JobError::Engine(e.to_string()))?;
@@ -323,7 +325,7 @@ trait Erased {
     fn cpu(&self, params: &KpmParams) -> Result<(MomentStats, f64, f64), JobError>;
 }
 
-impl<A: Boundable + Sync> Erased for A {
+impl<A: Boundable + BlockOp + Sync> Erased for A {
     fn cpu(&self, params: &KpmParams) -> Result<(MomentStats, f64, f64), JobError> {
         let bounds = self.spectral_bounds(params.bounds)?;
         let rescaled = rescale(self, bounds, params.padding)?;
