@@ -47,7 +47,7 @@ pub struct Args {
 }
 
 /// Keys that are boolean flags (no value).
-const FLAGS: &[&str] = &["full", "help", "quiet"];
+const FLAGS: &[&str] = &["full", "help", "once", "quiet"];
 
 impl Args {
     /// Parses raw arguments (after the subcommand).

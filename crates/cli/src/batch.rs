@@ -15,10 +15,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
-/// Service options shared by `batch` and `serve`.
+/// Service options shared by `batch` and `serve`. A non-numeric `--workers`
+/// value is a shard-worker address list (handled by
+/// [`crate::commands::shard_engine`]), not a thread count — the pool size
+/// then stays on auto.
 fn service_config(args: &Args) -> Result<BatchConfig, CmdError> {
     Ok(BatchConfig {
-        workers: args.get_or("workers", 0usize)?,
+        workers: args.get("workers").and_then(|v| v.parse().ok()).unwrap_or(0),
         queue_capacity: args.get_or("queue", 256usize)?,
         timeout: Duration::from_secs_f64(args.get_or("timeout-secs", 300.0)?),
         max_retries: args.get_or("retries", 2u32)?,
@@ -30,6 +33,14 @@ fn service_config(args: &Args) -> Result<BatchConfig, CmdError> {
             None => Some(PathBuf::from("results/cache")),
         },
     })
+}
+
+/// Starts the batch service, routing moment computation through a sharded
+/// worker fleet when `--local-workers` / `--workers ADDR,...` selects one.
+fn start_service(args: &Args) -> Result<BatchService, CmdError> {
+    let engine = crate::commands::shard_engine(args)?
+        .map(|e| std::sync::Arc::new(e) as std::sync::Arc<dyn kpm_serve::MomentEngine>);
+    Ok(BatchService::start_with_engine(service_config(args)?, engine))
 }
 
 fn job_parse_err(lineno: usize, e: JobParseError) -> CmdError {
@@ -82,7 +93,7 @@ pub fn batch(args: &Args, positionals: &[String]) -> Result<String, CmdError> {
         return Err(CmdError::Other(format!("{path}: no jobs found")));
     }
 
-    let service = BatchService::start(service_config(args)?);
+    let service = start_service(args)?;
     let total = specs.len();
     for spec in specs {
         submit_blocking(&service, spec);
@@ -123,7 +134,7 @@ pub fn serve(args: &Args) -> Result<String, CmdError> {
             Some(Duration::from_secs_f64(secs))
         }
     };
-    let service = BatchService::start(service_config(args)?);
+    let service = start_service(args)?;
     install_sigint();
     INTERRUPTED.store(false, Ordering::SeqCst);
 

@@ -35,6 +35,8 @@ pub enum CmdError {
         /// Rendered per-job table plus metrics.
         report: String,
     },
+    /// Distributed-run failure (worker fleet, wire protocol, shard merge).
+    Shard(kpm_shard::ShardError),
     /// Anything else (message).
     Other(String),
 }
@@ -49,6 +51,7 @@ impl CmdError {
             CmdError::Kpm(_) => 4,
             CmdError::Io(_) => 5,
             CmdError::Jobs { .. } => 6,
+            CmdError::Shard(_) => 7,
             CmdError::Other(_) => 1,
         }
     }
@@ -64,6 +67,7 @@ impl fmt::Display for CmdError {
             CmdError::Jobs { failed, report } => {
                 write!(f, "{report}\n{failed} job(s) failed")
             }
+            CmdError::Shard(e) => write!(f, "{e}"),
             CmdError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -104,6 +108,11 @@ impl From<kpm_serve::JobError> for CmdError {
         CmdError::Other(e.to_string())
     }
 }
+impl From<kpm_shard::ShardError> for CmdError {
+    fn from(e: kpm_shard::ShardError) -> Self {
+        CmdError::Shard(e)
+    }
+}
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -120,6 +129,7 @@ COMMANDS:
   serve     accept job lines on stdin until EOF or Ctrl-C
   tune      block-size sweep for the simulated device
   estimate  modeled CPU vs GPU run times at any scale
+  worker    serve shard computations over TCP (--listen ADDR [--once])
   help      this text
 
 COMMON OPTIONS:
@@ -148,7 +158,13 @@ SERVING OPTIONS (batch / serve):
   Job lines are whitespace-separated key=value pairs, e.g.
     lattice=cubic:10,10,10 moments=512 seed=7 kernel=lorentz:3 out=dos.csv
 
-EXIT CODES: 0 ok | 1 other | 2 args | 3 lattice spec | 4 kpm | 5 io | 6 jobs failed
+DISTRIBUTED OPTIONS (dos / ldos / batch / serve):
+  --local-workers N    shard realizations across N in-process workers
+  --workers A,B,...    shard across remote `kpm worker` addresses (host:port)
+  Merged moments are bitwise identical to an unsharded run with the same
+  --seed, for any worker count or failure history.
+
+EXIT CODES: 0 ok | 1 other | 2 args | 3 lattice spec | 4 kpm | 5 io | 6 jobs failed | 7 shard
 ";
 
 /// Shared workload assembled from common options.
@@ -190,6 +206,131 @@ fn workload(args: &Args) -> Result<Workload, CmdError> {
         .with_seed(args.get_or("seed", 42u64)?)
         .with_kernel(kernel);
     Ok(Workload { h, params })
+}
+
+/// Builds the shard engine selected by `--local-workers` / `--workers`, if
+/// any. A numeric `--workers` keeps its pre-existing meaning (thread-pool
+/// size for batch/serve) and selects no engine; a non-numeric value is a
+/// comma-separated list of `kpm worker` TCP addresses.
+pub fn shard_engine(args: &Args) -> Result<Option<kpm_shard::ShardedEngine>, CmdError> {
+    let local = match args.get("local-workers") {
+        None => None,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                return Err(CmdError::Other(format!(
+                    "--local-workers {v}: expected a positive integer"
+                )))
+            }
+        },
+    };
+    let tcp: Option<Vec<String>> = match args.get("workers") {
+        Some(v) if v.parse::<usize>().is_err() => {
+            Some(v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect())
+        }
+        _ => None,
+    };
+    match (local, tcp) {
+        (Some(_), Some(_)) => Err(CmdError::Other(
+            "--local-workers and --workers ADDR,... are mutually exclusive".into(),
+        )),
+        (Some(n), None) => Ok(Some(kpm_shard::ShardedEngine::local(n))),
+        (None, Some(addrs)) if addrs.is_empty() => {
+            Err(CmdError::Other("--workers: no addresses given".into()))
+        }
+        (None, Some(addrs)) => Ok(Some(kpm_shard::ShardedEngine::tcp(addrs))),
+        (None, None) => Ok(None),
+    }
+}
+
+/// Renders the common options as a serve job spec, so the sharded dos/ldos
+/// paths reuse `JobSpec` parsing/validation and its canonical wire form.
+/// Options left at their defaults are omitted — CLI and job-line defaults
+/// are identical.
+fn shard_job_spec(args: &Args) -> Result<kpm_serve::JobSpec, CmdError> {
+    let mut parts: Vec<String> = Vec::new();
+    for key in [
+        "lattice", "bc", "hopping", "disorder", "dseed", "format", "moments", "random", "sets",
+        "seed",
+    ] {
+        if let Some(v) = args.get(key) {
+            parts.push(format!("{key}={v}"));
+        }
+    }
+    if let Some(kernel) = args.get("kernel") {
+        if kernel == "lorentz" {
+            parts.push(format!("kernel=lorentz:{}", args.get_or("lambda", 4.0)?));
+        } else {
+            parts.push(format!("kernel={kernel}"));
+        }
+    }
+    kpm_serve::JobSpec::parse(&parts.join(" ")).map_err(|e| match e {
+        kpm_serve::JobParseError::Spec(s) => CmdError::Spec(s),
+        other => CmdError::Other(other.to_string()),
+    })
+}
+
+/// Label for distributed-run reports.
+fn worker_set_label(engine: &kpm_shard::ShardedEngine) -> String {
+    match engine.workers() {
+        kpm_shard::WorkerSet::Local(n) => format!("{n} local worker(s)"),
+        kpm_shard::WorkerSet::Tcp(addrs) => format!("{} tcp worker(s)", addrs.len()),
+    }
+}
+
+/// `kpm dos` over a worker fleet: same moments, same CSV bytes.
+fn dos_sharded(args: &Args, engine: &kpm_shard::ShardedEngine) -> Result<String, CmdError> {
+    let spec = shard_job_spec(args)?;
+    let job = kpm_shard::ShardJob::Dos(spec.clone());
+    let (a_plus, a_minus) = job.bounds()?;
+    let stats = engine.run_job(&job)?.into_stats().expect("dos jobs merge to stats");
+    let dos = DosEstimator::new(spec.kpm_params()).reconstruct(stats, a_plus, a_minus)?;
+    let dim = spec.build_matrix().dim();
+    let mut report = dos_report(
+        &dos,
+        &format!("DoS of a {dim} x {dim} Hamiltonian (distributed: {})", worker_set_label(engine)),
+    );
+    if let Some(path) = maybe_write_csv(
+        args,
+        "energy,rho",
+        dos.energies.iter().zip(&dos.rho).map(|(e, r)| format!("{e},{r}")),
+    )? {
+        let _ = writeln!(report, "  wrote {path}");
+    }
+    Ok(report)
+}
+
+/// `kpm ldos` over a worker fleet.
+fn ldos_sharded(args: &Args, engine: &kpm_shard::ShardedEngine) -> Result<String, CmdError> {
+    let site: usize = args.require("site")?;
+    let spec = shard_job_spec(args)?;
+    let job = kpm_shard::ShardJob::Ldos { spec: spec.clone(), site };
+    let (a_plus, a_minus) = job.bounds()?;
+    let stats = engine.run_job(&job)?.into_stats().expect("ldos jobs merge to stats");
+    let ldos = LdosEstimator::new(spec.kpm_params(), site).reconstruct(stats, a_plus, a_minus)?;
+    let mut report = dos_report(
+        &ldos,
+        &format!("LDoS at site {site} (distributed: {})", worker_set_label(engine)),
+    );
+    if let Some(path) = maybe_write_csv(
+        args,
+        "energy,rho_local",
+        ldos.energies.iter().zip(&ldos.rho).map(|(e, r)| format!("{e},{r}")),
+    )? {
+        let _ = writeln!(report, "  wrote {path}");
+    }
+    Ok(report)
+}
+
+/// `kpm worker` — serve shard computations over TCP until killed (or after
+/// one connection with `--once`, the test/CI mode).
+pub fn worker(args: &Args) -> Result<String, CmdError> {
+    let listen = args.get("listen").unwrap_or("127.0.0.1:7070");
+    let once = args.flag("once");
+    kpm_shard::run_tcp_worker(listen, once, |addr| {
+        eprintln!("kpm worker listening on {addr}");
+    })?;
+    Ok("worker: served one connection, exiting\n".to_string())
 }
 
 fn maybe_write_csv(
@@ -235,6 +376,9 @@ fn dos_report(dos: &kpm::Dos, label: &str) -> String {
 
 /// `kpm dos`.
 pub fn dos(args: &Args) -> Result<String, CmdError> {
+    if let Some(engine) = shard_engine(args)? {
+        return dos_sharded(args, &engine);
+    }
     let w = workload(args)?;
     let dos = DosEstimator::new(w.params).compute(&w.h)?;
     let mut report = dos_report(
@@ -259,6 +403,9 @@ pub fn dos(args: &Args) -> Result<String, CmdError> {
 
 /// `kpm ldos`.
 pub fn ldos(args: &Args) -> Result<String, CmdError> {
+    if let Some(engine) = shard_engine(args)? {
+        return ldos_sharded(args, &engine);
+    }
     let w = workload(args)?;
     let site: usize = args.require("site")?;
     let ldos = LdosEstimator::new(w.params, site).compute(&w.h)?;
@@ -475,6 +622,7 @@ fn dispatch(command: &str, args: &Args, positionals: &[String]) -> Result<String
         "serve" => crate::batch::serve(args),
         "tune" => tune(args),
         "estimate" => estimate(args),
+        "worker" => worker(args),
         "help" => Ok(USAGE.to_string()),
         other => Err(CmdError::Other(format!("unknown command '{other}'\n\n{USAGE}"))),
     }
@@ -661,9 +809,28 @@ mod tests {
             CmdError::Kpm(KpmError::DegenerateSpectrum),
             CmdError::Io(std::io::Error::other("disk")),
             CmdError::Jobs { failed: 1, report: "r".into() },
+            CmdError::Shard(kpm_shard::ShardError::Io("net".into())),
         ];
         let codes: Vec<u8> = errors.iter().map(CmdError::exit_code).collect();
-        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn shard_errors_convert_and_exit_7() {
+        for e in [
+            kpm_shard::ShardError::Io("refused".into()),
+            kpm_shard::ShardError::Protocol("bad magic".into()),
+            kpm_shard::ShardError::Job("bad spec".into()),
+            kpm_shard::ShardError::Worker { shard: 1, message: "degenerate".into() },
+            kpm_shard::ShardError::AllWorkersDead { pending: 3 },
+            kpm_shard::ShardError::ShardFailed { shard: 0, attempts: 8 },
+        ] {
+            let text = e.to_string();
+            let cmd: CmdError = e.into();
+            assert!(matches!(cmd, CmdError::Shard(_)));
+            assert_eq!(cmd.exit_code(), 7);
+            assert_eq!(cmd.to_string(), text, "Display must pass through");
+        }
     }
 
     #[test]
@@ -679,11 +846,12 @@ mod tests {
         assert_eq!(e.exit_code(), 1);
     }
 
+    // The trace session is process-global; tests that begin one serialize
+    // on this lock.
+    static TRACE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn trace_file_has_versioned_schema_with_nested_phase_spans() {
-        // The trace session is process-global; serialize against any other
-        // test that might begin one.
-        static TRACE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
         let _guard = TRACE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
 
         let dir = std::env::temp_dir().join("kpm_cli_trace_test");
@@ -768,6 +936,173 @@ mod tests {
         let pos = vec!["stray".to_string()];
         let e = run_with_positionals("dos", &args(&[]), &pos).unwrap_err();
         assert!(matches!(e, CmdError::Args(ArgError::UnexpectedPositional(_))));
+    }
+
+    #[test]
+    fn shard_engine_selection_from_flags() {
+        assert!(shard_engine(&args(&[])).unwrap().is_none(), "no flags, no engine");
+        // Numeric --workers keeps its batch/serve thread-pool meaning.
+        assert!(shard_engine(&args(&["--workers", "4"])).unwrap().is_none());
+        let e = shard_engine(&args(&["--local-workers", "3"])).unwrap().unwrap();
+        assert_eq!(*e.workers(), kpm_shard::WorkerSet::Local(3));
+        let e = shard_engine(&args(&["--workers", "a:1, b:2"])).unwrap().unwrap();
+        assert_eq!(
+            *e.workers(),
+            kpm_shard::WorkerSet::Tcp(vec!["a:1".to_string(), "b:2".to_string()])
+        );
+        for bad in [
+            vec!["--local-workers", "0"],
+            vec!["--local-workers", "many"],
+            vec!["--local-workers", "2", "--workers", "a:1"],
+        ] {
+            assert!(shard_engine(&args(&bad)).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    /// The distributed acceptance criterion: for a fixed `--seed`, sharded
+    /// runs write byte-identical CSVs to the unsharded run, for any worker
+    /// count.
+    #[test]
+    fn local_workers_write_byte_identical_csvs() {
+        let dir = std::env::temp_dir().join("kpm_cli_shard_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (cmd, extra, name) in [
+            (dos as fn(&Args) -> Result<String, CmdError>, vec![], "dos"),
+            (ldos, vec!["--site", "7"], "ldos"),
+        ] {
+            let run = |workers: Option<&str>| {
+                let path = dir.join(format!("{name}_{}.csv", workers.unwrap_or("plain")));
+                let mut words = vec![
+                    "--lattice",
+                    "chain:48",
+                    "--moments",
+                    "24",
+                    "--random",
+                    "3",
+                    "--sets",
+                    "2",
+                    "--seed",
+                    "11",
+                ];
+                words.extend_from_slice(&extra);
+                if let Some(n) = workers {
+                    words.extend_from_slice(&["--local-workers", n]);
+                }
+                let path_s = path.to_str().unwrap().to_string();
+                words.push("--out");
+                words.push(&path_s);
+                cmd(&args(&words)).unwrap();
+                std::fs::read(&path).unwrap()
+            };
+            let plain = run(None);
+            for n in ["1", "2", "4"] {
+                assert_eq!(run(Some(n)), plain, "{name} --local-workers {n} must match bytes");
+            }
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Same criterion over real TCP: two `kpm worker --once`-style listeners
+    /// on localhost, addressed via `--workers a,b`.
+    #[test]
+    fn tcp_workers_write_byte_identical_dos_csv() {
+        let dir = std::env::temp_dir().join("kpm_cli_shard_tcp_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = vec![
+            "--lattice",
+            "chain:48",
+            "--moments",
+            "24",
+            "--random",
+            "3",
+            "--sets",
+            "2",
+            "--seed",
+            "11",
+        ];
+
+        let plain_path = dir.join("plain.csv");
+        let mut words = base.clone();
+        words.extend_from_slice(&["--out", plain_path.to_str().unwrap()]);
+        dos(&args(&words)).unwrap();
+
+        let mut addrs = Vec::new();
+        let mut servers = Vec::new();
+        for _ in 0..2 {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            addrs.push(listener.local_addr().unwrap().to_string());
+            servers.push(std::thread::spawn(move || {
+                kpm_shard::serve_listener(&listener, true).unwrap();
+            }));
+        }
+        let addr_list = addrs.join(",");
+        let tcp_path = dir.join("tcp.csv");
+        let mut words = base.clone();
+        words.extend_from_slice(&["--workers", &addr_list, "--out", tcp_path.to_str().unwrap()]);
+        let report = dos(&args(&words)).unwrap();
+        assert!(report.contains("2 tcp worker(s)"), "{report}");
+        for s in servers {
+            s.join().unwrap();
+        }
+
+        assert_eq!(std::fs::read(&tcp_path).unwrap(), std::fs::read(&plain_path).unwrap());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    /// Golden trace schema for distributed runs: `shard.*` spans nest under
+    /// the command span and the pinned counter names are present.
+    #[test]
+    fn trace_of_sharded_run_records_shard_spans_and_counters() {
+        let _guard = TRACE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+        let dir = std::env::temp_dir().join("kpm_cli_shard_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let a = args(&[
+            "--lattice",
+            "chain:48",
+            "--moments",
+            "16",
+            "--random",
+            "3",
+            "--sets",
+            "2",
+            "--local-workers",
+            "2",
+            "--trace",
+            path.to_str().unwrap(),
+        ]);
+        run_with_positionals("dos", &a, &[]).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value = obs::json::parse(&text).expect("trace file must be valid JSON");
+        let spans = value.get("spans").and_then(|v| v.as_array()).expect("spans array");
+        let name = |i: usize| spans[i].get("name").unwrap().as_str().unwrap();
+        for phase in ["shard.run", "shard.merge"] {
+            let idx = (0..spans.len())
+                .find(|&i| name(i) == phase)
+                .unwrap_or_else(|| panic!("missing span '{phase}':\n{text}"));
+            let mut at = idx;
+            while let Some(p) = spans[at].get("parent").unwrap().as_u64() {
+                at = p as usize;
+            }
+            assert_eq!(at, 0, "'{phase}' must nest under cli.command:\n{text}");
+        }
+
+        let counters = value.get("counters").and_then(|v| v.as_object()).expect("counters");
+        let get = |k: &str| {
+            counters
+                .iter()
+                .find(|(name, _)| name == k)
+                .and_then(|(_, v)| v.as_u64())
+                .unwrap_or_else(|| panic!("missing counter '{k}':\n{text}"))
+        };
+        // 2 workers x shards_per_worker 2, capped by 6 total realizations.
+        assert_eq!(get("shard.completed"), 4);
+        assert_eq!(get("shard.worker.completed"), 4);
+        assert!(get("shard.dispatched") >= get("shard.completed"), "{text}");
+        assert!(get("shard.inflight.peak") >= 1, "{text}");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -85,6 +85,34 @@ impl DoubleMoments {
     pub fn get(&self, n: usize, m: usize) -> f64 {
         self.mu[n * self.order + m]
     }
+
+    /// Exact merge of per-realization double-moment vectors (row-major
+    /// `order x order`, each already normalized by `D`) in the order given.
+    ///
+    /// The reduction is `mu += per[idx] / total` accumulated in canonical
+    /// `idx = s * R + r` order — the same statement [`double_moments`] has
+    /// always executed, factored out so a distributed run can replay it:
+    /// shard workers return their realizations' vectors untouched, the
+    /// coordinator concatenates shards canonically and merges, and the
+    /// result is bitwise identical to the single-process run. Summation
+    /// order matters (floating point is not associative), which is why
+    /// partial *sums* are never combined — only per-realization terms.
+    ///
+    /// # Panics
+    /// Panics if `per_realization` is empty or any vector is not
+    /// `order * order` long.
+    pub fn merge_realizations(per_realization: &[Vec<f64>], order: usize) -> Self {
+        let total = per_realization.len();
+        assert!(total > 0, "cannot merge zero realizations");
+        let mut mu = vec![0.0; order * order];
+        for p in per_realization {
+            assert_eq!(p.len(), order * order, "double-moment vector length");
+            for (acc, v) in mu.iter_mut().zip(p) {
+                *acc += v / total as f64;
+            }
+        }
+        DoubleMoments { mu, order }
+    }
 }
 
 /// Estimates the double moments for conductivity.
@@ -107,15 +135,45 @@ pub fn double_moments<A: LinearOp + Sync>(
     w: &CsrMatrix,
     params: &KpmParams,
 ) -> Result<DoubleMoments, KpmError> {
-    params.validate()?;
     let _span = kpm_obs::span("kpm.moments");
+    let per = double_moments_partial(h_scaled, w, params, 0..params.total_realizations())?;
+    Ok(DoubleMoments::merge_realizations(&per, params.num_moments))
+}
+
+/// The per-realization double-moment vectors (row-major `order x order`,
+/// normalized by `D`) for the realization index range `range` of the full
+/// `S x R` ensemble — the worker half of a distributed Kubo run
+/// ([`DoubleMoments::merge_realizations`] is the coordinator half, and
+/// [`double_moments`] is the two glued together over the full range).
+///
+/// Entry `i` of the result is realization `range.start + i`; values are
+/// independent of how the full index range is partitioned because each
+/// realization's recursion touches only its own `(s, r)`-keyed vectors.
+///
+/// # Errors
+/// Parameter validation errors, or an invalid `range`.
+///
+/// # Panics
+/// Panics if dimensions disagree.
+pub fn double_moments_partial<A: LinearOp + Sync>(
+    h_scaled: &A,
+    w: &CsrMatrix,
+    params: &KpmParams,
+    range: std::ops::Range<usize>,
+) -> Result<Vec<Vec<f64>>, KpmError> {
+    params.validate()?;
     let d = h_scaled.dim();
     assert_eq!(w.nrows(), d, "velocity operator dimension");
+    if range.is_empty() || range.end > params.total_realizations() {
+        return Err(KpmError::InvalidParameter(format!(
+            "realization range {range:?} invalid for {} total realizations",
+            params.total_realizations()
+        )));
+    }
     let n_mom = params.num_moments;
-    let total = params.total_realizations();
     let r_per_s = params.num_random;
 
-    let per: Vec<Vec<f64>> = (0..total)
+    let per: Vec<Vec<f64>> = range
         .into_par_iter()
         .map(|idx| {
             let (s, r) = (idx / r_per_s, idx % r_per_s);
@@ -171,14 +229,7 @@ pub fn double_moments<A: LinearOp + Sync>(
             mu
         })
         .collect();
-
-    let mut mu = vec![0.0; n_mom * n_mom];
-    for p in &per {
-        for (acc, v) in mu.iter_mut().zip(p) {
-            *acc += v / total as f64;
-        }
-    }
-    Ok(DoubleMoments { mu, order: n_mom })
+    Ok(per)
 }
 
 /// Exact double moments from a full eigendecomposition (ground truth for
@@ -424,6 +475,29 @@ mod tests {
         // The dominant element must be reproduced tightly.
         let rel = (est.get(0, 0) - exact.get(0, 0)).abs() / exact.get(0, 0).abs();
         assert!(rel < 0.1, "mu_00 relative error {rel}");
+    }
+
+    #[test]
+    fn sharded_double_moments_merge_bitwise_to_full_run() {
+        let (h, pos) = chain(24, 1.5);
+        let b = gershgorin_csr(&h).padded(0.01);
+        let hs = RescaledOp::new(&h, b.a_plus(), b.a_minus());
+        let w = velocity_operator(&h, &pos, Some(24.0));
+        let params = KpmParams::new(6)
+            .with_random_vectors(3, 2)
+            .with_distribution(Distribution::Gaussian)
+            .with_seed(8);
+        let full = double_moments(&hs, &w, &params).unwrap();
+        let total = params.total_realizations();
+        for shards in [1usize, 2, 4, 6] {
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            for range in crate::moments::shard_plan(total, shards) {
+                rows.extend(double_moments_partial(&hs, &w, &params, range).unwrap());
+            }
+            let merged = DoubleMoments::merge_realizations(&rows, params.num_moments);
+            assert_eq!(merged.mu, full.mu, "{shards} shards");
+            assert_eq!(merged.order, full.order);
+        }
     }
 
     #[test]

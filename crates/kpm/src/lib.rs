@@ -71,7 +71,7 @@ pub use green::{GreenEstimator, GreensFunction};
 pub use kernels::KernelType;
 pub use kubo::{Conductivity, DoubleMoments, KuboEstimator};
 pub use ldos::LdosEstimator;
-pub use moments::{KpmParams, MomentStats, Recursion};
+pub use moments::{shard_plan, KpmParams, MomentStats, Recursion};
 pub use random::Distribution;
 pub use rescale::BoundsMethod;
 
@@ -94,10 +94,10 @@ pub mod prelude {
     pub use crate::kubo::{Conductivity, DoubleMoments, KuboEstimator};
     pub use crate::ldos::LdosEstimator;
     pub use crate::moments::{
-        block_vector_moments, single_vector_moments, stochastic_moments, KpmParams, MomentStats,
-        Recursion,
+        block_vector_moments, per_realization_moments, shard_plan, single_vector_moments,
+        stochastic_moments, KpmParams, MomentStats, Recursion,
     };
-    pub use crate::random::Distribution;
+    pub use crate::random::{realization_stream, Distribution};
     pub use crate::rescale::{rescale, Boundable, BoundsMethod};
     pub use kpm_linalg::gershgorin::SpectralBounds;
     pub use kpm_linalg::{BlockOp, LinearOp};

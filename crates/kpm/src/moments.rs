@@ -227,6 +227,141 @@ impl MomentStats {
     pub fn max_std_err(&self) -> f64 {
         self.std_err.iter().fold(0.0, |m, &e| m.max(e))
     }
+
+    /// Exact merge of per-realization normalized moment vectors into a
+    /// [`MomentStats`], in the order given.
+    ///
+    /// This is *the* reduction of the stochastic estimator: a streaming
+    /// Welford pass (mean plus sum of squared deviations) over the
+    /// realizations in canonical `idx = s * R + r` order. It is factored out
+    /// so that a distributed run can regenerate it exactly — shard workers
+    /// return their realizations' `mu~_n / D` vectors untouched, the
+    /// coordinator concatenates the shards in canonical order and calls this
+    /// function, and the result is bitwise identical to a single-process
+    /// [`stochastic_moments`] run (which is itself implemented on top of
+    /// this merge). Floating-point summation is not associative, so the
+    /// merge deliberately re-runs the sequential reduction instead of
+    /// combining partial Welford states.
+    ///
+    /// # Panics
+    /// Panics if `per_realization` is empty or the vectors have unequal
+    /// lengths.
+    pub fn merge_realizations(per_realization: &[Vec<f64>]) -> Self {
+        let total = per_realization.len();
+        assert!(total > 0, "cannot merge zero realizations");
+        let n = per_realization[0].len();
+        let mut mean = vec![0.0; n];
+        let mut m2 = vec![0.0; n]; // sum of squared deviations (Welford)
+        for (count, mu) in per_realization.iter().enumerate() {
+            assert_eq!(mu.len(), n, "realization {count} has wrong moment count");
+            let k = (count + 1) as f64;
+            for i in 0..n {
+                let delta = mu[i] - mean[i];
+                mean[i] += delta / k;
+                m2[i] += delta * (mu[i] - mean[i]);
+            }
+        }
+        let std_err = if total > 1 {
+            m2.iter().map(|&s| (s / (total as f64 - 1.0)).sqrt() / (total as f64).sqrt()).collect()
+        } else {
+            vec![0.0; n]
+        };
+        MomentStats { mean, std_err, samples: total }
+    }
+}
+
+/// Deterministic partition of `total` realizations into at most
+/// `num_shards` contiguous, non-empty index ranges covering `0..total`.
+///
+/// The plan is a pure function of `(total, num_shards)` — no RNG, no
+/// timing — so every node of a distributed run derives the identical
+/// partition, and shard `k` always means the same realization indices on
+/// coordinator and workers. Ranges differ in length by at most one
+/// (`k * total / shards` boundaries). When `num_shards > total` the plan
+/// degenerates to one shard per realization.
+///
+/// # Panics
+/// Panics if `total == 0` or `num_shards == 0`.
+pub fn shard_plan(total: usize, num_shards: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(total > 0, "cannot shard zero realizations");
+    assert!(num_shards > 0, "need at least one shard");
+    let shards = num_shards.min(total);
+    (0..shards).map(|k| (k * total / shards)..((k + 1) * total / shards)).collect()
+}
+
+/// The normalized per-realization moment vectors `mu~_n / D` for the
+/// realization index range `range` (canonical `idx = s * R + r` indexing)
+/// of the full `S x R` ensemble described by `params`.
+///
+/// Entry `i` of the result is realization `range.start + i`. Realizations
+/// sharing a set `s` advance together as one `D x k` block — and because
+/// each block column is bitwise identical to the scalar recursion
+/// (the [`block_vector_moments`] contract), the values are independent of
+/// how `range` slices through realization sets. This is the worker half of
+/// the distributed estimator; [`MomentStats::merge_realizations`] is the
+/// coordinator half, and [`stochastic_moments`] is literally the two glued
+/// together over the full range.
+///
+/// # Panics
+/// Panics if parameters are invalid, `range` is empty, or
+/// `range.end > params.total_realizations()`.
+pub fn per_realization_moments<A: BlockOp + Sync>(
+    op: &A,
+    params: &KpmParams,
+    range: std::ops::Range<usize>,
+) -> Vec<Vec<f64>> {
+    params.validate().expect("invalid KPM parameters");
+    assert!(!range.is_empty(), "empty realization range");
+    assert!(
+        range.end <= params.total_realizations(),
+        "range {range:?} exceeds {} total realizations",
+        params.total_realizations()
+    );
+    let d = op.dim();
+    let n = params.num_moments;
+    let r_per_s = params.num_random;
+
+    // Group the index range by realization set: (s, r_lo..r_hi) chunks, one
+    // D x (r_hi - r_lo) block each. A full interior set keeps its full-R
+    // block exactly as the unsharded driver builds it.
+    let mut chunks: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+    let mut idx = range.start;
+    while idx < range.end {
+        let s = idx / r_per_s;
+        let r_lo = idx % r_per_s;
+        let r_hi = (range.end - s * r_per_s).min(r_per_s);
+        chunks.push((s, r_lo..r_hi));
+        idx = s * r_per_s + r_hi;
+    }
+
+    let run_chunk = |(s, rs): &(usize, std::ops::Range<usize>)| -> Vec<Vec<f64>> {
+        let k = rs.len();
+        let mut block = vec![0.0; d * k];
+        for (j, r) in rs.clone().enumerate() {
+            fill_random_vector(
+                params.distribution,
+                params.seed,
+                *s,
+                r,
+                &mut block[j * d..(j + 1) * d],
+            );
+        }
+        let mut per_column = block_vector_moments(op, &block, k, n, params.recursion);
+        let inv_d = 1.0 / d as f64;
+        for mu in per_column.iter_mut() {
+            for m in mu.iter_mut() {
+                *m *= inv_d;
+            }
+        }
+        kpm_obs::counter_add("kpm.realizations", k as u64);
+        per_column
+    };
+    let per_chunk: Vec<Vec<Vec<f64>>> = if vecops::use_parallel(d) && chunks.len() > 1 {
+        (0..chunks.len()).into_par_iter().map(|i| run_chunk(&chunks[i])).collect()
+    } else {
+        chunks.iter().map(run_chunk).collect()
+    };
+    per_chunk.into_iter().flatten().collect()
 }
 
 /// Computes the moments `<r_0|T_n(H~)|r_0>` (not normalized by `D`) for one
@@ -483,58 +618,12 @@ pub fn pair_vector_moments<A: LinearOp>(
 pub fn stochastic_moments<A: BlockOp + Sync>(op: &A, params: &KpmParams) -> MomentStats {
     params.validate().expect("invalid KPM parameters");
     let _span = kpm_obs::span("kpm.moments");
-    let d = op.dim();
-    let n = params.num_moments;
-    let total = params.total_realizations();
-    let r_per_s = params.num_random;
-
-    // One realization set = one D x R block. Each set returns its columns'
-    // mu~ vectors in r order; sets are collected in s order, so flattening
-    // reproduces the historical idx = s * R + r reduction order exactly.
-    let run_set = |s: usize| -> Vec<Vec<f64>> {
-        let mut block = vec![0.0; d * r_per_s];
-        for r in 0..r_per_s {
-            fill_random_vector(
-                params.distribution,
-                params.seed,
-                s,
-                r,
-                &mut block[r * d..(r + 1) * d],
-            );
-        }
-        let mut per_column = block_vector_moments(op, &block, r_per_s, n, params.recursion);
-        let inv_d = 1.0 / d as f64;
-        for mu in per_column.iter_mut() {
-            for m in mu.iter_mut() {
-                *m *= inv_d;
-            }
-        }
-        kpm_obs::counter_add("kpm.realizations", r_per_s as u64);
-        per_column
-    };
-    let per_set: Vec<Vec<Vec<f64>>> = if vecops::use_parallel(d) && params.num_realizations > 1 {
-        (0..params.num_realizations).into_par_iter().map(run_set).collect()
-    } else {
-        (0..params.num_realizations).map(run_set).collect()
-    };
-    let per_realization: Vec<Vec<f64>> = per_set.into_iter().flatten().collect();
-
-    let mut mean = vec![0.0; n];
-    let mut m2 = vec![0.0; n]; // sum of squared deviations (Welford)
-    for (count, mu) in per_realization.iter().enumerate() {
-        let k = (count + 1) as f64;
-        for i in 0..n {
-            let delta = mu[i] - mean[i];
-            mean[i] += delta / k;
-            m2[i] += delta * (mu[i] - mean[i]);
-        }
-    }
-    let std_err = if total > 1 {
-        m2.iter().map(|&s| (s / (total as f64 - 1.0)).sqrt() / (total as f64).sqrt()).collect()
-    } else {
-        vec![0.0; n]
-    };
-    MomentStats { mean, std_err, samples: total }
+    // Compute every realization, then run the canonical index-ordered
+    // reduction — exactly the two halves a distributed run performs on
+    // workers and coordinator, so sharded and single-process results are
+    // bitwise identical by construction.
+    let per_realization = per_realization_moments(op, params, 0..params.total_realizations());
+    MomentStats::merge_realizations(&per_realization)
 }
 
 /// Exact moments `mu_n = (1/D) sum_k T_n(e_k)` from a full (already
@@ -721,6 +810,88 @@ mod tests {
             m2.iter().map(|&s| (s / (total as f64 - 1.0)).sqrt() / (total as f64).sqrt()).collect();
         assert_eq!(stats.mean, mean, "blocked driver must match the scalar seed path bitwise");
         assert_eq!(stats.std_err, std_err);
+    }
+
+    #[test]
+    fn shard_plan_partitions_exactly() {
+        for total in [1usize, 2, 7, 12, 100] {
+            for shards in [1usize, 2, 3, 5, 8, 200] {
+                let plan = shard_plan(total, shards);
+                assert_eq!(plan.len(), shards.min(total));
+                assert_eq!(plan[0].start, 0);
+                assert_eq!(plan.last().unwrap().end, total);
+                for w in plan.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "contiguous");
+                }
+                for r in &plan {
+                    assert!(!r.is_empty(), "no empty shard in {plan:?}");
+                }
+                // Balanced: lengths differ by at most one.
+                let lens: Vec<usize> = plan.iter().map(|r| r.len()).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced plan {plan:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_per_realization_ranges_merge_bitwise_to_full_run() {
+        // Any partition of the index range, merged canonically, must equal
+        // the single-pass estimator bit for bit — the distributed-run
+        // contract, checked here without any transport in the way.
+        let d = 40;
+        let op = DiagonalOp::new((0..d).map(|i| (i as f64 * 0.77).sin() * 0.8).collect());
+        let p = KpmParams::new(16)
+            .with_random_vectors(4, 3)
+            .with_distribution(Distribution::Gaussian)
+            .with_seed(13);
+        let full = stochastic_moments(&op, &p);
+        let total = p.total_realizations();
+        for shards in [1usize, 2, 3, 5, 7, 12] {
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            for range in shard_plan(total, shards) {
+                rows.extend(per_realization_moments(&op, &p, range));
+            }
+            let merged = MomentStats::merge_realizations(&rows);
+            assert_eq!(merged.mean, full.mean, "{shards} shards");
+            assert_eq!(merged.std_err, full.std_err, "{shards} shards");
+            assert_eq!(merged.samples, full.samples);
+        }
+    }
+
+    #[test]
+    fn per_realization_moments_are_independent_of_range_slicing() {
+        // Realization idx has one value no matter which range produced it,
+        // even when a range cuts through the middle of a realization set.
+        let d = 32;
+        let op = DiagonalOp::new((0..d).map(|i| (i as f64 * 0.41).sin() * 0.9).collect());
+        let p = KpmParams::new(12)
+            .with_random_vectors(5, 2)
+            .with_distribution(Distribution::Uniform)
+            .with_seed(77);
+        let total = p.total_realizations();
+        let whole = per_realization_moments(&op, &p, 0..total);
+        for (start, end) in [(0usize, 3usize), (2, 7), (4, 10), (9, 10)] {
+            let part = per_realization_moments(&op, &p, start..end);
+            for (i, row) in part.iter().enumerate() {
+                assert_eq!(row, &whole[start + i], "idx {} via {start}..{end}", start + i);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty realization range")]
+    fn per_realization_moments_reject_empty_range() {
+        let op = DiagonalOp::new(vec![0.1, 0.2]);
+        let _ = per_realization_moments(&op, &KpmParams::new(4), 3..3);
+    }
+
+    #[test]
+    fn merge_realizations_single_sample_has_zero_std_err() {
+        let merged = MomentStats::merge_realizations(&[vec![1.0, -0.5]]);
+        assert_eq!(merged.mean, vec![1.0, -0.5]);
+        assert_eq!(merged.std_err, vec![0.0, 0.0]);
+        assert_eq!(merged.samples, 1);
     }
 
     #[test]

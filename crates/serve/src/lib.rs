@@ -46,6 +46,30 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+/// Pluggable moment-computation backend for the worker pool.
+///
+/// The pool's default compute path is [`worker::compute_raw_moments`]; an
+/// engine replaces it (behind the same panic isolation, timeout, and retry
+/// machinery) — this is how distributed sharding slots in behind the
+/// existing queue and cache. `compute` must return exactly what the local
+/// path would for the same spec: the raw stochastic [`kpm::MomentStats`]
+/// plus the rescale parameters `(a_plus, a_minus)`. Cache compatibility
+/// depends on that bitwise faithfulness, since merged results are stored
+/// under the same content-addressed [`JobSpec`] key as local ones.
+pub trait MomentEngine: Send + Sync {
+    /// Computes raw moments for `spec` (attempt index for fault/retry
+    /// bookkeeping).
+    ///
+    /// # Errors
+    /// [`JobError`] classified like the local path: only panics/timeouts
+    /// are retryable.
+    fn compute(
+        &self,
+        spec: &JobSpec,
+        attempt: u32,
+    ) -> Result<(kpm::MomentStats, f64, f64), JobError>;
+}
+
 /// How a completed job's moments were obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheStatus {
@@ -234,6 +258,12 @@ impl BatchService {
     /// Starts the worker pool. An existing cache spill directory is loaded
     /// (a warm start); load errors are ignored, not fatal.
     pub fn start(config: BatchConfig) -> Self {
+        Self::start_with_engine(config, None)
+    }
+
+    /// Starts the worker pool with an optional [`MomentEngine`] replacing
+    /// the local compute path (`None` behaves exactly like [`start`](Self::start)).
+    pub fn start_with_engine(config: BatchConfig, engine: Option<Arc<dyn MomentEngine>>) -> Self {
         worker::silence_compute_panics();
         let workers = if config.workers > 0 {
             config.workers
@@ -255,6 +285,7 @@ impl BatchService {
                 max_retries: config.max_retries,
                 backoff_base: config.backoff_base,
             },
+            engine,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -505,6 +536,39 @@ mod tests {
                 "missing '{needle}' in:\n{}",
                 report.metrics_text
             );
+        }
+    }
+
+    #[test]
+    fn custom_engine_replaces_compute_and_stays_cache_compatible() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct CountingEngine(AtomicUsize);
+        impl MomentEngine for CountingEngine {
+            fn compute(
+                &self,
+                spec: &JobSpec,
+                attempt: u32,
+            ) -> Result<(kpm::MomentStats, f64, f64), JobError> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                worker::compute_raw_moments(spec, attempt)
+            }
+        }
+        let engine = Arc::new(CountingEngine(AtomicUsize::new(0)));
+        let service = BatchService::start_with_engine(
+            BatchConfig { workers: 1, ..quick_config() },
+            Some(engine.clone() as Arc<dyn MomentEngine>),
+        );
+        let line = "lattice=chain:32 moments=24 random=2 sets=1 seed=5";
+        service.submit(job(line)).unwrap();
+        service.submit(job(line)).unwrap(); // duplicate: cache, not engine
+        let report = service.finish();
+        assert_eq!(report.completed(), 2, "{}", report.render());
+        assert_eq!(engine.0.load(Ordering::SeqCst), 1, "duplicate must be a cache hit");
+        // Engine-computed moments are bitwise the local pipeline's.
+        let direct = worker::compute_raw_moments(&job(line), 0).unwrap();
+        for r in &report.records {
+            let JobOutcome::Completed(s) = &r.outcome else { panic!("completed") };
+            assert_eq!(s.moments.mean, direct.0.mean);
         }
     }
 

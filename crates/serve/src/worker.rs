@@ -78,6 +78,7 @@ pub(crate) struct WorkerContext {
     pub metrics: Arc<Metrics>,
     pub results: Arc<Mutex<BTreeMap<JobId, JobRecord>>>,
     pub policy: WorkerPolicy,
+    pub engine: Option<Arc<dyn crate::MomentEngine>>,
 }
 
 /// Worker main loop: drain the queue until it closes.
@@ -188,7 +189,7 @@ fn compute_with_retry(
     let mut attempt = 0;
     loop {
         let t0 = Instant::now();
-        match run_attempt(spec, attempt, policy.timeout) {
+        match run_attempt_with(spec, attempt, policy.timeout, ctx.engine.clone()) {
             Ok((stats, a_plus, a_minus)) => {
                 ctx.metrics.exec_time.record(t0.elapsed());
                 let report = ctx.cache.insert(key, stats.clone(), a_plus, a_minus);
@@ -239,18 +240,25 @@ pub(crate) fn silence_compute_panics() {
     });
 }
 
-/// One attempt on a sacrificial thread: panic-isolated and time-bounded.
-fn run_attempt(
+/// One attempt on a sacrificial thread — panic-isolated and time-bounded —
+/// with an optional [`crate::MomentEngine`] replacing the local compute
+/// path; the isolation machinery is identical either way, so an engine
+/// panic still fails only the job, never the pool.
+fn run_attempt_with(
     spec: &JobSpec,
     attempt: u32,
     timeout: Duration,
+    engine: Option<Arc<dyn crate::MomentEngine>>,
 ) -> Result<(MomentStats, f64, f64), JobError> {
     let (tx, rx) = mpsc::channel();
     let spec = spec.clone();
     std::thread::Builder::new()
         .name(COMPUTE_THREAD.into())
         .spawn(move || {
-            let result = catch_unwind(AssertUnwindSafe(|| compute_raw_moments(&spec, attempt)));
+            let result = catch_unwind(AssertUnwindSafe(|| match &engine {
+                Some(e) => e.compute(&spec, attempt),
+                None => compute_raw_moments(&spec, attempt),
+            }));
             let _ = tx.send(result);
         })
         .expect("spawn compute thread");
@@ -355,6 +363,14 @@ mod tests {
 
     fn spec(line: &str) -> JobSpec {
         JobSpec::parse(line).unwrap()
+    }
+
+    fn run_attempt(
+        spec: &JobSpec,
+        attempt: u32,
+        timeout: Duration,
+    ) -> Result<(MomentStats, f64, f64), JobError> {
+        run_attempt_with(spec, attempt, timeout, None)
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! [`ShardedEngine`]: the distributed compute path, pluggable into
+//! `kpm-serve` behind its [`MomentEngine`] hook.
+//!
+//! The engine owns a worker set — `--local-workers N` spawns in-process
+//! loopback workers per run; `--workers a,b,...` connects to remote TCP
+//! workers per run — and produces moments bitwise identical to the local
+//! pipeline, so cached results from sharded and unsharded runs are
+//! interchangeable.
+
+use crate::coordinator::{self, ShardPolicy};
+use crate::error::ShardError;
+use crate::job::{MergedMoments, ShardJob};
+use crate::transport::{loopback_pair, Endpoint};
+use crate::worker::serve_endpoint;
+use kpm_serve::worker::compute_raw_moments;
+use kpm_serve::{Backend, JobError, JobSpec, MomentEngine};
+
+/// Where shard workers come from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerSet {
+    /// Spawn this many in-process loopback workers per run.
+    Local(usize),
+    /// Connect to these TCP worker addresses per run.
+    Tcp(Vec<String>),
+}
+
+/// A coordinator front-end bound to a worker set and policy.
+#[derive(Debug, Clone)]
+pub struct ShardedEngine {
+    workers: WorkerSet,
+    policy: ShardPolicy,
+}
+
+impl ShardedEngine {
+    /// An engine over `n` in-process loopback workers (minimum 1).
+    pub fn local(n: usize) -> Self {
+        Self { workers: WorkerSet::Local(n.max(1)), policy: ShardPolicy::default() }
+    }
+
+    /// An engine over remote TCP workers.
+    pub fn tcp(addrs: Vec<String>) -> Self {
+        Self { workers: WorkerSet::Tcp(addrs), policy: ShardPolicy::default() }
+    }
+
+    /// Replaces the scheduling/fault-tolerance policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ShardPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The configured worker set.
+    pub fn workers(&self) -> &WorkerSet {
+        &self.workers
+    }
+
+    /// Runs one job across the worker set.
+    ///
+    /// # Errors
+    /// [`ShardError`] from connection setup or the coordinator.
+    pub fn run_job(&self, job: &ShardJob) -> Result<MergedMoments, ShardError> {
+        match &self.workers {
+            WorkerSet::Tcp(addrs) => {
+                if addrs.is_empty() {
+                    return Err(ShardError::Job("no worker addresses configured".into()));
+                }
+                let endpoints = addrs
+                    .iter()
+                    .map(|a| Endpoint::connect_tcp(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                coordinator::run(job, endpoints, &self.policy)
+            }
+            WorkerSet::Local(n) => {
+                let mut endpoints = Vec::with_capacity(*n);
+                let mut handles = Vec::with_capacity(*n);
+                for i in 0..*n {
+                    let (coord, worker) = loopback_pair(&format!("local-{i}"));
+                    endpoints.push(coord);
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("kpm-shard-local-{i}"))
+                            .spawn(move || serve_endpoint(worker))
+                            .map_err(|e| ShardError::Io(e.to_string()))?,
+                    );
+                }
+                let result = coordinator::run(job, endpoints, &self.policy);
+                // The coordinator has shut the workers down (or dropped
+                // their endpoints); joining just reaps the threads.
+                for h in handles {
+                    let _ = h.join();
+                }
+                result
+            }
+        }
+    }
+}
+
+impl MomentEngine for ShardedEngine {
+    /// Serves a DoS job from the worker set. Non-CPU backends and
+    /// fault-injected specs are not shardable and fall back to the local
+    /// pipeline, preserving serve's semantics for them.
+    fn compute(
+        &self,
+        spec: &JobSpec,
+        attempt: u32,
+    ) -> Result<(kpm::MomentStats, f64, f64), JobError> {
+        if spec.backend != Backend::Cpu || spec.fault.is_some() {
+            return compute_raw_moments(spec, attempt);
+        }
+        let mut clean = spec.clone();
+        clean.out = None; // output is serve's concern, not the workers'
+        let job = ShardJob::Dos(clean);
+        let to_engine_err = |e: ShardError| JobError::Engine(format!("shard: {e}"));
+        let (a_plus, a_minus) = job.bounds().map_err(to_engine_err)?;
+        let stats = self
+            .run_job(&job)
+            .map_err(to_engine_err)?
+            .into_stats()
+            .expect("dos jobs merge to stats");
+        Ok((stats, a_plus, a_minus))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: &str = "lattice=chain:40 moments=12 random=2 sets=2 seed=3";
+
+    #[test]
+    fn engine_matches_local_pipeline_bitwise() {
+        let spec = JobSpec::parse(LINE).unwrap();
+        let (direct, a_plus, a_minus) = compute_raw_moments(&spec, 0).unwrap();
+        for engine in [ShardedEngine::local(1), ShardedEngine::local(3)] {
+            let (stats, ap, am) = engine.compute(&spec, 0).unwrap();
+            assert_eq!(stats.mean, direct.mean);
+            assert_eq!(stats.std_err, direct.std_err);
+            assert_eq!((ap, am), (a_plus, a_minus));
+        }
+    }
+
+    #[test]
+    fn stream_backend_falls_back_to_local_compute() {
+        let spec =
+            JobSpec::parse("lattice=chain:24 moments=8 random=2 sets=1 backend=stream").unwrap();
+        let engine = ShardedEngine::local(2);
+        let (via_engine, ..) = engine.compute(&spec, 0).unwrap();
+        let (direct, ..) = compute_raw_moments(&spec, 0).unwrap();
+        assert_eq!(via_engine.mean, direct.mean);
+    }
+
+    #[test]
+    fn empty_tcp_worker_set_is_an_error() {
+        let engine = ShardedEngine::tcp(Vec::new());
+        let job = ShardJob::parse(&format!("dos {LINE}")).unwrap();
+        assert!(matches!(engine.run_job(&job), Err(ShardError::Job(_))));
+    }
+
+    #[test]
+    fn tcp_engine_runs_against_real_sockets() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            crate::worker::serve_listener(&listener, true).unwrap();
+        });
+        let spec = JobSpec::parse(LINE).unwrap();
+        let (direct, ..) = compute_raw_moments(&spec, 0).unwrap();
+        let (stats, ..) = ShardedEngine::tcp(vec![addr]).compute(&spec, 0).unwrap();
+        assert_eq!(stats.mean, direct.mean);
+        server.join().unwrap();
+    }
+}

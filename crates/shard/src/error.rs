@@ -1,0 +1,96 @@
+//! Error taxonomy of the distributed shard layer.
+//!
+//! Transport failures ([`ShardError::Io`]) and missed heartbeats are
+//! *recoverable per worker* — the coordinator reassigns the lost shards and
+//! keeps going — so they surface from [`crate::coordinator::run`] only when
+//! the last worker dies. Everything else (protocol violations, bad job
+//! lines, deterministic compute errors reported by a worker) is fatal to
+//! the run: retrying a deterministic failure on another worker would fail
+//! identically.
+
+use std::fmt;
+
+/// Why a distributed run (or one of its operations) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// Socket/channel failure: connect, send, or receive on a transport.
+    Io(String),
+    /// A peer violated the wire protocol (bad magic, unknown version or
+    /// frame type, truncated payload).
+    Protocol(String),
+    /// The shard job line itself is invalid (unparseable spec, unshardable
+    /// backend, site out of range...).
+    Job(String),
+    /// A worker reported a deterministic compute failure for a shard; every
+    /// worker would fail the same way, so the run aborts.
+    Worker {
+        /// Shard id the failure was reported for.
+        shard: u32,
+        /// Worker-rendered error message.
+        message: String,
+    },
+    /// Every worker died before the run completed.
+    AllWorkersDead {
+        /// Shards still unfinished when the last worker was lost.
+        pending: usize,
+    },
+    /// One shard exhausted its reassignment budget.
+    ShardFailed {
+        /// Shard id.
+        shard: u32,
+        /// Dispatch attempts consumed.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io(msg) => write!(f, "io: {msg}"),
+            ShardError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ShardError::Job(msg) => write!(f, "job: {msg}"),
+            ShardError::Worker { shard, message } => {
+                write!(f, "worker failed shard {shard}: {message}")
+            }
+            ShardError::AllWorkersDead { pending } => {
+                write!(f, "all workers dead with {pending} shards pending")
+            }
+            ShardError::ShardFailed { shard, attempts } => {
+                write!(f, "shard {shard} failed after {attempts} dispatch attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        ShardError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        assert_eq!(
+            ShardError::Worker { shard: 3, message: "kpm: bad".into() }.to_string(),
+            "worker failed shard 3: kpm: bad"
+        );
+        assert_eq!(
+            ShardError::AllWorkersDead { pending: 2 }.to_string(),
+            "all workers dead with 2 shards pending"
+        );
+        assert!(ShardError::Protocol("bad magic".into()).to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: ShardError =
+            std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "refused").into();
+        assert!(matches!(e, ShardError::Io(_)));
+    }
+}

@@ -1,0 +1,43 @@
+//! `kpm-shard` — distributed realization-sharded moment computation.
+//!
+//! The KPM stochastic trace is an average over `S x R` independent
+//! realizations, which makes it embarrassingly parallel across machines —
+//! *if* distribution does not change the answer. This crate guarantees it
+//! does not: per-realization RNG streams derive from `(seed, s, r)` alone
+//! ([`kpm::random::realization_stream`]), workers return per-realization
+//! moment rows untouched, and the coordinator replays the exact
+//! single-process reduction over the rows in canonical order. Merged
+//! moments are **bitwise identical** to an unsharded run with the same
+//! seed, for any worker count, shard split, or failure history.
+//!
+//! Layers, bottom up:
+//! - [`wire`]: versioned length-prefixed binary frames (`f64` as raw bits,
+//!   so no text round-trip can perturb a moment).
+//! - [`transport`]: [`transport::Endpoint`] over TCP (worker processes) or
+//!   in-process loopback channels (tests; same codec).
+//! - [`job`]: [`ShardJob`] — DoS/LDoS/Kubo jobs with canonical lines, the
+//!   worker compute half and the coordinator merge half.
+//! - [`worker`]: serve one connection; heartbeats answered during compute.
+//! - [`coordinator`]: dispatch, heartbeat death detection, backoff
+//!   reassignment, speculative re-dispatch, exact merge.
+//! - [`engine`]: [`ShardedEngine`] implementing
+//!   [`kpm_serve::MomentEngine`], so `kpm serve`/`kpm batch` can execute
+//!   their queues on a worker fleet while staying cache-compatible.
+//!
+//! See DESIGN.md §8 for the wire format, the determinism argument, and the
+//! failure model.
+
+pub mod coordinator;
+pub mod engine;
+pub mod error;
+pub mod job;
+pub mod transport;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{run, ShardPolicy};
+pub use engine::{ShardedEngine, WorkerSet};
+pub use error::ShardError;
+pub use job::{MergedMoments, ShardJob};
+pub use transport::{loopback_pair, Endpoint};
+pub use worker::{run_tcp_worker, serve_endpoint, serve_listener, WorkerFault};

@@ -1,0 +1,381 @@
+//! The versioned, length-prefixed binary wire protocol.
+//!
+//! Every frame is
+//!
+//! ```text
+//! +--------+---------+------+-------------+----------------+
+//! | magic  | version | type | payload len | payload        |
+//! | "KPSH" | u16 LE  | u8   | u32 LE      | `len` bytes    |
+//! +--------+---------+------+-------------+----------------+
+//! ```
+//!
+//! All integers are little-endian. Strings are `u32` length + UTF-8 bytes.
+//! Moment rows travel as raw IEEE-754 bit patterns (`f64::to_bits`), never
+//! through decimal formatting, so a value arrives bit-for-bit as computed —
+//! the transport can not perturb the exact-merge guarantee.
+//!
+//! The version is checked on every frame; a mismatch is a
+//! [`ShardError::Protocol`], not a best-effort parse, because silently
+//! reinterpreting frames across protocol revisions could corrupt moments
+//! without failing loudly.
+
+use crate::error::ShardError;
+
+/// Frame preamble.
+pub const MAGIC: [u8; 4] = *b"KPSH";
+/// Protocol revision; bump on any change to framing or payload layout.
+pub const VERSION: u16 = 1;
+/// Header length: magic + version + type + payload length.
+pub const HEADER_LEN: usize = 4 + 2 + 1 + 4;
+/// Payloads above this are rejected as protocol violations (a corrupted
+/// length prefix must not trigger a multi-gigabyte allocation).
+pub const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// One realization-range assignment for a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRequest {
+    /// Coordinator-chosen run id (echoed back in results).
+    pub job: u64,
+    /// Shard id within the run's [`kpm::shard_plan`].
+    pub shard: u32,
+    /// First realization index (canonical `idx = s * R + r`).
+    pub start: u64,
+    /// One past the last realization index.
+    pub end: u64,
+    /// Canonical shard-job line ([`crate::job::ShardJob::canonical`]); the
+    /// worker rebuilds the Hamiltonian deterministically from it.
+    pub spec: String,
+}
+
+/// A completed shard: per-realization moment vectors, bit-exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardResult {
+    /// Run id echoed from the request.
+    pub job: u64,
+    /// Shard id echoed from the request.
+    pub shard: u32,
+    /// Row `i` is realization `start + i` of the request's range.
+    pub rows: Vec<Vec<f64>>,
+}
+
+/// Every message of the protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Coordinator liveness probe.
+    Ping {
+        /// Echoed in the matching [`Frame::Pong`].
+        nonce: u64,
+    },
+    /// Worker liveness reply.
+    Pong {
+        /// Nonce from the probe.
+        nonce: u64,
+    },
+    /// Shard assignment.
+    Request(ShardRequest),
+    /// Shard completion.
+    Result(ShardResult),
+    /// Worker-side deterministic compute failure for a shard.
+    WorkerError {
+        /// Run id.
+        job: u64,
+        /// Shard id.
+        shard: u32,
+        /// Rendered error.
+        message: String,
+    },
+    /// Coordinator tells the worker this session is over.
+    Shutdown,
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Ping { .. } => 1,
+            Frame::Pong { .. } => 2,
+            Frame::Request(_) => 3,
+            Frame::Result(_) => 4,
+            Frame::WorkerError { .. } => 5,
+            Frame::Shutdown => 6,
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encodes a frame to its full wire representation (header + payload).
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match frame {
+        Frame::Ping { nonce } | Frame::Pong { nonce } => put_u64(&mut payload, *nonce),
+        Frame::Request(req) => {
+            put_u64(&mut payload, req.job);
+            put_u32(&mut payload, req.shard);
+            put_u64(&mut payload, req.start);
+            put_u64(&mut payload, req.end);
+            put_str(&mut payload, &req.spec);
+        }
+        Frame::Result(res) => {
+            put_u64(&mut payload, res.job);
+            put_u32(&mut payload, res.shard);
+            put_u32(&mut payload, res.rows.len() as u32);
+            let cols = res.rows.first().map_or(0, Vec::len);
+            put_u32(&mut payload, cols as u32);
+            for row in &res.rows {
+                debug_assert_eq!(row.len(), cols, "ragged result rows");
+                for &v in row {
+                    put_u64(&mut payload, v.to_bits());
+                }
+            }
+        }
+        Frame::WorkerError { job, shard, message } => {
+            put_u64(&mut payload, *job);
+            put_u32(&mut payload, *shard);
+            put_str(&mut payload, message);
+        }
+        Frame::Shutdown => {}
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.push(frame.type_byte());
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Cursor over a received payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ShardError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(ShardError::Protocol(format!(
+                "truncated payload: wanted {n} bytes at offset {} of {}",
+                self.pos,
+                self.bytes.len()
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, ShardError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ShardError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self) -> Result<String, ShardError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ShardError::Protocol("non-UTF-8 string field".into()))
+    }
+
+    fn finish(self) -> Result<(), ShardError> {
+        if self.pos != self.bytes.len() {
+            return Err(ShardError::Protocol(format!(
+                "{} trailing payload bytes",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Validates a header, returning `(type byte, payload length)`.
+pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32), ShardError> {
+    if header[..4] != MAGIC {
+        return Err(ShardError::Protocol(format!("bad magic {:02x?}", &header[..4])));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(ShardError::Protocol(format!(
+            "protocol version {version}, expected {VERSION}"
+        )));
+    }
+    let len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]);
+    if len > MAX_PAYLOAD {
+        return Err(ShardError::Protocol(format!("payload length {len} exceeds cap")));
+    }
+    Ok((header[6], len))
+}
+
+/// Decodes a payload given its frame type byte.
+pub fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ShardError> {
+    let mut r = Reader { bytes: payload, pos: 0 };
+    let frame = match type_byte {
+        1 => Frame::Ping { nonce: r.u64()? },
+        2 => Frame::Pong { nonce: r.u64()? },
+        3 => Frame::Request(ShardRequest {
+            job: r.u64()?,
+            shard: r.u32()?,
+            start: r.u64()?,
+            end: r.u64()?,
+            spec: r.string()?,
+        }),
+        4 => {
+            let job = r.u64()?;
+            let shard = r.u32()?;
+            let nrows = r.u32()? as usize;
+            let cols = r.u32()? as usize;
+            if (nrows as u64) * (cols as u64) * 8 > u64::from(MAX_PAYLOAD) {
+                return Err(ShardError::Protocol(format!(
+                    "result of {nrows} x {cols} rows exceeds payload cap"
+                )));
+            }
+            let mut rows = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                let mut row = Vec::with_capacity(cols);
+                for _ in 0..cols {
+                    row.push(f64::from_bits(r.u64()?));
+                }
+                rows.push(row);
+            }
+            Frame::Result(ShardResult { job, shard, rows })
+        }
+        5 => Frame::WorkerError { job: r.u64()?, shard: r.u32()?, message: r.string()? },
+        6 => Frame::Shutdown,
+        other => return Err(ShardError::Protocol(format!("unknown frame type {other}"))),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Decodes one full frame (header + payload) from a byte buffer, as the
+/// loopback transport delivers them.
+pub fn decode_bytes(bytes: &[u8]) -> Result<Frame, ShardError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ShardError::Protocol(format!("frame of {} bytes has no header", bytes.len())));
+    }
+    let header: [u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("header slice");
+    let (type_byte, len) = parse_header(&header)?;
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() != len as usize {
+        return Err(ShardError::Protocol(format!(
+            "payload length {} does not match header {len}",
+            payload.len()
+        )));
+    }
+    decode_payload(type_byte, payload)
+}
+
+/// Blocking read of one frame from a byte stream (the TCP transport).
+///
+/// # Errors
+/// [`ShardError::Io`] on read failure or EOF, [`ShardError::Protocol`] on
+/// malformed frames.
+pub fn read_frame<R: std::io::Read>(reader: &mut R) -> Result<Frame, ShardError> {
+    let mut header = [0u8; HEADER_LEN];
+    reader.read_exact(&mut header)?;
+    let (type_byte, len) = parse_header(&header)?;
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    decode_payload(type_byte, &payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = encode(&frame);
+        assert_eq!(decode_bytes(&bytes).unwrap(), frame);
+        // Stream decode agrees with buffer decode.
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cursor).unwrap(), frame);
+    }
+
+    #[test]
+    fn all_frames_roundtrip() {
+        roundtrip(Frame::Ping { nonce: 0xdead_beef });
+        roundtrip(Frame::Pong { nonce: 0 });
+        roundtrip(Frame::Request(ShardRequest {
+            job: 7,
+            shard: 3,
+            start: 10,
+            end: 20,
+            spec: "dos lattice=chain:32 moments=16".into(),
+        }));
+        roundtrip(Frame::Result(ShardResult {
+            job: 7,
+            shard: 3,
+            rows: vec![vec![1.0, -0.25, f64::MIN_POSITIVE], vec![0.0, -0.0, f64::MAX]],
+        }));
+        roundtrip(Frame::WorkerError { job: 7, shard: 1, message: "kpm: bad".into() });
+        roundtrip(Frame::Shutdown);
+    }
+
+    #[test]
+    fn float_bits_survive_exactly() {
+        // Values that decimal round-trips mangle must survive bitwise.
+        let tricky = vec![vec![
+            0.1 + 0.2,
+            f64::EPSILON,
+            1.0 / 3.0,
+            -1e-308,
+            f64::from_bits(0x0000_0000_0000_0001), // subnormal
+        ]];
+        let frame = Frame::Result(ShardResult { job: 1, shard: 0, rows: tricky.clone() });
+        let Frame::Result(res) = decode_bytes(&encode(&frame)).unwrap() else {
+            panic!("expected result");
+        };
+        for (a, b) in res.rows[0].iter().zip(&tricky[0]) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_protocol_errors() {
+        let mut bytes = encode(&Frame::Shutdown);
+        bytes[0] = b'X';
+        assert!(matches!(decode_bytes(&bytes), Err(ShardError::Protocol(_))));
+
+        let mut bytes = encode(&Frame::Shutdown);
+        bytes[4] = 99; // version
+        match decode_bytes(&bytes) {
+            Err(ShardError::Protocol(msg)) => assert!(msg.contains("version"), "{msg}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_rejected() {
+        let bytes = encode(&Frame::Ping { nonce: 5 });
+        assert!(matches!(decode_bytes(&bytes[..bytes.len() - 1]), Err(ShardError::Protocol(_))));
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(decode_bytes(&extended), Err(ShardError::Protocol(_))));
+    }
+
+    #[test]
+    fn unknown_frame_type_rejected() {
+        let mut bytes = encode(&Frame::Shutdown);
+        bytes[6] = 42;
+        assert!(matches!(decode_bytes(&bytes), Err(ShardError::Protocol(_))));
+    }
+
+    #[test]
+    fn eof_is_io_error() {
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut empty), Err(ShardError::Io(_))));
+    }
+}

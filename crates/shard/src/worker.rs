@@ -1,0 +1,243 @@
+//! The worker side: serve shard requests on one connection.
+//!
+//! A worker is a small state machine over one [`Endpoint`]: heartbeat pings
+//! are answered immediately from the receive loop, while compute requests
+//! are forwarded to a dedicated compute thread — so a worker grinding
+//! through a long shard still answers heartbeats and is never mistaken for
+//! dead. Results flow back through the shared
+//! [`FrameSink`](crate::transport::FrameSink) from whichever thread
+//! produced them.
+//!
+//! [`WorkerFault`] injects the two failure modes the coordinator must
+//! tolerate: a crash (connection drops) and a hang (connection stays open
+//! but nothing is ever answered). Both are test-only behaviours wired
+//! through the same public entry points the real worker uses.
+
+use crate::error::ShardError;
+use crate::job::ShardJob;
+use crate::transport::Endpoint;
+use crate::wire::{Frame, ShardRequest, ShardResult};
+use std::net::{SocketAddr, TcpListener};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Receive-loop poll granularity; bounds shutdown latency, nothing else.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Injected worker failure, for fault-tolerance tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// Serve this many requests, then drop the connection on the next one.
+    DieAfterRequests(usize),
+    /// Serve this many requests, then go silent: keep the connection open
+    /// but never answer another frame (exercises heartbeat detection).
+    HangAfterRequests(usize),
+}
+
+/// Serves one connection until the peer shuts down or disconnects.
+pub fn serve_endpoint(endpoint: Endpoint) {
+    serve_endpoint_with(endpoint, None);
+}
+
+/// [`serve_endpoint`] with an optional injected fault.
+pub fn serve_endpoint_with(mut endpoint: Endpoint, fault: Option<WorkerFault>) {
+    let (work_tx, work_rx) = mpsc::channel::<ShardRequest>();
+    let sink = Arc::clone(&endpoint.tx);
+    let compute = std::thread::Builder::new()
+        .name("kpm-shard-compute".into())
+        .spawn(move || {
+            while let Ok(req) = work_rx.recv() {
+                handle_request(&req, sink.as_ref());
+            }
+        })
+        .expect("spawn shard compute thread");
+
+    let mut served = 0usize;
+    loop {
+        match endpoint.rx.recv_timeout(POLL) {
+            Ok(None) => continue,
+            Ok(Some(Frame::Ping { nonce })) => {
+                if endpoint.tx.send(&Frame::Pong { nonce }).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Frame::Request(req))) => {
+                match fault {
+                    Some(WorkerFault::DieAfterRequests(k)) if served >= k => break,
+                    Some(WorkerFault::HangAfterRequests(k)) if served >= k => {
+                        hang(&mut endpoint);
+                        break;
+                    }
+                    _ => {}
+                }
+                served += 1;
+                if work_tx.send(req).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Frame::Shutdown)) | Err(_) => break,
+            Ok(Some(_)) => {} // Pong/Result/WorkerError are coordinator-bound; ignore.
+        }
+    }
+    drop(work_tx);
+    drop(endpoint); // unblocks the compute thread's sends if the peer is gone
+    let _ = compute.join();
+}
+
+/// Drains the connection without ever replying, until it closes.
+fn hang(endpoint: &mut Endpoint) {
+    while endpoint.rx.recv_timeout(POLL).is_ok() {}
+}
+
+/// Parses, computes, and answers one request; every failure is reported as
+/// a [`Frame::WorkerError`] (deterministic — the coordinator aborts the
+/// run rather than retrying elsewhere).
+fn handle_request(req: &ShardRequest, sink: &dyn crate::transport::FrameSink) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<Vec<f64>>, ShardError> {
+        let job = ShardJob::parse(&req.spec)?;
+        let (start, end) = (req.start as usize, req.end as usize);
+        job.compute_partial(start..end)
+    }));
+    let reply = match outcome {
+        Ok(Ok(rows)) => {
+            kpm_obs::counter_add("shard.worker.completed", 1);
+            Frame::Result(ShardResult { job: req.job, shard: req.shard, rows })
+        }
+        Ok(Err(e)) => Frame::WorkerError { job: req.job, shard: req.shard, message: e.to_string() },
+        Err(_) => Frame::WorkerError {
+            job: req.job,
+            shard: req.shard,
+            message: "compute panicked".into(),
+        },
+    };
+    let _ = sink.send(&reply);
+}
+
+/// Runs a TCP worker: binds `listen`, reports the bound address through
+/// `on_ready` (so callers binding port 0 learn the real port), then serves
+/// connections — each on its own thread, or exactly one inline when `once`
+/// is set (the test/CI mode).
+///
+/// # Errors
+/// [`ShardError::Io`] on bind/accept failures.
+pub fn run_tcp_worker(
+    listen: &str,
+    once: bool,
+    on_ready: impl FnOnce(SocketAddr),
+) -> Result<(), ShardError> {
+    let listener =
+        TcpListener::bind(listen).map_err(|e| ShardError::Io(format!("bind {listen}: {e}")))?;
+    on_ready(listener.local_addr()?);
+    serve_listener(&listener, once)
+}
+
+/// The accept loop behind [`run_tcp_worker`], taking an already-bound
+/// listener.
+///
+/// # Errors
+/// [`ShardError::Io`] on accept failures.
+pub fn serve_listener(listener: &TcpListener, once: bool) -> Result<(), ShardError> {
+    loop {
+        let (stream, peer) = listener.accept()?;
+        let endpoint = Endpoint::from_tcp(stream, format!("tcp:{peer}"))?;
+        if once {
+            serve_endpoint(endpoint);
+            return Ok(());
+        }
+        std::thread::Builder::new()
+            .name(format!("kpm-shard-conn-{peer}"))
+            .spawn(move || serve_endpoint(endpoint))
+            .expect("spawn shard connection thread");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::loopback_pair;
+
+    fn spawn_worker(fault: Option<WorkerFault>) -> Endpoint {
+        let (coord, worker) = loopback_pair("test-worker");
+        std::thread::spawn(move || serve_endpoint_with(worker, fault));
+        coord
+    }
+
+    fn request(shard: u32, start: u64, end: u64) -> Frame {
+        Frame::Request(ShardRequest {
+            job: 1,
+            shard,
+            start,
+            end,
+            spec: "dos lattice=chain:16 moments=8 random=2 sets=2 seed=3".into(),
+        })
+    }
+
+    #[test]
+    fn worker_answers_pings_and_computes_requests() {
+        let mut coord = spawn_worker(None);
+        coord.tx.send(&Frame::Ping { nonce: 7 }).unwrap();
+        assert_eq!(
+            coord.rx.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Some(Frame::Pong { nonce: 7 })
+        );
+        coord.tx.send(&request(2, 1, 3)).unwrap();
+        match coord.rx.recv_timeout(Duration::from_secs(30)).unwrap() {
+            Some(Frame::Result(res)) => {
+                assert_eq!(res.shard, 2);
+                assert_eq!(res.rows.len(), 2);
+                assert_eq!(res.rows[0].len(), 8);
+            }
+            other => panic!("expected a result, got {other:?}"),
+        }
+        coord.tx.send(&Frame::Shutdown).unwrap();
+    }
+
+    #[test]
+    fn bad_spec_comes_back_as_worker_error() {
+        let mut coord = spawn_worker(None);
+        coord
+            .tx
+            .send(&Frame::Request(ShardRequest {
+                job: 9,
+                shard: 0,
+                start: 0,
+                end: 1,
+                spec: "dos lattice=blob:3".into(),
+            }))
+            .unwrap();
+        match coord.rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Some(Frame::WorkerError { job, shard, message }) => {
+                assert_eq!((job, shard), (9, 0));
+                assert!(!message.is_empty());
+            }
+            other => panic!("expected a worker error, got {other:?}"),
+        }
+        coord.tx.send(&Frame::Shutdown).unwrap();
+    }
+
+    #[test]
+    fn die_fault_drops_the_connection() {
+        let mut coord = spawn_worker(Some(WorkerFault::DieAfterRequests(0)));
+        coord.tx.send(&request(0, 0, 1)).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match coord.rx.recv_timeout(Duration::from_millis(50)) {
+                Err(_) => break, // connection closed, as injected
+                Ok(None) if std::time::Instant::now() < deadline => continue,
+                other => panic!("expected drop, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hang_fault_stays_silent_but_connected() {
+        let mut coord = spawn_worker(Some(WorkerFault::HangAfterRequests(0)));
+        coord.tx.send(&request(0, 0, 1)).unwrap();
+        // Further pings go unanswered while the connection stays open.
+        coord.tx.send(&Frame::Ping { nonce: 1 }).unwrap();
+        assert_eq!(coord.rx.recv_timeout(Duration::from_millis(400)).unwrap(), None);
+        drop(coord); // closing our end lets the hung worker exit
+    }
+}
