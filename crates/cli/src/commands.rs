@@ -143,6 +143,9 @@ COMMON OPTIONS:
   --random   R  --sets S            (default 14, 2)
   --kernel   jackson | lorentz | fejer | dirichlet   (default jackson)
   --seed     master seed            (default 42)
+  --exec     auto | realizations | rows | hybrid   execution plan (default auto)
+  --threads  N                      worker-thread budget for row-tiled plans
+                                    (default 0 = RAYON_NUM_THREADS or all cores)
   --out      CSV path               (default none: table to stdout)
   --trace    FILE                   write a span/counter trace as JSON
 
@@ -607,7 +610,28 @@ pub fn run_with_positionals(
     result
 }
 
+/// Applies the process-global execution-plan options (`--exec`,
+/// `--threads`) before the command runs. Validation happens before any
+/// mutation, so a bad value leaves the policy untouched.
+fn apply_exec_options(args: &Args) -> Result<(), CmdError> {
+    let policy = match args.get("exec") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<ExecPolicy>().map_err(|e: String| CmdError::Other(format!("--exec: {e}")))?,
+        ),
+    };
+    let threads: usize = args.get_or("threads", 0)?;
+    if let Some(p) = policy {
+        set_exec_policy(p);
+    }
+    if threads > 0 {
+        set_thread_budget(threads);
+    }
+    Ok(())
+}
+
 fn dispatch(command: &str, args: &Args, positionals: &[String]) -> Result<String, CmdError> {
+    apply_exec_options(args)?;
     if command == "batch" {
         return crate::batch::batch(args, positionals);
     }
@@ -1103,6 +1127,25 @@ mod tests {
         assert!(get("shard.dispatched") >= get("shard.completed"), "{text}");
         assert!(get("shard.inflight.peak") >= 1, "{text}");
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn exec_options_validate_before_mutating_globals() {
+        // Bad values are rejected up front — the process-global policy and
+        // thread budget are untouched, so the remaining (parallel) tests in
+        // this binary keep running under the default Auto plan.
+        let before = exec_policy();
+        let e = run("dos", &args(&["--lattice", "chain:16", "--exec", "warp"])).unwrap_err();
+        assert!(e.to_string().contains("--exec"), "{e}");
+        let e = run("dos", &args(&["--lattice", "chain:16", "--threads", "many"])).unwrap_err();
+        assert!(matches!(e, CmdError::Args(ArgError::BadValue { .. })), "{e}");
+        assert_eq!(exec_policy(), before, "failed parses must not change the policy");
+        // The accepted spellings round-trip through FromStr without touching
+        // the global (policy application itself is pinned in kpm's tests).
+        for v in ["auto", "realizations", "rows", "hybrid"] {
+            assert_eq!(v.parse::<ExecPolicy>().unwrap().to_string(), v);
+        }
+        assert!("warp".parse::<ExecPolicy>().is_err());
     }
 
     #[test]

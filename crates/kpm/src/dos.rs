@@ -12,7 +12,7 @@ use crate::dct;
 use crate::error::KpmError;
 use crate::estimator::Estimator;
 use crate::moments::{stochastic_moments, KpmParams, MomentStats};
-use kpm_linalg::block::BlockOp;
+use kpm_linalg::tiled::TiledOp;
 
 /// A reconstructed density of states.
 #[derive(Debug, Clone)]
@@ -150,7 +150,7 @@ impl Estimator for DosEstimator {
 
     /// Stochastic trace moments `mu_n = Tr[T_n]/D` (Eq. 5) of the rescaled
     /// operator.
-    fn moments<A: BlockOp + Sync>(&self, op: &A) -> Result<MomentStats, KpmError> {
+    fn moments<A: TiledOp + Sync>(&self, op: &A) -> Result<MomentStats, KpmError> {
         self.params.validate()?;
         Ok(stochastic_moments(op, &self.params))
     }

@@ -25,8 +25,8 @@
 use crate::error::KpmError;
 use crate::moments::KpmParams;
 use crate::rescale::{rescale, Boundable};
-use kpm_linalg::block::BlockOp;
 use kpm_linalg::gershgorin::SpectralBounds;
+use kpm_linalg::tiled::TiledOp;
 
 /// A KPM pipeline for one spectral quantity.
 ///
@@ -54,7 +54,7 @@ pub trait Estimator {
     /// # Errors
     /// Parameter validation or workload-specific errors (e.g. a site index
     /// out of range).
-    fn moments<A: BlockOp + Sync>(&self, op: &A) -> Result<Self::Moments, KpmError>;
+    fn moments<A: TiledOp + Sync>(&self, op: &A) -> Result<Self::Moments, KpmError>;
 
     /// Reconstructs the output quantity from moments and the rescaling
     /// coefficients `a_+` (centre) and `a_-` (half-width) that produced
@@ -81,7 +81,7 @@ pub trait Estimator {
     /// # Errors
     /// Parameter validation, bounds computation, degenerate-spectrum, or
     /// workload-specific errors.
-    fn compute<A: Boundable + BlockOp + Sync>(&self, op: &A) -> Result<Self::Output, KpmError> {
+    fn compute<A: Boundable + TiledOp + Sync>(&self, op: &A) -> Result<Self::Output, KpmError> {
         self.params().validate()?;
         let bounds = {
             let _span = kpm_obs::span("kpm.rescale");
@@ -95,7 +95,7 @@ pub trait Estimator {
     /// # Errors
     /// Parameter validation, degenerate-spectrum, or workload-specific
     /// errors.
-    fn compute_with_bounds<A: BlockOp + Sync>(
+    fn compute_with_bounds<A: TiledOp + Sync>(
         &self,
         op: &A,
         bounds: SpectralBounds,

@@ -1,0 +1,359 @@
+//! Execution planning: choosing *how* to parallelize a moments run.
+//!
+//! The stochastic estimator has two independent axes of parallelism:
+//!
+//! * **Realizations** — the `R * S` random-vector chunks are embarrassingly
+//!   parallel (the historical behavior, gated on
+//!   [`vecops::par_min_dim`]).
+//! * **Rows** — within one realization block, the matrix dimension can be
+//!   split into tiles whose fused Chebyshev steps run on the row-tiled
+//!   engine ([`kpm_linalg::tiled`]), the CPU analogue of the paper's
+//!   in-kernel GPU parallelism.
+//!
+//! [`plan`] picks a strategy from `(D, chunk count, thread budget)`,
+//! replacing the old all-or-nothing `PAR_MIN_DIM` cliff: a lone fat job
+//! (one realization chunk, large `D`) can now use every core, and the
+//! flagship `D = 1000` lattice — below the realization-parallel threshold,
+//! so previously fully serial — gets in-realization parallelism plus the
+//! single-sweep fused step.
+//!
+//! # Determinism
+//!
+//! The *value family* of the result depends only on `(dim, policy,
+//! tile rows)` — never on the thread budget or the chunk count:
+//!
+//! * [`ExecPolicy::Realizations`] (and [`ExecPlan::Serial`]) run the
+//!   untiled blocked recursion — bitwise identical to the scalar path.
+//! * [`ExecPolicy::Rows`] and [`ExecPolicy::Hybrid`] run the tiled engine,
+//!   whose canonical tile-order reduction makes results bitwise independent
+//!   of the thread count; Rows and Hybrid are bitwise identical to each
+//!   other (they differ only in scheduling).
+//! * [`ExecPolicy::Auto`] switches family on `dim` alone
+//!   ([`ROW_MIN_DIM`]), so range-sliced shard workers and the single-process
+//!   estimator still agree bitwise for every `dim`.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use kpm_linalg::vecops;
+
+/// Smallest operator dimension at which the tiled row-parallel engine is
+/// worth its barrier overhead under [`ExecPolicy::Auto`]. Below this even a
+/// single tile is only a few microseconds of work per sweep.
+pub const ROW_MIN_DIM: usize = 512;
+
+/// User-facing execution-policy selector (the CLI's `--exec` flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPolicy {
+    /// Choose per run from `(D, chunks, threads)`: row/hybrid parallelism
+    /// for `D >= ROW_MIN_DIM`, the historical realization-parallel behavior
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Realization-level parallelism only (the historical engine; untiled,
+    /// bitwise identical to the scalar recursion).
+    Realizations,
+    /// Row-tiled parallelism within each realization chunk; chunks run one
+    /// after another.
+    Rows,
+    /// Split the thread budget across both axes: several realization chunks
+    /// in flight, each on a share of the threads.
+    Hybrid,
+}
+
+impl ExecPolicy {
+    /// Canonical lower-case name (also the CLI token).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExecPolicy::Auto => "auto",
+            ExecPolicy::Realizations => "realizations",
+            ExecPolicy::Rows => "rows",
+            ExecPolicy::Hybrid => "hybrid",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for ExecPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(ExecPolicy::Auto),
+            "realizations" => Ok(ExecPolicy::Realizations),
+            "rows" => Ok(ExecPolicy::Rows),
+            "hybrid" => Ok(ExecPolicy::Hybrid),
+            other => Err(format!("unknown exec policy '{other}' (auto|realizations|rows|hybrid)")),
+        }
+    }
+}
+
+// Process-wide execution configuration. Serve workers, shard compute
+// threads and the CLI all funnel through `stochastic_moments`, so a global
+// (set once at startup) is the least invasive way to thread the choice
+// everywhere without changing every signature.
+static POLICY: AtomicU8 = AtomicU8::new(0); // discriminants of ExecPolicy
+static THREAD_BUDGET: AtomicUsize = AtomicUsize::new(0); // 0 = auto-detect
+
+fn policy_to_u8(p: ExecPolicy) -> u8 {
+    match p {
+        ExecPolicy::Auto => 0,
+        ExecPolicy::Realizations => 1,
+        ExecPolicy::Rows => 2,
+        ExecPolicy::Hybrid => 3,
+    }
+}
+
+/// Sets the process-wide execution policy (e.g. from `--exec`).
+pub fn set_exec_policy(p: ExecPolicy) {
+    POLICY.store(policy_to_u8(p), Ordering::Relaxed);
+}
+
+/// The current process-wide execution policy.
+pub fn exec_policy() -> ExecPolicy {
+    match POLICY.load(Ordering::Relaxed) {
+        1 => ExecPolicy::Realizations,
+        2 => ExecPolicy::Rows,
+        3 => ExecPolicy::Hybrid,
+        _ => ExecPolicy::Auto,
+    }
+}
+
+/// Sets the process-wide thread budget (e.g. from `--threads`); `0` restores
+/// auto-detection.
+pub fn set_thread_budget(threads: usize) {
+    THREAD_BUDGET.store(threads, Ordering::Relaxed);
+}
+
+/// The thread budget in effect: the explicit [`set_thread_budget`] value if
+/// set, else `RAYON_NUM_THREADS` (read once), else the machine parallelism —
+/// always capped at the machine parallelism, because oversubscribing the
+/// barrier-synchronized tile engine can only add scheduling latency, never
+/// throughput (and the results are bitwise identical either way).
+pub fn effective_threads() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    let cores =
+        *CORES.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let budget = THREAD_BUDGET.load(Ordering::Relaxed);
+    if budget > 0 {
+        return budget.min(cores);
+    }
+    static ENV: OnceLock<usize> = OnceLock::new();
+    (*ENV.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or(cores)
+    }))
+    .min(cores)
+}
+
+/// Tile height used by the row-parallel plans: `KPM_TILE_ROWS` (read once)
+/// or [`kpm_linalg::DEFAULT_TILE_ROWS`].
+pub fn tile_rows() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("KPM_TILE_ROWS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or(kpm_linalg::DEFAULT_TILE_ROWS)
+    })
+}
+
+/// The concrete schedule [`plan`] resolved for one moments run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPlan {
+    /// Untiled recursion, chunks in sequence on the calling thread.
+    Serial,
+    /// Untiled recursion, chunks fanned out realization-parallel.
+    Realizations,
+    /// Tiled fused recursion inside each chunk; chunks in sequence.
+    Rows {
+        /// Worker threads per chunk.
+        threads: usize,
+        /// Tile height in rows.
+        tile_rows: usize,
+    },
+    /// Tiled fused recursion inside each chunk, several chunks in flight.
+    Hybrid {
+        /// Realization chunks in flight at once.
+        outer: usize,
+        /// Worker threads inside each chunk.
+        inner: usize,
+        /// Tile height in rows.
+        tile_rows: usize,
+    },
+}
+
+impl ExecPlan {
+    /// Canonical plan name for counters and trace labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecPlan::Serial => "serial",
+            ExecPlan::Realizations => "realizations",
+            ExecPlan::Rows { .. } => "rows",
+            ExecPlan::Hybrid { .. } => "hybrid",
+        }
+    }
+
+    /// Whether this plan runs the tiled engine (the tiled value family) as
+    /// opposed to the untiled blocked recursion.
+    pub fn is_tiled(&self) -> bool {
+        matches!(self, ExecPlan::Rows { .. } | ExecPlan::Hybrid { .. })
+    }
+}
+
+/// The historical dispatch: realization-parallel iff the dimension clears
+/// [`vecops::par_min_dim`] and there is more than one chunk.
+fn untiled(dim: usize, chunks: usize) -> ExecPlan {
+    if vecops::use_parallel(dim) && chunks > 1 {
+        ExecPlan::Realizations
+    } else {
+        ExecPlan::Serial
+    }
+}
+
+/// Resolves the execution plan for a moments run over `chunks` realization
+/// chunks of a `dim`-dimensional operator, using [`exec_policy`] /
+/// [`effective_threads`] / [`tile_rows`].
+///
+/// The choice of value family (tiled vs untiled) is a pure function of
+/// `(dim, policy, tile rows)`: under [`ExecPolicy::Auto`] the family
+/// switches on `dim >= ROW_MIN_DIM` alone, so slicing the realization range
+/// differently (shard workers!) or changing the thread budget can never
+/// change a single bit of the result.
+pub fn plan(dim: usize, chunks: usize) -> ExecPlan {
+    plan_with(exec_policy(), dim, chunks, effective_threads(), tile_rows())
+}
+
+/// [`plan`] with every input explicit — the deterministic core, also used
+/// directly by benches and tests.
+pub fn plan_with(
+    policy: ExecPolicy,
+    dim: usize,
+    chunks: usize,
+    threads: usize,
+    tile_rows: usize,
+) -> ExecPlan {
+    let threads = threads.max(1);
+    match policy {
+        ExecPolicy::Realizations => untiled(dim, chunks),
+        ExecPolicy::Rows => ExecPlan::Rows { threads, tile_rows },
+        ExecPolicy::Hybrid => {
+            let outer = chunks.clamp(1, threads);
+            ExecPlan::Hybrid { outer, inner: (threads / outer).max(1), tile_rows }
+        }
+        ExecPolicy::Auto => {
+            if dim < ROW_MIN_DIM {
+                // Tiny operators: tiles would be pure overhead; keep the
+                // historical behavior (which also keeps small-D results
+                // bitwise identical to previous releases).
+                untiled(dim, chunks)
+            } else if chunks >= 2 && threads >= 4 {
+                let outer = chunks.clamp(1, threads / 2);
+                ExecPlan::Hybrid { outer, inner: (threads / outer).max(1), tile_rows }
+            } else {
+                ExecPlan::Rows { threads, tile_rows }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TR: usize = 128;
+
+    #[test]
+    fn policy_parsing_roundtrips() {
+        for p in [ExecPolicy::Auto, ExecPolicy::Realizations, ExecPolicy::Rows, ExecPolicy::Hybrid]
+        {
+            assert_eq!(p.as_str().parse::<ExecPolicy>().unwrap(), p);
+        }
+        assert!("gpu".parse::<ExecPolicy>().is_err());
+    }
+
+    #[test]
+    fn realizations_policy_reproduces_historical_dispatch() {
+        // Small D or a single chunk: serial. Large D with chunks: parallel.
+        assert_eq!(plan_with(ExecPolicy::Realizations, 1000, 8, 8, TR), ExecPlan::Serial);
+        assert_eq!(plan_with(ExecPolicy::Realizations, 1 << 20, 1, 8, TR), ExecPlan::Serial);
+        assert_eq!(plan_with(ExecPolicy::Realizations, 1 << 20, 8, 8, TR), ExecPlan::Realizations);
+    }
+
+    #[test]
+    fn auto_keeps_tiny_operators_on_the_historical_path() {
+        assert_eq!(plan_with(ExecPolicy::Auto, 256, 8, 8, TR), ExecPlan::Serial);
+    }
+
+    #[test]
+    fn auto_rows_for_single_fat_chunk() {
+        assert_eq!(
+            plan_with(ExecPolicy::Auto, 110_592, 1, 8, TR),
+            ExecPlan::Rows { threads: 8, tile_rows: TR }
+        );
+    }
+
+    #[test]
+    fn auto_hybrid_splits_the_budget() {
+        let plan = plan_with(ExecPolicy::Auto, 1000, 10, 8, TR);
+        match plan {
+            ExecPlan::Hybrid { outer, inner, tile_rows } => {
+                assert_eq!(outer, 4);
+                assert_eq!(inner, 2);
+                assert_eq!(tile_rows, TR);
+                assert!(outer * inner <= 8);
+            }
+            other => panic!("expected hybrid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auto_rows_when_threads_too_few_to_split() {
+        assert_eq!(
+            plan_with(ExecPolicy::Auto, 1000, 10, 2, TR),
+            ExecPlan::Rows { threads: 2, tile_rows: TR }
+        );
+    }
+
+    #[test]
+    fn family_is_independent_of_chunks_and_threads() {
+        // The tiled-vs-untiled family for a given (policy, dim) must not
+        // change with chunk count or thread budget — shard range-slicing
+        // bitwise contracts rest on this.
+        for policy in
+            [ExecPolicy::Auto, ExecPolicy::Realizations, ExecPolicy::Rows, ExecPolicy::Hybrid]
+        {
+            for dim in [4, 256, 512, 1000, 1 << 20] {
+                let family = plan_with(policy, dim, 1, 1, TR).is_tiled();
+                for chunks in [1, 2, 7, 64] {
+                    for threads in [1, 2, 8, 32] {
+                        assert_eq!(
+                            plan_with(policy, dim, chunks, threads, TR).is_tiled(),
+                            family,
+                            "{policy} dim={dim} chunks={chunks} threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_names_are_stable() {
+        assert_eq!(ExecPlan::Serial.name(), "serial");
+        assert_eq!(ExecPlan::Realizations.name(), "realizations");
+        assert_eq!(ExecPlan::Rows { threads: 2, tile_rows: TR }.name(), "rows");
+        assert_eq!(ExecPlan::Hybrid { outer: 2, inner: 2, tile_rows: TR }.name(), "hybrid");
+        assert!(!ExecPlan::Serial.is_tiled());
+        assert!(ExecPlan::Rows { threads: 1, tile_rows: TR }.is_tiled());
+    }
+}

@@ -18,7 +18,7 @@ use crate::error::KpmError;
 use crate::estimator::Estimator;
 use crate::kernels::KernelType;
 use crate::moments::{pair_vector_moments, KpmParams};
-use kpm_linalg::block::BlockOp;
+use kpm_linalg::tiled::TiledOp;
 
 /// A sampled Green's function on the original energy axis.
 #[derive(Debug, Clone)]
@@ -151,7 +151,7 @@ impl Estimator for GreenEstimator {
     }
 
     /// Two-vector moments `<e_i|T_n(H~)|e_j>`.
-    fn moments<A: BlockOp + Sync>(&self, op: &A) -> Result<Vec<f64>, KpmError> {
+    fn moments<A: TiledOp + Sync>(&self, op: &A) -> Result<Vec<f64>, KpmError> {
         self.params.validate()?;
         let d = op.dim();
         if self.i >= d || self.j >= d {

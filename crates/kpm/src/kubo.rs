@@ -28,9 +28,9 @@ use crate::error::KpmError;
 use crate::kernels::KernelType;
 use crate::moments::KpmParams;
 use crate::random::fill_random_vector;
-use kpm_linalg::block::BlockOp;
 use kpm_linalg::csr::CsrMatrix;
 use kpm_linalg::op::LinearOp;
+use kpm_linalg::tiled::TiledOp;
 use kpm_linalg::vecops;
 use rayon::prelude::*;
 
@@ -341,7 +341,7 @@ impl crate::estimator::Estimator for KuboEstimator {
     }
 
     /// Stochastic double moments `mu_nm` of the rescaled Hamiltonian.
-    fn moments<A: BlockOp + Sync>(&self, op: &A) -> Result<DoubleMoments, KpmError> {
+    fn moments<A: TiledOp + Sync>(&self, op: &A) -> Result<DoubleMoments, KpmError> {
         double_moments(op, &self.w, &self.params)
     }
 

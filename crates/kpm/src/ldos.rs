@@ -12,7 +12,7 @@ use crate::error::KpmError;
 use crate::estimator::Estimator;
 use crate::moments::{single_vector_moments, KpmParams, MomentStats};
 use crate::rescale::Boundable;
-use kpm_linalg::block::BlockOp;
+use kpm_linalg::tiled::TiledOp;
 
 /// LDoS estimator at a fixed site — the [`Estimator`] for
 /// `rho_site(omega)`.
@@ -47,7 +47,7 @@ impl Estimator for LdosEstimator {
     }
 
     /// Deterministic single-vector moments `<e_i|T_n(H~)|e_i>`.
-    fn moments<A: BlockOp + Sync>(&self, op: &A) -> Result<MomentStats, KpmError> {
+    fn moments<A: TiledOp + Sync>(&self, op: &A) -> Result<MomentStats, KpmError> {
         self.params.validate()?;
         if self.site >= op.dim() {
             return Err(KpmError::InvalidParameter(format!(
@@ -82,7 +82,7 @@ impl Estimator for LdosEstimator {
     since = "0.1.0",
     note = "use `LdosEstimator::new(params, site)` with `Estimator::compute`"
 )]
-pub fn local_dos<A: Boundable + BlockOp + Sync>(
+pub fn local_dos<A: Boundable + TiledOp + Sync>(
     op: &A,
     site: usize,
     params: &KpmParams,

@@ -50,6 +50,7 @@ pub mod dct;
 pub mod dos;
 pub mod error;
 pub mod estimator;
+pub mod exec;
 pub mod fft;
 pub mod funcapply;
 pub mod green;
@@ -67,6 +68,7 @@ pub mod workload;
 pub use dos::{Dos, DosEstimator};
 pub use error::KpmError;
 pub use estimator::Estimator;
+pub use exec::{ExecPlan, ExecPolicy};
 pub use green::{GreenEstimator, GreensFunction};
 pub use kernels::KernelType;
 pub use kubo::{Conductivity, DoubleMoments, KuboEstimator};
@@ -89,6 +91,7 @@ pub mod prelude {
     pub use crate::dos::{Dos, DosEstimator};
     pub use crate::error::KpmError;
     pub use crate::estimator::Estimator;
+    pub use crate::exec::{exec_policy, set_exec_policy, set_thread_budget, ExecPlan, ExecPolicy};
     pub use crate::green::{GreenEstimator, GreensFunction};
     pub use crate::kernels::KernelType;
     pub use crate::kubo::{Conductivity, DoubleMoments, KuboEstimator};
@@ -100,6 +103,6 @@ pub mod prelude {
     pub use crate::random::{realization_stream, Distribution};
     pub use crate::rescale::{rescale, Boundable, BoundsMethod};
     pub use kpm_linalg::gershgorin::SpectralBounds;
-    pub use kpm_linalg::{BlockOp, LinearOp};
+    pub use kpm_linalg::{BlockOp, LinearOp, TiledOp};
     pub use kpm_obs::TraceHandle;
 }

@@ -29,11 +29,13 @@
 //! identical to the one-vector-at-a-time path.
 
 use crate::error::KpmError;
+use crate::exec::{self, ExecPlan};
 use crate::kernels::KernelType;
 use crate::random::{fill_random_vector, Distribution};
 use crate::rescale::BoundsMethod;
 use kpm_linalg::block::BlockOp;
 use kpm_linalg::op::LinearOp;
+use kpm_linalg::tiled::{self, TiledOp};
 use kpm_linalg::vecops;
 use rayon::prelude::*;
 
@@ -305,7 +307,7 @@ pub fn shard_plan(total: usize, num_shards: usize) -> Vec<std::ops::Range<usize>
 /// # Panics
 /// Panics if parameters are invalid, `range` is empty, or
 /// `range.end > params.total_realizations()`.
-pub fn per_realization_moments<A: BlockOp + Sync>(
+pub fn per_realization_moments<A: TiledOp + Sync>(
     op: &A,
     params: &KpmParams,
     range: std::ops::Range<usize>,
@@ -356,12 +358,108 @@ pub fn per_realization_moments<A: BlockOp + Sync>(
         kpm_obs::counter_add("kpm.realizations", k as u64);
         per_column
     };
-    let per_chunk: Vec<Vec<Vec<f64>>> = if vecops::use_parallel(d) && chunks.len() > 1 {
-        (0..chunks.len()).into_par_iter().map(|i| run_chunk(&chunks[i])).collect()
-    } else {
-        chunks.iter().map(run_chunk).collect()
+
+    // Same chunk, but through the row-tiled fused engine: the recursion,
+    // the Chebyshev combine, and the moment dots run in one pass per sweep,
+    // parallelized across the matrix dimension.
+    let run_chunk_tiled = |(s, rs): &(usize, std::ops::Range<usize>),
+                           threads: usize,
+                           tile_rows: usize|
+     -> Vec<Vec<f64>> {
+        let k = rs.len();
+        let mut block = vec![0.0; d * k];
+        for (j, r) in rs.clone().enumerate() {
+            fill_random_vector(
+                params.distribution,
+                params.seed,
+                *s,
+                r,
+                &mut block[j * d..(j + 1) * d],
+            );
+        }
+        let (mut per_column, stats) = match params.recursion {
+            Recursion::Plain => {
+                tiled::fused_block_moments_plain(op, &block, k, n, threads, tile_rows)
+            }
+            Recursion::Doubling => {
+                tiled::fused_block_moments_doubling(op, &block, k, n, threads, tile_rows)
+            }
+        };
+        let inv_d = 1.0 / d as f64;
+        for mu in per_column.iter_mut() {
+            for m in mu.iter_mut() {
+                *m *= inv_d;
+            }
+        }
+        if kpm_obs::enabled() {
+            kpm_obs::counter_add("kpm.exec.tiles", stats.tiles);
+            kpm_obs::counter_add("kpm.exec.steal", stats.steals);
+            kpm_obs::counter_add("kpm.spmm.sweeps", stats.sweeps);
+            kpm_obs::counter_add("kpm.spmm.rows", stats.sweeps * d as u64);
+            kpm_obs::counter_add(&format!("kpm.spmm.width.{k}"), stats.sweeps);
+        }
+        kpm_obs::counter_add("kpm.realizations", k as u64);
+        per_column
+    };
+
+    let plan = exec::plan(d, chunks.len());
+    if kpm_obs::enabled() {
+        kpm_obs::counter_add(&format!("kpm.exec.plan.{}", plan.name()), 1);
+    }
+    let _exec_span = kpm_obs::span_labeled("kpm.exec", plan.name());
+    let per_chunk: Vec<Vec<Vec<f64>>> = match plan {
+        ExecPlan::Serial => chunks.iter().map(run_chunk).collect(),
+        ExecPlan::Realizations => {
+            (0..chunks.len()).into_par_iter().map(|i| run_chunk(&chunks[i])).collect()
+        }
+        ExecPlan::Rows { threads, tile_rows } => {
+            chunks.iter().map(|c| run_chunk_tiled(c, threads, tile_rows)).collect()
+        }
+        ExecPlan::Hybrid { outer, inner, tile_rows } => {
+            run_chunks_hybrid(outer, &chunks, |c| run_chunk_tiled(c, inner, tile_rows))
+        }
     };
     per_chunk.into_iter().flatten().collect()
+}
+
+/// Runs `f` over `items` with up to `outer` chunks in flight (the calling
+/// thread participates), collecting results *by index* so the output order
+/// — and therefore the canonical realization-order reduction downstream —
+/// is independent of scheduling.
+fn run_chunks_hybrid<C: Sync, T: Send, F: Fn(&C) -> T + Sync>(
+    outer: usize,
+    items: &[C],
+    f: F,
+) -> Vec<T> {
+    if outer <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let worker = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        match items.get(i) {
+            Some(item) => *slots[i].lock().expect("hybrid slot poisoned") = Some(f(item)),
+            None => break,
+        }
+    };
+    std::thread::scope(|scope| {
+        let worker = &worker;
+        for _ in 1..outer.min(items.len()) {
+            scope.spawn(worker);
+        }
+        worker();
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("hybrid slot poisoned")
+                .expect("hybrid worker skipped a chunk — internal bug")
+        })
+        .collect()
 }
 
 /// Computes the moments `<r_0|T_n(H~)|r_0>` (not normalized by `D`) for one
@@ -615,7 +713,7 @@ pub fn pair_vector_moments<A: LinearOp>(
 /// # Panics
 /// Panics if parameters are invalid (call [`KpmParams::validate`] first for
 /// a recoverable error).
-pub fn stochastic_moments<A: BlockOp + Sync>(op: &A, params: &KpmParams) -> MomentStats {
+pub fn stochastic_moments<A: TiledOp + Sync>(op: &A, params: &KpmParams) -> MomentStats {
     params.validate().expect("invalid KPM parameters");
     let _span = kpm_obs::span("kpm.moments");
     // Compute every realization, then run the canonical index-ordered

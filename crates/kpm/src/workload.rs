@@ -60,6 +60,27 @@ impl KpmWorkload {
         }
     }
 
+    /// One *fused* single-sweep Chebyshev step, as executed by the row-tiled
+    /// engine: the tile streams the matrix once and performs
+    /// `y = 2 (H~ x) - p` plus the moment dot(s) in the same pass.
+    ///
+    /// Relative to the split schedule (`matvec_profile` +
+    /// `combine_dot_profile`, 48 B/row of vector traffic: read `h`, read
+    /// `prev`, write `next`, read `r0`, read `next`, re-read `next` for the
+    /// dot), the fused step touches each row's vector data once — read `x`,
+    /// read-modify-write `p`, read `r0` — for 32 B/row. Matrix traffic and
+    /// flop count are unchanged.
+    pub fn fused_step_profile(&self) -> PhaseProfile {
+        let m = self.matvec_profile();
+        let flops = m.flops + 4 * self.dim as u64;
+        let matrix_bytes = m.bytes - 16 * self.dim as u64;
+        PhaseProfile {
+            flops,
+            bytes: matrix_bytes + 32 * self.dim as u64,
+            working_set_bytes: m.working_set_bytes,
+        }
+    }
+
     /// Random-vector generation for one realization (`D` draws, ~10 ops
     /// each for the generator + store traffic).
     pub fn rng_profile(&self) -> PhaseProfile {
@@ -149,6 +170,19 @@ mod tests {
     #[test]
     fn matvec_count_matches_plain_recursion() {
         assert_eq!(paper_fig5().matvecs_per_realization(), 255);
+    }
+
+    #[test]
+    fn fused_step_saves_one_third_of_vector_traffic() {
+        let w = paper_fig5();
+        let split = w.matvec_profile().bytes + w.combine_dot_profile().bytes;
+        let fused = w.fused_step_profile().bytes;
+        // Same flops, 16 B/row less vector traffic (48 B -> 32 B).
+        assert_eq!(
+            w.fused_step_profile().flops,
+            w.matvec_profile().flops + w.combine_dot_profile().flops
+        );
+        assert_eq!(split - fused, 16 * w.dim as u64);
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn params(recursion: Recursion) -> KpmParams {
     KpmParams::new(32).with_random_vectors(4, 2).with_seed(20110516).with_recursion(recursion)
 }
 
-fn moments_for<A: Boundable + BlockOp + Sync>(op: &A, p: &KpmParams) -> MomentStats {
+fn moments_for<A: Boundable + TiledOp + Sync>(op: &A, p: &KpmParams) -> MomentStats {
     let bounds = op.spectral_bounds(p.bounds).expect("gershgorin bounds");
     let rescaled = rescale(op, bounds, p.padding).expect("rescale");
     stochastic_moments(&rescaled, p)

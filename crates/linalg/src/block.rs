@@ -30,6 +30,25 @@ use crate::dense::DenseMatrix;
 use crate::op::{DiagonalOp, IdentityOp, LinearOp, RescaledOp};
 use crate::vecops;
 
+/// Store transform shared by every rescaled kernel: maps the raw
+/// accumulator for element `(i, j)` of a `dim x k` column-major block to
+/// `(acc - a_plus * x[j * dim + i]) * inv_a_minus`.
+///
+/// CSR, ELL and stencil all fuse the spectral shift-and-scale into their
+/// store step with this exact expression; the tiled engine reuses it for
+/// [`crate::tiled::TiledOp`] streaming on [`RescaledOp`]. Centralizing it
+/// pins the operation order (`sub` then `mul`) that the bitwise
+/// scalar-vs-blocked contracts depend on.
+#[inline]
+pub fn rescaled_store(
+    x: &[f64],
+    dim: usize,
+    a_plus: f64,
+    inv_a_minus: f64,
+) -> impl Fn(f64, usize, usize) -> f64 + '_ {
+    move |acc, i, j| (acc - a_plus * x[j * dim + i]) * inv_a_minus
+}
+
 /// A square operator applicable to a `dim x k` column-block: `Y = A X`.
 ///
 /// The provided default loops [`LinearOp::apply`] over the columns, so any

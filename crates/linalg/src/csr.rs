@@ -203,21 +203,37 @@ impl CsrMatrix {
     /// Panics on dimension mismatch or if the matrix is not square.
     pub fn spmm_rescaled(&self, x: &[f64], y: &mut [f64], k: usize, a_plus: f64, inv_a_minus: f64) {
         assert_eq!(self.nrows, self.ncols, "spmm_rescaled: matrix must be square");
-        let n = self.ncols;
-        self.spmm_impl(x, y, k, |acc, i, j| (acc - a_plus * x[j * n + i]) * inv_a_minus);
+        let f = crate::block::rescaled_store(x, self.ncols, a_plus, inv_a_minus);
+        self.spmm_impl(x, y, k, f);
+    }
+
+    fn spmm_impl<F: Fn(f64, usize, usize) -> f64>(&self, x: &[f64], y: &mut [f64], k: usize, f: F) {
+        assert_eq!(x.len(), self.ncols * k, "spmm: x length");
+        assert_eq!(y.len(), self.nrows * k, "spmm: y length");
+        let nrows = self.nrows;
+        self.spmm_rows_sink(x, k, 0..nrows, &mut |acc, i, j| y[j * nrows + i] = f(acc, i, j));
     }
 
     // Columns are processed in register-blocked chunks of four so each
     // decoded (col, value) pair is reused across four accumulators; per
     // column the accumulation still runs over the row's entries in
     // ascending-column order, so results stay bitwise equal to `spmv`. The
-    // store transform `f(acc, row, col)` is where the rescaled variant fuses
-    // its shift-and-scale.
-    fn spmm_impl<F: Fn(f64, usize, usize) -> f64>(&self, x: &[f64], y: &mut [f64], k: usize, f: F) {
-        assert_eq!(x.len(), self.ncols * k, "spmm: x length");
-        assert_eq!(y.len(), self.nrows * k, "spmm: y length");
+    // sink receives the raw accumulator per `(row, col)`; full-block callers
+    // store it (optionally through a rescale transform), the tiled engine
+    // fuses the Chebyshev update and dot accumulation in the same call.
+    //
+    // Contract relied on by `crate::tiled`: within `rows`, every `(i, j)` is
+    // visited exactly once, and per column the rows arrive in ascending
+    // order.
+    pub(crate) fn spmm_rows_sink<S: FnMut(f64, usize, usize)>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rows: std::ops::Range<usize>,
+        sink: &mut S,
+    ) {
         const CHUNK: usize = 4;
-        for i in 0..self.nrows {
+        for i in rows {
             let seg = self.row_ptr[i]..self.row_ptr[i + 1];
             let cols = &self.col_idx[seg.clone()];
             let vals = &self.values[seg];
@@ -230,7 +246,7 @@ impl CsrMatrix {
                     }
                 }
                 for (u, &a) in acc.iter().enumerate() {
-                    y[(j + u) * self.nrows + i] = f(a, i, j + u);
+                    sink(a, i, j + u);
                 }
                 j += CHUNK;
             }
@@ -240,7 +256,7 @@ impl CsrMatrix {
                 for (&c, &v) in cols.iter().zip(vals) {
                     acc += v * xcol[c];
                 }
-                y[j * self.nrows + i] = f(acc, i, j);
+                sink(acc, i, j);
                 j += 1;
             }
         }

@@ -159,16 +159,30 @@ impl EllMatrix {
     /// Panics on dimension mismatch or if the matrix is not square.
     pub fn spmm_rescaled(&self, x: &[f64], y: &mut [f64], k: usize, a_plus: f64, inv_a_minus: f64) {
         assert_eq!(self.nrows, self.ncols, "spmm_rescaled: matrix must be square");
-        let n = self.ncols;
-        self.spmm_impl(x, y, k, |acc, i, j| (acc - a_plus * x[j * n + i]) * inv_a_minus);
+        let f = crate::block::rescaled_store(x, self.ncols, a_plus, inv_a_minus);
+        self.spmm_impl(x, y, k, f);
     }
 
     fn spmm_impl<F: Fn(f64, usize, usize) -> f64>(&self, x: &[f64], y: &mut [f64], k: usize, f: F) {
         assert_eq!(x.len(), self.ncols * k, "spmm: x length");
         assert_eq!(y.len(), self.nrows * k, "spmm: y length");
+        let n = self.nrows;
+        self.spmm_rows_sink(x, k, 0..n, &mut |acc, i, j| y[j * n + i] = f(acc, i, j));
+    }
+
+    // Row-range streaming core behind `spmm`/`spmm_rescaled` and the tiled
+    // engine. Same contract as `CsrMatrix::spmm_rows_sink`: each `(i, j)`
+    // with `i` in `rows` is emitted exactly once, rows ascending per column.
+    pub(crate) fn spmm_rows_sink<S: FnMut(f64, usize, usize)>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rows: std::ops::Range<usize>,
+        sink: &mut S,
+    ) {
         const CHUNK: usize = 4;
         let n = self.nrows;
-        for i in 0..n {
+        for i in rows {
             let len = self.row_len[i];
             let mut j = 0;
             while j + CHUNK <= k {
@@ -182,7 +196,7 @@ impl EllMatrix {
                     }
                 }
                 for (u, &a) in acc.iter().enumerate() {
-                    y[(j + u) * n + i] = f(a, i, j + u);
+                    sink(a, i, j + u);
                 }
                 j += CHUNK;
             }
@@ -193,7 +207,7 @@ impl EllMatrix {
                     let idx = s * n + i;
                     acc += self.values[idx] * xcol[self.col_idx[idx]];
                 }
-                y[j * n + i] = f(acc, i, j);
+                sink(acc, i, j);
                 j += 1;
             }
         }

@@ -33,6 +33,7 @@ pub mod lanczos;
 pub mod op;
 pub mod sparse;
 pub mod stencil;
+pub mod tiled;
 pub mod vecops;
 
 pub use block::BlockOp;
@@ -45,3 +46,4 @@ pub use gershgorin::SpectralBounds;
 pub use op::LinearOp;
 pub use sparse::{MatrixFormat, SparseMatrix};
 pub use stencil::{StencilGeometry, StencilOp};
+pub use tiled::{TiledOp, TiledStats, DEFAULT_TILE_ROWS};

@@ -336,12 +336,34 @@ impl StencilOp {
         let n = self.onsite.len();
         assert_eq!(x.len(), n * k, "stencil spmm: x length");
         assert_eq!(y.len(), n * k, "stencil spmm: y length");
+        self.stream_rows(x, k, 0..n, &mut |acc, i, j| y[j * n + i] = f(acc, i, j));
+    }
+
+    /// Row-range streaming core behind [`StencilOp::spmm_into`] and the
+    /// tiled engine. Same contract as `CsrMatrix::spmm_rows_sink`: each
+    /// `(i, j)` with `i` in `rows` is emitted exactly once, rows ascending
+    /// per column, with per-element values bitwise identical to the
+    /// full-matrix sweep (the odometer is seeded at `rows.start` with one
+    /// div/mod chain and then walks exactly as the full sweep would).
+    pub(crate) fn stream_rows<S: FnMut(f64, usize, usize)>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rows: std::ops::Range<usize>,
+        sink: &mut S,
+    ) {
+        let n = self.onsite.len();
         let mut cols = Vec::with_capacity(self.geometry.max_neighbors() + 1);
         if let (StencilGeometry::Hypercubic { dims, .. }, Some(plan)) = (&self.geometry, &self.plan)
         {
             let ndim = dims.len();
             let mut coords = [0usize; 8];
-            for i in 0..n {
+            let mut rem = rows.start;
+            for (d, &l) in dims.iter().enumerate() {
+                coords[d] = rem % l;
+                rem /= l;
+            }
+            for i in rows {
                 let interior =
                     dims.iter().zip(&coords).all(|(&l, &c)| l == 1 || (c >= 1 && c + 2 <= l));
                 if interior {
@@ -375,7 +397,7 @@ impl StencilOp {
                             }
                         }
                         for (u, &a) in acc.iter().enumerate() {
-                            y[(j + u) * n + i] = f(a, i, j + u);
+                            sink(a, i, j + u);
                         }
                         j += CHUNK;
                     }
@@ -392,11 +414,11 @@ impl StencilOp {
                         for &off in &plan.pos {
                             acc += t * x[(p + off) as usize];
                         }
-                        y[base + i] = f(acc, i, j);
+                        sink(acc, i, j);
                         j += 1;
                     }
                 } else {
-                    self.row_generic(i, x, y, k, &mut cols, &f);
+                    self.row_generic_sink(i, x, k, &mut cols, sink);
                 }
                 // Odometer increment: the first dimension varies fastest,
                 // matching the row-major site indexing.
@@ -409,22 +431,21 @@ impl StencilOp {
                 }
             }
         } else {
-            for i in 0..n {
-                self.row_generic(i, x, y, k, &mut cols, &f);
+            for i in rows {
+                self.row_generic_sink(i, x, k, &mut cols, sink);
             }
         }
     }
 
     /// One generic (boundary / honeycomb) row of the SpMM kernel.
     #[inline]
-    fn row_generic<F: Fn(f64, usize, usize) -> f64>(
+    fn row_generic_sink<S: FnMut(f64, usize, usize)>(
         &self,
         i: usize,
         x: &[f64],
-        y: &mut [f64],
         k: usize,
         cols: &mut Vec<usize>,
-        f: &F,
+        sink: &mut S,
     ) {
         let n = self.onsite.len();
         self.row_cols_into(i, cols);
@@ -434,7 +455,7 @@ impl StencilOp {
             for &c in cols.iter() {
                 acc += self.entry(i, c) * x[base + c];
             }
-            y[base + i] = f(acc, i, j);
+            sink(acc, i, j);
         }
     }
 }
@@ -475,8 +496,8 @@ impl BlockOp for StencilOp {
         a_plus: f64,
         inv_a_minus: f64,
     ) {
-        let n = self.onsite.len();
-        self.spmm_into(x, y, k, |acc, i, j| (acc - a_plus * x[j * n + i]) * inv_a_minus);
+        let f = crate::block::rescaled_store(x, self.onsite.len(), a_plus, inv_a_minus);
+        self.spmm_into(x, y, k, f);
     }
 }
 

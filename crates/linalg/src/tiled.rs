@@ -1,0 +1,1020 @@
+//! Row-tiled fused Chebyshev recursion engine — in-realization parallelism.
+//!
+//! The paper's GPU speedup comes from executing the whole Chebyshev step —
+//! SpMV, the `2 H v - prev` update, and the `<r0|rn>` reduction — inside one
+//! resident kernel parallelized across the matrix dimension. This module is
+//! the CPU analogue: the operator streams a *row range* of the block product
+//! into a sink ([`TiledOp`]), and the engine partitions the `D` rows into
+//! tiles. Each tile streams its slice of `A x` into a small per-worker
+//! scratch that never leaves L1, then runs the same vectorized
+//! combine-and-dot kernel as the untiled path over the cache-hot tile — so
+//! the Chebyshev update and the moment dots piggyback on the matrix sweep
+//! without a full-size intermediate buffer. A work-stealing tile scheduler
+//! keeps threads busy even when boundary tiles are cheaper than interior
+//! ones.
+//!
+//! # Determinism
+//!
+//! Each tile's partial dots are a pure function of the tile's rows —
+//! [`vecops::dot`] / [`vecops::chebyshev_combine_dot`] over fixed slices,
+//! stored into the tile's private slot segment; the per-step reduction sums
+//! the slots in canonical (ascending) tile order on one thread. Which worker
+//! executes a tile therefore cannot affect any bit of the result: for a
+//! fixed tile size, moments are bitwise identical across thread counts,
+//! including the single-threaded fast path. This is pinned by tests here and
+//! in the `kpm` crate.
+//!
+//! Tiled results are *not* bitwise identical to the untiled serial path
+//! (a full-vector `vecops::dot` associates differently than per-tile dots
+//! summed tile by tile) — they agree to rounding, and the `kpm` property
+//! tests bound the difference at `1e-12` relative.
+//!
+//! # Memory traffic
+//!
+//! Per column of the block, a fused step reads `x` (8 B/row), reads and
+//! writes `p` in place (16 B/row), and reads `r0` for the dot (8 B/row) —
+//! 32 B/row plus the matrix stream; the raw product only ever lands in a
+//! tile-sized per-worker scratch that stays cache-resident. The split
+//! pipeline (SpMM into a `D x k` intermediate, then combine+dot) moves the
+//! raw product through memory an extra time: 48 B/row plus the matrix. See
+//! DESIGN.md §9 for the full accounting.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::block::BlockOp;
+use crate::csr::CsrMatrix;
+use crate::dense::DenseMatrix;
+use crate::ell::EllMatrix;
+use crate::op::{DiagonalOp, IdentityOp, LinearOp, RescaledOp};
+use crate::sparse::SparseMatrix;
+use crate::stencil::StencilOp;
+use crate::vecops;
+
+/// Default tile height in rows.
+///
+/// 128 rows × 8 B × a handful of live columns keeps a tile's working set
+/// inside L1/L2 while leaving enough tiles to balance on any realistic
+/// thread count. Overridable at runtime via the `KPM_TILE_ROWS` environment
+/// variable (read once by `kpm::exec`).
+pub const DEFAULT_TILE_ROWS: usize = 128;
+
+/// An operator whose block product can be streamed one row range at a time.
+///
+/// `stream_block_rows` produces exactly the values `(A x)[j * dim + i]` for
+/// every `i` in `rows` and every column `j < k`, calling
+/// `sink(value, i, j)` once per element with rows ascending within each
+/// column. Each streamed value must be bitwise identical to what
+/// [`BlockOp::apply_block`] stores at the same position — the tiled engine's
+/// cross-format determinism rests on this, mirroring the blocked-vs-scalar
+/// contract on [`BlockOp`].
+pub trait TiledOp: BlockOp {
+    /// Streams rows `rows` of the block product `A X` into `sink`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.dim() * k` or `rows.end > self.dim()`.
+    fn stream_block_rows<S: FnMut(f64, usize, usize)>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rows: Range<usize>,
+        sink: &mut S,
+    );
+
+    /// Streams the same row range with any affine store transform factored
+    /// out: the true product element is
+    /// `(v - a_plus * x[j * dim + i]) * inv_a_minus` for each streamed `v`,
+    /// where `(a_plus, inv_a_minus)` is the returned pair.
+    ///
+    /// The default streams final values and returns the identity
+    /// `(0.0, 1.0)`. [`RescaledOp`] overrides it to stream its *inner*
+    /// operator's raw values instead — applying the rescale per element
+    /// inside a deeply composed sink closure defeats vectorization of the
+    /// format kernels, while the tiled engine can apply the returned
+    /// transform to a whole cache-hot tile at once
+    /// ([`vecops::rescale_inplace`]) with bitwise-identical results.
+    fn stream_block_rows_affine<S: FnMut(f64, usize, usize)>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rows: Range<usize>,
+        sink: &mut S,
+    ) -> (f64, f64) {
+        self.stream_block_rows(x, k, rows, sink);
+        (0.0, 1.0)
+    }
+}
+
+impl<A: TiledOp + ?Sized> TiledOp for &A {
+    fn stream_block_rows<S: FnMut(f64, usize, usize)>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rows: Range<usize>,
+        sink: &mut S,
+    ) {
+        (**self).stream_block_rows(x, k, rows, sink)
+    }
+
+    fn stream_block_rows_affine<S: FnMut(f64, usize, usize)>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rows: Range<usize>,
+        sink: &mut S,
+    ) -> (f64, f64) {
+        (**self).stream_block_rows_affine(x, k, rows, sink)
+    }
+}
+
+impl TiledOp for CsrMatrix {
+    fn stream_block_rows<S: FnMut(f64, usize, usize)>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rows: Range<usize>,
+        sink: &mut S,
+    ) {
+        assert_eq!(x.len(), self.ncols() * k, "stream_block_rows: x length");
+        assert!(rows.end <= self.nrows(), "stream_block_rows: row range");
+        self.spmm_rows_sink(x, k, rows, sink);
+    }
+}
+
+impl TiledOp for EllMatrix {
+    fn stream_block_rows<S: FnMut(f64, usize, usize)>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rows: Range<usize>,
+        sink: &mut S,
+    ) {
+        assert_eq!(x.len(), self.ncols() * k, "stream_block_rows: x length");
+        assert!(rows.end <= self.nrows(), "stream_block_rows: row range");
+        self.spmm_rows_sink(x, k, rows, sink);
+    }
+}
+
+impl TiledOp for StencilOp {
+    fn stream_block_rows<S: FnMut(f64, usize, usize)>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rows: Range<usize>,
+        sink: &mut S,
+    ) {
+        assert_eq!(x.len(), self.dim() * k, "stream_block_rows: x length");
+        assert!(rows.end <= self.dim(), "stream_block_rows: row range");
+        self.stream_rows(x, k, rows, sink);
+    }
+}
+
+impl TiledOp for DenseMatrix {
+    fn stream_block_rows<S: FnMut(f64, usize, usize)>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rows: Range<usize>,
+        sink: &mut S,
+    ) {
+        let d = self.dim();
+        assert_eq!(x.len(), d * k, "stream_block_rows: x length");
+        assert!(rows.end <= d, "stream_block_rows: row range");
+        // Same `vecops::dot(row, xcol)` as `apply_block`, so bitwise equal.
+        for i in rows {
+            let row = self.row(i);
+            for j in 0..k {
+                sink(vecops::dot(row, &x[j * d..(j + 1) * d]), i, j);
+            }
+        }
+    }
+}
+
+impl TiledOp for IdentityOp {
+    fn stream_block_rows<S: FnMut(f64, usize, usize)>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rows: Range<usize>,
+        sink: &mut S,
+    ) {
+        let d = self.dim();
+        assert_eq!(x.len(), d * k, "stream_block_rows: x length");
+        assert!(rows.end <= d, "stream_block_rows: row range");
+        for i in rows {
+            for j in 0..k {
+                sink(x[j * d + i], i, j);
+            }
+        }
+    }
+}
+
+impl TiledOp for DiagonalOp {
+    fn stream_block_rows<S: FnMut(f64, usize, usize)>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rows: Range<usize>,
+        sink: &mut S,
+    ) {
+        let d = self.dim();
+        assert_eq!(x.len(), d * k, "stream_block_rows: x length");
+        assert!(rows.end <= d, "stream_block_rows: row range");
+        let diag = self.diag();
+        for i in rows {
+            for j in 0..k {
+                sink(diag[i] * x[j * d + i], i, j);
+            }
+        }
+    }
+}
+
+impl TiledOp for SparseMatrix {
+    fn stream_block_rows<S: FnMut(f64, usize, usize)>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rows: Range<usize>,
+        sink: &mut S,
+    ) {
+        match self {
+            SparseMatrix::Csr(m) => m.stream_block_rows(x, k, rows, sink),
+            SparseMatrix::Ell(m) => m.stream_block_rows(x, k, rows, sink),
+            SparseMatrix::Stencil(s) => s.stream_block_rows(x, k, rows, sink),
+        }
+    }
+}
+
+impl<A: TiledOp> TiledOp for RescaledOp<A> {
+    fn stream_block_rows<S: FnMut(f64, usize, usize)>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rows: Range<usize>,
+        sink: &mut S,
+    ) {
+        // Same `(val - a_plus x) * inv_a_minus` store transform the format
+        // kernels fuse in, so streamed values stay bitwise identical to
+        // `RescaledOp::apply_block`.
+        let f = crate::block::rescaled_store(x, self.inner().dim(), self.a_plus(), {
+            1.0 / self.a_minus()
+        });
+        self.inner().stream_block_rows(x, k, rows, &mut |val, i, j| sink(f(val, i, j), i, j));
+    }
+
+    fn stream_block_rows_affine<S: FnMut(f64, usize, usize)>(
+        &self,
+        x: &[f64],
+        k: usize,
+        rows: Range<usize>,
+        sink: &mut S,
+    ) -> (f64, f64) {
+        // Stream the inner operator's values untouched and let the caller
+        // apply the rescale to the whole tile, vectorized.
+        self.inner().stream_block_rows(x, k, rows, sink);
+        (self.a_plus(), 1.0 / self.a_minus())
+    }
+}
+
+/// Counters reported by one engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TiledStats {
+    /// Tiles processed, summed over all steps.
+    pub tiles: u64,
+    /// Tiles executed by a worker other than their initial owner.
+    pub steals: u64,
+    /// Full sweeps over the operator (one per fused step).
+    pub sweeps: u64,
+}
+
+/// A generation-counted spinning barrier for the step loop.
+///
+/// The engine synchronizes every worker twice per step (a few microseconds
+/// apart), so parking threads in the OS would dominate; a short spin
+/// followed by `yield_now` handles both the multi-core case and
+/// single-core/oversubscribed hosts.
+struct SpinBarrier {
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    n: usize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        Self { count: AtomicUsize::new(0), generation: AtomicUsize::new(0), n }
+    }
+
+    /// Blocks until all `n` workers have arrived. The AcqRel arrival and
+    /// Acquire generation load give every worker a happens-before edge over
+    /// all writes the others made before arriving — this is what publishes
+    /// tile buffer and slot writes between steps.
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            // Last arrival: reset for the next phase, then release everyone.
+            // No new arrival can race the reset — all other workers are
+            // spinning on `generation` below.
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Per-worker tile queues with chase-the-tail stealing.
+///
+/// Each worker owns a contiguous tile range packed into one `AtomicU64`
+/// (`start` in the high half, `end` in the low half). Owners pop from the
+/// front, thieves pop from the back of a victim's range — both via CAS, so
+/// a tile is executed exactly once. Ranges are contiguous and re-partitioned
+/// by worker 0 between steps; stealing changes *who* runs a tile but never
+/// *what* it computes, so it is invisible in the results.
+struct TileQueues {
+    ranges: Vec<AtomicU64>,
+    steals: AtomicU64,
+}
+
+#[inline]
+fn pack(start: usize, end: usize) -> u64 {
+    ((start as u64) << 32) | end as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (usize, usize) {
+    ((v >> 32) as usize, (v & 0xffff_ffff) as usize)
+}
+
+impl TileQueues {
+    fn new(workers: usize) -> Self {
+        Self {
+            ranges: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Repartitions `ntiles` tiles contiguously over the workers. Called by
+    /// worker 0 between barriers; the next barrier's Release/Acquire pair
+    /// publishes it to everyone.
+    fn reset(&self, ntiles: usize) {
+        let workers = self.ranges.len();
+        for (w, range) in self.ranges.iter().enumerate() {
+            range.store(pack(w * ntiles / workers, (w + 1) * ntiles / workers), Ordering::Relaxed);
+        }
+    }
+
+    /// Owner path: take the front tile of `w`'s own range.
+    fn pop_own(&self, w: usize) -> Option<usize> {
+        let range = &self.ranges[w];
+        let mut cur = range.load(Ordering::Acquire);
+        loop {
+            let (start, end) = unpack(cur);
+            if start >= end {
+                return None;
+            }
+            match range.compare_exchange_weak(
+                cur,
+                pack(start + 1, end),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(start),
+                Err(v) => cur = v,
+            }
+        }
+    }
+
+    /// Thief path: scan the other workers round-robin and take a victim's
+    /// *back* tile, staying out of the owner's way at the front.
+    fn steal(&self, w: usize) -> Option<usize> {
+        let workers = self.ranges.len();
+        for offset in 1..workers {
+            let victim = &self.ranges[(w + offset) % workers];
+            let mut cur = victim.load(Ordering::Acquire);
+            loop {
+                let (start, end) = unpack(cur);
+                if start >= end {
+                    break;
+                }
+                match victim.compare_exchange_weak(
+                    cur,
+                    pack(start, end - 1),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.steals.fetch_add(1, Ordering::Relaxed);
+                        return Some(end - 1);
+                    }
+                    Err(v) => cur = v,
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Runs `nsteps` barrier-synchronized steps of `ntiles` tiles over
+/// `workers` threads (the caller's thread is worker 0).
+///
+/// All workers execute the same step program: wait, drain tiles (own queue
+/// first, then steal), wait. Worker 0 additionally runs `reduce(step)` and
+/// repartitions the queues after the second barrier — the other workers are
+/// already blocked on the next step's first barrier, so the reduction reads
+/// every tile's slots race-free and in a fixed order regardless of which
+/// worker produced them.
+fn run_parallel<P>(
+    workers: usize,
+    ntiles: usize,
+    nsteps: usize,
+    process: P,
+    mut reduce: impl FnMut(usize),
+) -> TiledStats
+where
+    P: Fn(usize, usize, usize) + Sync,
+{
+    let stats =
+        |steals: u64| TiledStats { tiles: (nsteps * ntiles) as u64, steals, sweeps: nsteps as u64 };
+    if workers <= 1 {
+        // Single-worker fast path: tiles in ascending order, same slots,
+        // same reduction — bitwise identical to the threaded run by
+        // construction.
+        for step in 0..nsteps {
+            for tile in 0..ntiles {
+                process(step, tile, 0);
+            }
+            reduce(step);
+        }
+        return stats(0);
+    }
+    let barrier_start = SpinBarrier::new(workers);
+    let barrier_end = SpinBarrier::new(workers);
+    let queues = TileQueues::new(workers);
+    queues.reset(ntiles);
+    std::thread::scope(|scope| {
+        for w in 1..workers {
+            let barrier_start = &barrier_start;
+            let barrier_end = &barrier_end;
+            let queues = &queues;
+            let process = &process;
+            scope.spawn(move || {
+                for step in 0..nsteps {
+                    barrier_start.wait();
+                    drain_tiles(queues, w, step, process);
+                    barrier_end.wait();
+                }
+            });
+        }
+        for step in 0..nsteps {
+            barrier_start.wait();
+            drain_tiles(&queues, 0, step, &process);
+            barrier_end.wait();
+            reduce(step);
+            queues.reset(ntiles);
+        }
+    });
+    stats(queues.steals.load(Ordering::Relaxed))
+}
+
+/// One worker's share of a step: drain the own queue front-first, then
+/// steal from the others until every queue is empty.
+fn drain_tiles<P: Fn(usize, usize, usize)>(
+    queues: &TileQueues,
+    w: usize,
+    step: usize,
+    process: &P,
+) {
+    loop {
+        let tile = match queues.pop_own(w) {
+            Some(t) => Some(t),
+            None => queues.steal(w),
+        };
+        match tile {
+            Some(t) => process(step, t, w),
+            None => break,
+        }
+    }
+}
+
+/// Raw pointers to the engine's shared mutable state. Tiles write disjoint
+/// row ranges of the recursion buffers and disjoint slot segments, and every
+/// cross-step read is ordered by a barrier, so the aliasing is benign; the
+/// pointers exist to express that to the compiler without fabricating
+/// overlapping `&mut` slices across threads.
+#[derive(Clone, Copy)]
+struct EngineBuffers {
+    a: *mut f64,
+    b: *mut f64,
+    slots: *mut f64,
+    /// `workers` stripes of `tile_rows * k` — each worker's private landing
+    /// zone for the streamed tile of `A x`, small enough to stay in L1.
+    scratch: *mut f64,
+}
+
+// Safety: see the field-level discussion above — all concurrent access is
+// to disjoint indices, and step transitions are barrier-ordered.
+unsafe impl Sync for EngineBuffers {}
+
+#[inline]
+fn tile_range(tile: usize, tile_rows: usize, d: usize) -> Range<usize> {
+    let lo = tile * tile_rows;
+    lo..(lo + tile_rows).min(d)
+}
+
+/// `mu[j][0] = <r0_j|r0_j>` accumulated per tile in canonical order — the
+/// degenerate `n == 1` case shared by both recursions.
+fn tile_ordered_norms(r0: &[f64], d: usize, k: usize, tile_rows: usize) -> Vec<Vec<f64>> {
+    let ntiles = d.div_ceil(tile_rows);
+    (0..k)
+        .map(|j| {
+            let col = &r0[j * d..(j + 1) * d];
+            let mut total = 0.0;
+            for tile in 0..ntiles {
+                let seg = &col[tile_range(tile, tile_rows, d)];
+                // Same per-tile `vecops::dot` association as step 0 of the
+                // engines, so mu_0 is identical whichever path computes it.
+                total += vecops::dot(seg, seg);
+            }
+            vec![total]
+        })
+        .collect()
+}
+
+/// Tiled fused plain-recursion moments for a `D x k` block of start vectors.
+///
+/// Returns the raw (unnormalized) moments `mu[j][m] = <r0_j | T_m(A) r0_j>`
+/// for `m < n` per column, plus the engine counters; callers divide by `D`.
+/// `A` must already be rescaled into `[-1, 1]`.
+///
+/// Every step streams the operator exactly once: the tile's slice of `A x`
+/// lands in an L1-resident per-worker scratch, and the in-place Chebyshev
+/// combine fused with the `<r0|.>` dot runs on the tile immediately after,
+/// while its rows are still cache-resident. For a fixed `tile_rows` the
+/// result is bitwise independent of `threads` (see the module docs).
+///
+/// # Panics
+/// Panics if `n == 0`, `tile_rows == 0`, or `r0.len() != dim * k`.
+pub fn fused_block_moments_plain<A: TiledOp + Sync + ?Sized>(
+    op: &A,
+    r0: &[f64],
+    k: usize,
+    n: usize,
+    threads: usize,
+    tile_rows: usize,
+) -> (Vec<Vec<f64>>, TiledStats) {
+    let d = op.dim();
+    assert!(n >= 1, "fused moments: need at least one moment");
+    assert!(tile_rows >= 1, "fused moments: tile_rows must be positive");
+    assert_eq!(r0.len(), d * k, "fused moments: r0 length");
+    if d == 0 || k == 0 {
+        return (vec![vec![0.0; n]; k], TiledStats::default());
+    }
+    if n == 1 {
+        return (tile_ordered_norms(r0, d, k, tile_rows), TiledStats::default());
+    }
+    let ntiles = d.div_ceil(tile_rows);
+    let workers = threads.clamp(1, ntiles);
+    // Buffer `a` starts as r0 (= T_0 x), `b` receives T_1 x in step 0; from
+    // then on the roles alternate by step parity and the previous vector is
+    // overwritten in place.
+    let mut a = r0.to_vec();
+    let mut b = vec![0.0f64; d * k];
+    const NSLOTS: usize = 2;
+    let mut slots = vec![0.0f64; ntiles * NSLOTS * k];
+    let mut scratch = vec![0.0f64; workers * tile_rows * k];
+    let buffers = EngineBuffers {
+        a: a.as_mut_ptr(),
+        b: b.as_mut_ptr(),
+        slots: slots.as_mut_ptr(),
+        scratch: scratch.as_mut_ptr(),
+    };
+    let nsteps = n - 1;
+    let process = move |step: usize, tile: usize, w: usize| {
+        let buffers = buffers; // capture the whole Sync struct, not raw-pointer fields
+        let rows = tile_range(tile, tile_rows, d);
+        let row0 = rows.start;
+        let len = rows.len();
+        let slot_base = tile * NSLOTS * k;
+        // Safety: this tile's slot segment and buffer rows are touched by no
+        // other tile this step, the scratch stripe belongs to worker `w`
+        // alone, and the barrier orders steps. The stream lands in the
+        // L1-resident scratch; the combine and dots then run over the hot
+        // tile with the same vectorized kernels as the untiled path, so the
+        // per-element sink stays a plain store.
+        unsafe {
+            let slots = buffers.slots;
+            if step == 0 {
+                // r1 = A r0 via the worker's scratch stripe (a disjoint
+                // `&mut` slice — a raw-pointer sink would lose `noalias` and
+                // devectorize the format kernels), copied out to `b`; then
+                // <r0|r0> and <r0|r1> on the hot tile.
+                let scratch_tile =
+                    std::slice::from_raw_parts_mut(buffers.scratch.add(w * tile_rows * k), len * k);
+                op.stream_block_rows(r0, k, rows.clone(), &mut |val, i, j| {
+                    scratch_tile[j * len + (i - row0)] = val;
+                });
+                for j in 0..k {
+                    let lo = j * d + row0;
+                    let r0s = &r0[lo..lo + len];
+                    let bs = &scratch_tile[j * len..(j + 1) * len];
+                    std::ptr::copy_nonoverlapping(bs.as_ptr(), buffers.b.add(lo), len);
+                    *slots.add(slot_base + j) = vecops::dot(r0s, r0s);
+                    *slots.add(slot_base + k + j) = vecops::dot(r0s, bs);
+                }
+            } else {
+                // Stream (A x)[tile] into the worker's scratch, then
+                // r_{s+1} = 2 (A x) - r_{s-1} over r_{s-1} in place, fused
+                // with <r0|r_{s+1}>.
+                let (xp, pp) =
+                    if step % 2 == 1 { (buffers.b, buffers.a) } else { (buffers.a, buffers.b) };
+                let x = std::slice::from_raw_parts(xp as *const f64, d * k);
+                // A real `&mut` slice, not a raw pointer: the sink closure's
+                // store must carry `noalias` or it blocks vectorization of
+                // the format kernels' register-tiled inner loops.
+                let scratch_tile =
+                    std::slice::from_raw_parts_mut(buffers.scratch.add(w * tile_rows * k), len * k);
+                let (a_plus, inv) =
+                    op.stream_block_rows_affine(x, k, rows.clone(), &mut |val, i, j| {
+                        scratch_tile[j * len + (i - row0)] = val;
+                    });
+                for j in 0..k {
+                    let lo = j * d + row0;
+                    let r0s = &r0[lo..lo + len];
+                    let hs = &scratch_tile[j * len..(j + 1) * len];
+                    let ps = std::slice::from_raw_parts_mut(pp.add(lo), len);
+                    *slots.add(slot_base + j) = if (a_plus, inv) == (0.0, 1.0) {
+                        vecops::chebyshev_combine_dot(hs, ps, r0s)
+                    } else {
+                        let xs = &x[lo..lo + len];
+                        vecops::rescaled_chebyshev_combine_dot(hs, xs, ps, r0s, a_plus, inv)
+                    };
+                }
+            }
+        }
+    };
+    let mut mu: Vec<Vec<f64>> = (0..k).map(|_| Vec::with_capacity(n)).collect();
+    let slot_sum = |tile_slot: usize, j: usize| -> f64 {
+        let mut total = 0.0;
+        for tile in 0..ntiles {
+            // Safety: worker 0 reads after the end-of-step barrier; no tile
+            // is writing.
+            total += unsafe { *buffers.slots.add(tile * NSLOTS * k + tile_slot * k + j) };
+        }
+        total
+    };
+    let reduce = |step: usize| {
+        for (j, col) in mu.iter_mut().enumerate() {
+            if step == 0 {
+                col.push(slot_sum(0, j));
+                col.push(slot_sum(1, j));
+            } else {
+                col.push(slot_sum(0, j));
+            }
+        }
+    };
+    let stats = run_parallel(workers, ntiles, nsteps, process, reduce);
+    (mu, stats)
+}
+
+/// Tiled fused doubling-recursion moments — the `2n`-moments-from-`n`-sweeps
+/// trick, with `<r_m|r_m>` and `<r_{m+1}|r_m>` accumulated inside the fused
+/// step.
+///
+/// Same contract and determinism guarantees as
+/// [`fused_block_moments_plain`]; uses the identities
+/// `mu_{2m} = 2 <r_m|r_m> - mu_0` and `mu_{2m+1} = 2 <r_{m+1}|r_m> - mu_1`,
+/// matching the untiled doubling path to rounding.
+///
+/// # Panics
+/// Panics if `n == 0`, `tile_rows == 0`, or `r0.len() != dim * k`.
+pub fn fused_block_moments_doubling<A: TiledOp + Sync + ?Sized>(
+    op: &A,
+    r0: &[f64],
+    k: usize,
+    n: usize,
+    threads: usize,
+    tile_rows: usize,
+) -> (Vec<Vec<f64>>, TiledStats) {
+    let d = op.dim();
+    assert!(n >= 1, "fused moments: need at least one moment");
+    assert!(tile_rows >= 1, "fused moments: tile_rows must be positive");
+    assert_eq!(r0.len(), d * k, "fused moments: r0 length");
+    if d == 0 || k == 0 {
+        return (vec![vec![0.0; n]; k], TiledStats::default());
+    }
+    if n == 1 {
+        return (tile_ordered_norms(r0, d, k, tile_rows), TiledStats::default());
+    }
+    let ntiles = d.div_ceil(tile_rows);
+    let workers = threads.clamp(1, ntiles);
+    let mut a = r0.to_vec();
+    let mut b = vec![0.0f64; d * k];
+    const NSLOTS: usize = 3;
+    let mut slots = vec![0.0f64; ntiles * NSLOTS * k];
+    let mut scratch = vec![0.0f64; workers * tile_rows * k];
+    let buffers = EngineBuffers {
+        a: a.as_mut_ptr(),
+        b: b.as_mut_ptr(),
+        slots: slots.as_mut_ptr(),
+        scratch: scratch.as_mut_ptr(),
+    };
+    // Step 0 yields mu_0, mu_1 and (via <r1|r1>) mu_2; each later step t
+    // computes r_{t+1} and yields mu_{2t+1} and (when in range) mu_{2t+2}.
+    // The last moment with t >= 1 is mu_{2t+1} <= n-1, so:
+    let nsteps = 1 + if n <= 3 { 0 } else { (n - 2) / 2 };
+    let process = move |step: usize, tile: usize, w: usize| {
+        let buffers = buffers; // capture the whole Sync struct, not raw-pointer fields
+        let rows = tile_range(tile, tile_rows, d);
+        let row0 = rows.start;
+        let len = rows.len();
+        let slot_base = tile * NSLOTS * k;
+        // Safety: as in the plain engine — disjoint tiles and scratch
+        // stripes, barrier-ordered steps, combine + dots on the still-hot
+        // tile after the stream.
+        unsafe {
+            let slots = buffers.slots;
+            if step == 0 {
+                // r1 = A r0 via the scratch stripe (see the plain engine);
+                // then <r0|r0>, <r0|r1>, <r1|r1> on the hot tile.
+                let scratch_tile =
+                    std::slice::from_raw_parts_mut(buffers.scratch.add(w * tile_rows * k), len * k);
+                op.stream_block_rows(r0, k, rows.clone(), &mut |val, i, j| {
+                    scratch_tile[j * len + (i - row0)] = val;
+                });
+                for j in 0..k {
+                    let lo = j * d + row0;
+                    let r0s = &r0[lo..lo + len];
+                    let bs = &scratch_tile[j * len..(j + 1) * len];
+                    std::ptr::copy_nonoverlapping(bs.as_ptr(), buffers.b.add(lo), len);
+                    *slots.add(slot_base + j) = vecops::dot(r0s, r0s);
+                    *slots.add(slot_base + k + j) = vecops::dot(r0s, bs);
+                    *slots.add(slot_base + 2 * k + j) = vecops::dot(bs, bs);
+                }
+            } else {
+                // r_{t+1} = 2 A r_t - r_{t-1} via the scratch stripe; then
+                // <r_t|r_{t+1}> and <r_{t+1}|r_{t+1}> on the hot tile.
+                let (xp, pp) =
+                    if step % 2 == 1 { (buffers.b, buffers.a) } else { (buffers.a, buffers.b) };
+                let x = std::slice::from_raw_parts(xp as *const f64, d * k);
+                // `&mut` slice rather than raw pointer for the same
+                // `noalias` reason as in the plain engine.
+                let scratch_tile =
+                    std::slice::from_raw_parts_mut(buffers.scratch.add(w * tile_rows * k), len * k);
+                let (a_plus, inv) =
+                    op.stream_block_rows_affine(x, k, rows.clone(), &mut |val, i, j| {
+                        scratch_tile[j * len + (i - row0)] = val;
+                    });
+                for j in 0..k {
+                    let lo = j * d + row0;
+                    let xs = &x[lo..lo + len];
+                    let hs = &scratch_tile[j * len..(j + 1) * len];
+                    let ps = std::slice::from_raw_parts_mut(pp.add(lo), len);
+                    if (a_plus, inv) == (0.0, 1.0) {
+                        vecops::chebyshev_combine_inplace(hs, ps);
+                    } else {
+                        vecops::rescaled_chebyshev_combine_inplace(hs, xs, ps, a_plus, inv);
+                    }
+                    let ps = &*ps;
+                    *slots.add(slot_base + j) = vecops::dot(xs, ps);
+                    *slots.add(slot_base + k + j) = vecops::dot(ps, ps);
+                }
+            }
+        }
+    };
+    let mut mu: Vec<Vec<f64>> = (0..k).map(|_| Vec::with_capacity(n)).collect();
+    let mut mu0 = vec![0.0f64; k];
+    let mut mu1 = vec![0.0f64; k];
+    let slot_sum = |tile_slot: usize, j: usize| -> f64 {
+        let mut total = 0.0;
+        for tile in 0..ntiles {
+            // Safety: worker 0 reads after the end-of-step barrier.
+            total += unsafe { *buffers.slots.add(tile * NSLOTS * k + tile_slot * k + j) };
+        }
+        total
+    };
+    let reduce = |step: usize| {
+        for (j, col) in mu.iter_mut().enumerate() {
+            if step == 0 {
+                mu0[j] = slot_sum(0, j);
+                mu1[j] = slot_sum(1, j);
+                col.push(mu0[j]);
+                if n > 1 {
+                    col.push(mu1[j]);
+                }
+                if n > 2 {
+                    col.push(2.0 * slot_sum(2, j) - mu0[j]);
+                }
+            } else {
+                let cross = slot_sum(0, j);
+                let norm = slot_sum(1, j);
+                col.push(2.0 * cross - mu1[j]);
+                if 2 * step + 2 < n {
+                    col.push(2.0 * norm - mu0[j]);
+                }
+            }
+        }
+    };
+    let stats = run_parallel(workers, ntiles, nsteps, process, reduce);
+    (mu, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn ring(d: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(d, d);
+        for i in 0..d {
+            coo.push(i, (i + 1) % d, -0.4).unwrap();
+            coo.push(i, (i + d - 1) % d, -0.4).unwrap();
+        }
+        coo.to_csr()
+    }
+
+    fn start_block(d: usize, k: usize) -> Vec<f64> {
+        (0..d * k).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect()
+    }
+
+    #[test]
+    fn streamed_values_match_apply_block_bitwise() {
+        let d = 23;
+        let k = 3;
+        let csr = ring(d);
+        let x: Vec<f64> = (0..d * k).map(|i| (i as f64).sin()).collect();
+        let reference = csr.apply_block_alloc(&x, k);
+        for op in [SparseMatrix::Csr(csr.clone()), SparseMatrix::Ell(EllMatrix::from_csr(&csr))] {
+            let mut got = vec![f64::NAN; d * k];
+            let mut count = 0usize;
+            for lo in (0..d).step_by(7) {
+                op.stream_block_rows(&x, k, lo..(lo + 7).min(d), &mut |val, i, j| {
+                    got[j * d + i] = val;
+                    count += 1;
+                });
+            }
+            assert_eq!(count, d * k, "{}: every element exactly once", op.format_name());
+            assert_eq!(got, reference, "{}", op.format_name());
+        }
+    }
+
+    #[test]
+    fn stencil_streaming_matches_csr_from_offset_ranges() {
+        let s = StencilOp::hypercubic_uniform(&[4, 3, 2], &[true, false, true], 1.0, 0.2, true);
+        let d = s.dim();
+        let k = 2;
+        let x: Vec<f64> = (0..d * k).map(|i| (i as f64 * 0.3).cos()).collect();
+        let reference = s.to_csr().apply_block_alloc(&x, k);
+        let mut got = vec![f64::NAN; d * k];
+        for lo in (0..d).step_by(5) {
+            s.stream_block_rows(&x, k, lo..(lo + 5).min(d), &mut |val, i, j| {
+                got[j * d + i] = val;
+            });
+        }
+        assert_eq!(got, reference, "seeded odometer must match full sweep");
+    }
+
+    #[test]
+    fn rescaled_streaming_matches_rescaled_apply_block() {
+        let r = RescaledOp::new(ring(17), 0.3, 1.7);
+        let d = 17;
+        let k = 2;
+        let x: Vec<f64> = (0..d * k).map(|i| (i as f64).cos()).collect();
+        let reference = r.apply_block_alloc(&x, k);
+        let mut got = vec![f64::NAN; d * k];
+        r.stream_block_rows(&x, k, 0..d, &mut |val, i, j| got[j * d + i] = val);
+        assert_eq!(got, reference);
+    }
+
+    fn reference_plain_moments(op: &CsrMatrix, r0: &[f64], n: usize) -> Vec<f64> {
+        // Textbook three-buffer recursion in plain f64 accumulation.
+        let d = op.dim();
+        let mut mu = Vec::with_capacity(n);
+        let mut prev = r0.to_vec();
+        mu.push(prev.iter().map(|v| v * v).sum());
+        if n == 1 {
+            return mu;
+        }
+        let mut cur = op.apply_alloc(&prev);
+        mu.push(r0.iter().zip(&cur).map(|(a, b)| a * b).sum());
+        for _ in 2..n {
+            let mut next = op.apply_alloc(&cur);
+            for i in 0..d {
+                next[i] = 2.0 * next[i] - prev[i];
+            }
+            mu.push(r0.iter().zip(&next).map(|(a, b)| a * b).sum());
+            prev = cur;
+            cur = next;
+        }
+        mu
+    }
+
+    #[test]
+    fn plain_engine_matches_reference_recursion() {
+        let d = 61;
+        let k = 2;
+        let n = 9;
+        let op = ring(d);
+        let r0 = start_block(d, k);
+        let (mu, stats) = fused_block_moments_plain(&op, &r0, k, n, 1, 16);
+        assert_eq!(stats.sweeps, (n - 1) as u64);
+        for j in 0..k {
+            let reference = reference_plain_moments(&op, &r0[j * d..(j + 1) * d], n);
+            assert_eq!(mu[j].len(), n);
+            for m in 0..n {
+                let scale = reference[m].abs().max(d as f64);
+                assert!(
+                    (mu[j][m] - reference[m]).abs() <= 1e-12 * scale,
+                    "col {j} mu_{m}: {} vs {}",
+                    mu[j][m],
+                    reference[m]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn doubling_engine_matches_plain_engine() {
+        let d = 47;
+        let k = 3;
+        let op = ring(d);
+        let r0 = start_block(d, k);
+        for n in [1, 2, 3, 4, 5, 6, 7, 12, 13] {
+            let (plain, _) = fused_block_moments_plain(&op, &r0, k, n, 1, 8);
+            let (doubling, _) = fused_block_moments_doubling(&op, &r0, k, n, 1, 8);
+            for j in 0..k {
+                assert_eq!(doubling[j].len(), n, "n = {n}");
+                for m in 0..n {
+                    let scale = plain[j][m].abs().max(d as f64);
+                    assert!(
+                        (doubling[j][m] - plain[j][m]).abs() <= 1e-10 * scale,
+                        "n = {n}, col {j}, mu_{m}: {} vs {}",
+                        doubling[j][m],
+                        plain[j][m]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn results_bitwise_stable_across_thread_counts() {
+        let d = 97;
+        let k = 2;
+        let n = 14;
+        let op = SparseMatrix::Ell(EllMatrix::from_csr(&ring(d)));
+        let r0 = start_block(d, k);
+        let (reference_p, _) = fused_block_moments_plain(&op, &r0, k, n, 1, 16);
+        let (reference_d, _) = fused_block_moments_doubling(&op, &r0, k, n, 1, 16);
+        for threads in [2, 3, 4, 7] {
+            let (mu_p, _) = fused_block_moments_plain(&op, &r0, k, n, threads, 16);
+            let (mu_d, _) = fused_block_moments_doubling(&op, &r0, k, n, threads, 16);
+            assert_eq!(mu_p, reference_p, "plain, {threads} threads");
+            assert_eq!(mu_d, reference_d, "doubling, {threads} threads");
+        }
+    }
+
+    #[test]
+    fn stats_count_tiles_and_sweeps() {
+        let d = 40;
+        let op = ring(d);
+        let r0 = start_block(d, 1);
+        let (_, stats) = fused_block_moments_plain(&op, &r0, 1, 5, 2, 8);
+        assert_eq!(stats.sweeps, 4);
+        assert_eq!(stats.tiles, 4 * 5, "5 tiles of 8 rows, 4 sweeps");
+    }
+
+    #[test]
+    fn ragged_final_tile_is_handled() {
+        let d = 19; // 3 tiles of 8: 8 + 8 + 3
+        let op = ring(d);
+        let r0 = start_block(d, 2);
+        let (mu_t, _) = fused_block_moments_plain(&op, &r0, 2, 6, 3, 8);
+        for j in 0..2 {
+            let reference = reference_plain_moments(&op, &r0[j * d..(j + 1) * d], 6);
+            for m in 0..6 {
+                assert!((mu_t[j][m] - reference[m]).abs() <= 1e-12 * (d as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn single_moment_short_circuits() {
+        let d = 10;
+        let op = ring(d);
+        let r0 = start_block(d, 2);
+        let (mu, stats) = fused_block_moments_doubling(&op, &r0, 2, 1, 4, 4);
+        assert_eq!(stats, TiledStats::default());
+        for col in &mu {
+            assert_eq!(col.len(), 1);
+            assert!((col[0] - d as f64).abs() < 1e-12, "Rademacher norm is D");
+        }
+    }
+}

@@ -5,8 +5,8 @@
 //! vectorize; all panic on length mismatch (a programming error, not a
 //! recoverable condition).
 
-/// Smallest operator dimension at which realization-level rayon parallelism
-/// pays for its fork-join overhead.
+/// Default for [`par_min_dim`]: the smallest operator dimension at which
+/// realization-level rayon parallelism pays for its fork-join overhead.
 ///
 /// The paper's flagship 10x10x10 lattice has `D = 1000`: per realization a
 /// moment step is a few microseconds of work there, far below thread
@@ -14,11 +14,30 @@
 /// threshold. Tuned empirically; see [`use_parallel`].
 pub const PAR_MIN_DIM: usize = 4096;
 
+/// The realization-parallelism threshold actually in effect.
+///
+/// Defaults to [`PAR_MIN_DIM`]; the `KPM_PAR_MIN_DIM` environment variable
+/// overrides it (useful for forcing the parallel path in tests or retuning
+/// on unusual hardware without recompiling). The variable is read **once**,
+/// on first use — changing it later in the process has no effect, so the
+/// threshold is a constant throughout a run and scheduling stays
+/// reproducible. Unparsable values fall back to the default.
+pub fn par_min_dim() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("KPM_PAR_MIN_DIM")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(PAR_MIN_DIM)
+    })
+}
+
 /// `true` when a `dim`-dimensional KPM workload is large enough that
-/// splitting realizations across rayon workers beats running serially.
+/// splitting realizations across rayon workers beats running serially
+/// (threshold: [`par_min_dim`]).
 #[inline]
 pub fn use_parallel(dim: usize) -> bool {
-    dim >= PAR_MIN_DIM
+    dim >= par_min_dim()
 }
 
 /// Dot product `x · y`.
@@ -156,6 +175,101 @@ pub fn chebyshev_combine_dot(hx: &[f64], prev: &mut [f64], r0: &[f64]) -> f64 {
         })
         .sum();
     (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// In-place spectral rescale of a streamed product segment:
+/// `h[i] = (h[i] - a_plus * x[i]) * inv_a_minus`.
+///
+/// Element-for-element the same expression as the store transform fused into
+/// the format kernels (`block::rescaled_store`), so applying it to raw
+/// streamed values yields bitwise-identical results to streaming rescaled
+/// values — just vectorized over a contiguous slice instead of scalar
+/// per-element inside a sink.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn rescale_inplace(h: &mut [f64], x: &[f64], a_plus: f64, inv_a_minus: f64) {
+    assert_eq!(h.len(), x.len(), "rescale_inplace: length mismatch");
+    for (hv, &xv) in h.iter_mut().zip(x) {
+        *hv = (*hv - a_plus * xv) * inv_a_minus;
+    }
+}
+
+/// [`rescale_inplace`] fused with [`chebyshev_combine_dot`], reading the raw
+/// streamed product instead of pre-rescaled values:
+/// `prev[i] = 2 * ((hx[i] - a_plus * x[i]) * inv_a_minus) - prev[i]`, returns
+/// `dot(r0, prev_new)`.
+///
+/// One pass over the tile instead of rescale-then-combine; bitwise identical
+/// to `rescale_inplace(hx, x, ..); chebyshev_combine_dot(hx, prev, r0)`
+/// because the per-element expressions and the four-way reduction order are
+/// unchanged.
+///
+/// # Panics
+/// Panics if the four slices differ in length.
+pub fn rescaled_chebyshev_combine_dot(
+    hx: &[f64],
+    x: &[f64],
+    prev: &mut [f64],
+    r0: &[f64],
+    a_plus: f64,
+    inv_a_minus: f64,
+) -> f64 {
+    assert_eq!(hx.len(), prev.len(), "rescaled_chebyshev_combine_dot: length mismatch");
+    assert_eq!(x.len(), prev.len(), "rescaled_chebyshev_combine_dot: length mismatch");
+    assert_eq!(r0.len(), prev.len(), "rescaled_chebyshev_combine_dot: length mismatch");
+    let mut acc = [0.0f64; 4];
+    let split = prev.len() - prev.len() % 4;
+    let (pc, pr) = prev.split_at_mut(split);
+    let (hc, hr) = hx.split_at(split);
+    let (xc, xr) = x.split_at(split);
+    let (rc, rr) = r0.split_at(split);
+    for (((ps, hs), xs), rs) in pc
+        .chunks_exact_mut(4)
+        .zip(hc.chunks_exact(4))
+        .zip(xc.chunks_exact(4))
+        .zip(rc.chunks_exact(4))
+    {
+        ps[0] = 2.0 * ((hs[0] - a_plus * xs[0]) * inv_a_minus) - ps[0];
+        ps[1] = 2.0 * ((hs[1] - a_plus * xs[1]) * inv_a_minus) - ps[1];
+        ps[2] = 2.0 * ((hs[2] - a_plus * xs[2]) * inv_a_minus) - ps[2];
+        ps[3] = 2.0 * ((hs[3] - a_plus * xs[3]) * inv_a_minus) - ps[3];
+        acc[0] += rs[0] * ps[0];
+        acc[1] += rs[1] * ps[1];
+        acc[2] += rs[2] * ps[2];
+        acc[3] += rs[3] * ps[3];
+    }
+    let tail: f64 = rr
+        .iter()
+        .zip(pr.iter_mut())
+        .zip(hr.iter().zip(xr))
+        .map(|((&r, p), (&h, &xv))| {
+            *p = 2.0 * ((h - a_plus * xv) * inv_a_minus) - *p;
+            r * *p
+        })
+        .sum();
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// [`rescale_inplace`] fused with [`chebyshev_combine_inplace`]:
+/// `prev[i] = 2 * ((hx[i] - a_plus * x[i]) * inv_a_minus) - prev[i]`.
+///
+/// # Panics
+/// Panics on length mismatch.
+#[inline]
+pub fn rescaled_chebyshev_combine_inplace(
+    hx: &[f64],
+    x: &[f64],
+    prev: &mut [f64],
+    a_plus: f64,
+    inv_a_minus: f64,
+) {
+    assert_eq!(hx.len(), prev.len(), "rescaled_chebyshev_combine_inplace: length mismatch");
+    assert_eq!(x.len(), prev.len(), "rescaled_chebyshev_combine_inplace: length mismatch");
+    for ((p, &h), &xv) in prev.iter_mut().zip(hx).zip(x) {
+        *p = 2.0 * ((h - a_plus * xv) * inv_a_minus) - *p;
+    }
 }
 
 /// Copies `src` into `dst`.

@@ -333,7 +333,7 @@ trait Erased {
     fn cpu(&self, params: &KpmParams) -> Result<(MomentStats, f64, f64), JobError>;
 }
 
-impl<A: Boundable + BlockOp + Sync> Erased for A {
+impl<A: Boundable + TiledOp + Sync> Erased for A {
     fn cpu(&self, params: &KpmParams) -> Result<(MomentStats, f64, f64), JobError> {
         let bounds = self.spectral_bounds(params.bounds)?;
         let rescaled = rescale(self, bounds, params.padding)?;

@@ -269,7 +269,7 @@ fn rescaled_bounds<A: Boundable>(h: &A, params: &KpmParams) -> Result<(f64, f64)
 
 /// Mirrors the single-process DoS pipeline up to (but excluding) the
 /// reduction: bounds, padded rescale, per-realization normalized moments.
-fn dos_partial<A: Boundable + BlockOp + Sync>(
+fn dos_partial<A: Boundable + TiledOp + Sync>(
     h: &A,
     params: &KpmParams,
     range: Range<usize>,
@@ -280,7 +280,7 @@ fn dos_partial<A: Boundable + BlockOp + Sync>(
 }
 
 /// The LDoS "shard": the one deterministic row `<e_site|T_n|e_site>`.
-fn ldos_partial<A: Boundable + BlockOp + Sync>(
+fn ldos_partial<A: Boundable + TiledOp + Sync>(
     h: &A,
     params: &KpmParams,
     site: usize,

@@ -1,0 +1,24 @@
+//! Distributed merge on top of the row-tiled engine.
+//!
+//! A `chain:600` job crosses the row-parallel cutoff (`ROW_MIN_DIM`), so
+//! under the default `Auto` policy every worker computes its shard through
+//! the fused tiled kernels. The merged statistics must still be bitwise
+//! identical to a single-worker run after the per-realization moments
+//! round-trip through the shard wire codec.
+
+use kpm_shard::{ShardJob, ShardedEngine};
+
+#[test]
+fn local_workers_merge_bitwise_on_tiled_dimensions() {
+    let spec =
+        kpm_serve::JobSpec::parse("lattice=chain:600 moments=24 random=3 sets=2 seed=11").unwrap();
+    let job = ShardJob::Dos(spec);
+    let single = ShardedEngine::local(1).run_job(&job).unwrap().into_stats().unwrap();
+    assert_eq!(single.samples, 6);
+    for n in [2usize, 3, 4] {
+        let multi = ShardedEngine::local(n).run_job(&job).unwrap().into_stats().unwrap();
+        assert_eq!(multi.mean, single.mean, "{n} workers must merge bitwise");
+        assert_eq!(multi.std_err, single.std_err);
+        assert_eq!(multi.samples, single.samples);
+    }
+}
