@@ -47,7 +47,7 @@ pub struct Args {
 }
 
 /// Keys that are boolean flags (no value).
-const FLAGS: &[&str] = &["full", "help", "once", "quiet"];
+const FLAGS: &[&str] = &["full", "help", "once", "quiet", "stats"];
 
 impl Args {
     /// Parses raw arguments (after the subcommand).

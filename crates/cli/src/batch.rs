@@ -1,15 +1,19 @@
-//! `kpm batch` and `kpm serve` — front-ends to the [`kpm_serve`] subsystem.
+//! `kpm batch`, `kpm serve`, and `kpm submit` — front-ends to the
+//! [`kpm_serve`] and [`kpm_net`] subsystems.
 //!
 //! `batch` executes a jobs file (one `key=value...` spec per line, `#`
 //! comments) through the worker pool and prints the per-job table plus
 //! service metrics. `serve` reads the same lines from stdin until EOF or
 //! SIGINT; on SIGINT pending jobs are cancelled, in-flight jobs finish, the
 //! cache is flushed, and the metrics block is printed — a graceful drain in
-//! both cases.
+//! both cases. With `--listen ADDR`, `serve` instead accepts concurrent
+//! `KPNT` client sessions over TCP ([`kpm_net::NetServer`]) until SIGINT;
+//! `submit` is the matching one-shot client.
 
 use crate::args::Args;
 use crate::commands::CmdError;
 use kpm_serve::{BatchConfig, BatchReport, BatchService, JobParseError, JobSpec};
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -134,6 +138,9 @@ pub fn serve(args: &Args) -> Result<String, CmdError> {
             Some(Duration::from_secs_f64(secs))
         }
     };
+    if let Some(listen) = args.get("listen") {
+        return serve_listen(args, listen, metrics_every);
+    }
     let service = start_service(args)?;
     install_sigint();
     INTERRUPTED.store(false, Ordering::SeqCst);
@@ -203,4 +210,197 @@ pub fn serve(args: &Args) -> Result<String, CmdError> {
         (service.finish(), "stdin closed; queue drained")
     };
     finish_report(&report, format!("serve: {verb} ({accepted} jobs accepted):"))
+}
+
+/// `kpm serve --listen ADDR` — accept concurrent `KPNT` client sessions
+/// over TCP until SIGINT, then drain accepted work and report.
+fn serve_listen(
+    args: &Args,
+    listen: &str,
+    metrics_every: Option<Duration>,
+) -> Result<String, CmdError> {
+    let engine = crate::commands::shard_engine(args)?
+        .map(|e| std::sync::Arc::new(e) as std::sync::Arc<dyn kpm_serve::MomentEngine>);
+    let net_config =
+        kpm_net::NetConfig { max_inflight_per_session: args.get_or("max-inflight", 32usize)? };
+    let server = kpm_net::NetServer::start(listen, service_config(args)?, engine, net_config)?;
+    eprintln!("kpm serve listening on {}", server.local_addr());
+    install_sigint();
+    INTERRUPTED.store(false, Ordering::SeqCst);
+
+    let mut next_dump = metrics_every.map(|every| Instant::now() + every);
+    while !INTERRUPTED.load(Ordering::SeqCst) {
+        if let (Some(every), Some(at)) = (metrics_every, next_dump) {
+            if Instant::now() >= at {
+                eprintln!("{}", server.stats_json());
+                next_dump = Some(at + every);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let report = server.finish();
+    finish_report(
+        &report,
+        format!("serve --listen {listen}: interrupted; sessions closed, in-flight drained:"),
+    )
+}
+
+/// `kpm submit` — send one job line to a `kpm serve --listen` server and
+/// print each streamed refinement step in order.
+pub fn submit(args: &Args, positionals: &[String]) -> Result<String, CmdError> {
+    let spec_line = match (args.get("spec"), positionals.is_empty()) {
+        (Some(_), false) => {
+            return Err(CmdError::Other(
+                "pass the job line either positionally or via --spec, not both".into(),
+            ))
+        }
+        (Some(s), true) => s.to_string(),
+        (None, false) => positionals.join(" "),
+        (None, true) => {
+            return Err(CmdError::Other(
+                "usage: kpm submit 'lattice=... moments=...' [--addr HOST:PORT] [--refine N]"
+                    .into(),
+            ))
+        }
+    };
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7080");
+    let stream = args.get("stream").unwrap_or("cli");
+    let refine: u32 = args.get_or("refine", 1u32)?;
+
+    let mut client = kpm_net::NetClient::connect(addr)?;
+    let completions = client.submit_and_collect(stream, 1, &spec_line, refine)?;
+    let mut report = format!("submitted to {addr} on stream '{stream}': {spec_line}\n");
+    for c in &completions {
+        let _ = writeln!(
+            report,
+            "  step {}/{}: N = {:>5}  samples = {}  band = [{:.4}, {:.4}]  integral = {:.5}  peak E = {:.4}",
+            c.step + 1,
+            c.of,
+            c.n,
+            c.samples,
+            c.a_plus - c.a_minus,
+            c.a_plus + c.a_minus,
+            c.integral,
+            c.peak_energy,
+        );
+    }
+    if args.flag("stats") {
+        client.stats(0)?;
+        loop {
+            if let kpm_net::NetFrame::StatsReply { json, .. } = client.recv()? {
+                report.push_str(&json);
+                report.push('\n');
+                break;
+            }
+        }
+    }
+    client.goodbye()?;
+    while !matches!(client.recv()?, kpm_net::NetFrame::Bye) {}
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kpm_net::{NetClient, NetConfig, NetFrame, NetServer};
+
+    fn args(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn quick_config() -> BatchConfig {
+        BatchConfig { workers: 2, max_retries: 0, ..BatchConfig::default() }
+    }
+
+    #[test]
+    fn submit_streams_a_refinement_ladder_and_reports_stats() {
+        let server =
+            NetServer::start("127.0.0.1:0", quick_config(), None, NetConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let a = args(&["--addr", &addr, "--refine", "2", "--stats"]);
+        let report =
+            submit(&a, &["lattice=chain:24 moments=64 random=1 sets=1".to_string()]).unwrap();
+        assert!(report.contains("step 1/2: N =    16"), "{report}");
+        assert!(report.contains("step 2/2: N =    64"), "{report}");
+        assert!(report.contains("\"kind\":\"net-stats\""), "{report}");
+        let rep = server.finish();
+        assert_eq!(rep.failed(), 0, "{}", rep.render());
+    }
+
+    #[test]
+    fn submit_maps_connect_failure_to_exit_code_8() {
+        // TEST-NET-3 (RFC 5737) is unroutable; localhost port 1 refuses.
+        let a = args(&["--addr", "127.0.0.1:1"]);
+        let err = submit(&a, &["lattice=chain:8 moments=16".to_string()]).unwrap_err();
+        assert!(matches!(err, CmdError::Net(kpm_net::NetError::Io(_))), "{err}");
+        assert_eq!(err.exit_code(), 8);
+    }
+
+    #[test]
+    fn submit_surfaces_server_rejection_with_exit_code_8() {
+        let server =
+            NetServer::start("127.0.0.1:0", quick_config(), None, NetConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let a = args(&["--addr", &addr]);
+        let err = submit(&a, &["lattice=moebius:7".to_string()]).unwrap_err();
+        assert!(matches!(err, CmdError::Net(kpm_net::NetError::Rejected { .. })), "{err}");
+        assert_eq!(err.exit_code(), 8);
+        server.finish();
+    }
+
+    #[test]
+    fn submit_requires_exactly_one_spec_source() {
+        let err = submit(&args(&[]), &[]).unwrap_err();
+        assert!(err.to_string().contains("usage"), "{err}");
+        let err =
+            submit(&args(&["--spec", "lattice=chain:8"]), &["lattice=chain:8".into()]).unwrap_err();
+        assert!(err.to_string().contains("not both"), "{err}");
+    }
+
+    /// End-to-end through the CLI surface: `kpm serve --listen` on a free
+    /// port, a network client runs a job, SIGINT (simulated via the same
+    /// flag the handler sets) drains the server and yields the report.
+    #[test]
+    fn serve_listen_accepts_network_clients_and_drains_on_interrupt() {
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let handle = {
+            let listen = addr.clone();
+            std::thread::spawn(move || {
+                let a = args(&[
+                    "--listen",
+                    &listen,
+                    "--workers",
+                    "2",
+                    "--retries",
+                    "0",
+                    "--cache-dir",
+                    "none",
+                ]);
+                serve(&a)
+            })
+        };
+
+        // The listener comes up asynchronously; retry the connect briefly.
+        let mut client = loop {
+            match NetClient::connect(&addr) {
+                Ok(c) => break c,
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        };
+        let completions = client
+            .submit_and_collect("s", 3, "lattice=chain:16 moments=32 random=1 sets=1", 1)
+            .unwrap();
+        assert_eq!(completions.len(), 1);
+        client.goodbye().unwrap();
+        assert!(matches!(client.recv().unwrap(), NetFrame::Bye));
+
+        INTERRUPTED.store(true, Ordering::SeqCst);
+        let report = handle.join().unwrap().unwrap();
+        assert!(report.contains("serve --listen"), "{report}");
+        assert!(report.contains("in-flight drained"), "{report}");
+    }
 }

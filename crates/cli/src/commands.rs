@@ -37,6 +37,9 @@ pub enum CmdError {
     },
     /// Distributed-run failure (worker fleet, wire protocol, shard merge).
     Shard(kpm_shard::ShardError),
+    /// Network front-end failure (serve listener, submit client, KPNT
+    /// protocol, server-side rejection).
+    Net(kpm_net::NetError),
     /// Anything else (message).
     Other(String),
 }
@@ -52,6 +55,7 @@ impl CmdError {
             CmdError::Io(_) => 5,
             CmdError::Jobs { .. } => 6,
             CmdError::Shard(_) => 7,
+            CmdError::Net(_) => 8,
             CmdError::Other(_) => 1,
         }
     }
@@ -68,6 +72,7 @@ impl fmt::Display for CmdError {
                 write!(f, "{report}\n{failed} job(s) failed")
             }
             CmdError::Shard(e) => write!(f, "{e}"),
+            CmdError::Net(e) => write!(f, "{e}"),
             CmdError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -113,6 +118,11 @@ impl From<kpm_shard::ShardError> for CmdError {
         CmdError::Shard(e)
     }
 }
+impl From<kpm_net::NetError> for CmdError {
+    fn from(e: kpm_net::NetError) -> Self {
+        CmdError::Net(e)
+    }
+}
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -126,7 +136,9 @@ COMMANDS:
   evolve    wavepacket evolution (--time T [--site N])
   spectral  momentum-resolved A(k, omega) on a chain (--momenta K)
   batch     run a jobs file through the worker pool + moment cache
-  serve     accept job lines on stdin until EOF or Ctrl-C
+  serve     accept job lines on stdin until EOF or Ctrl-C, or over TCP
+            with --listen ADDR
+  submit    send a job to a kpm serve --listen server (--addr HOST:PORT)
   tune      block-size sweep for the simulated device
   estimate  modeled CPU vs GPU run times at any scale
   worker    serve shard computations over TCP (--listen ADDR [--once])
@@ -161,13 +173,23 @@ SERVING OPTIONS (batch / serve):
   Job lines are whitespace-separated key=value pairs, e.g.
     lattice=cubic:10,10,10 moments=512 seed=7 kernel=lorentz:3 out=dos.csv
 
+NETWORK OPTIONS (serve / submit):
+  --listen ADDR        (serve) accept KPNT client sessions on ADDR instead
+                       of stdin; Ctrl-C drains in-flight jobs and exits
+  --max-inflight N     (serve --listen) per-session in-flight cap (default 32)
+  --addr HOST:PORT     (submit) server address (default 127.0.0.1:7080)
+  --spec 'k=v ...'     (submit) job line to run (or pass it positionally)
+  --stream NAME        (submit) completion stream name (default cli)
+  --refine N           (submit) streaming-refinement steps (default 1)
+  --stats              (submit) also print the server metrics snapshot
+
 DISTRIBUTED OPTIONS (dos / ldos / batch / serve):
   --local-workers N    shard realizations across N in-process workers
   --workers A,B,...    shard across remote `kpm worker` addresses (host:port)
   Merged moments are bitwise identical to an unsharded run with the same
   --seed, for any worker count or failure history.
 
-EXIT CODES: 0 ok | 1 other | 2 args | 3 lattice spec | 4 kpm | 5 io | 6 jobs failed | 7 shard
+EXIT CODES: 0 ok | 1 other | 2 args | 3 lattice spec | 4 kpm | 5 io | 6 jobs failed | 7 shard | 8 net
 ";
 
 /// Shared workload assembled from common options.
@@ -635,6 +657,9 @@ fn dispatch(command: &str, args: &Args, positionals: &[String]) -> Result<String
     if command == "batch" {
         return crate::batch::batch(args, positionals);
     }
+    if command == "submit" {
+        return crate::batch::submit(args, positionals);
+    }
     if let Some(p) = positionals.first() {
         return Err(CmdError::Args(ArgError::UnexpectedPositional(p.clone())));
     }
@@ -834,9 +859,10 @@ mod tests {
             CmdError::Io(std::io::Error::other("disk")),
             CmdError::Jobs { failed: 1, report: "r".into() },
             CmdError::Shard(kpm_shard::ShardError::Io("net".into())),
+            CmdError::Net(kpm_net::NetError::Io("refused".into())),
         ];
         let codes: Vec<u8> = errors.iter().map(CmdError::exit_code).collect();
-        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8]);
     }
 
     #[test]
@@ -853,6 +879,22 @@ mod tests {
             let cmd: CmdError = e.into();
             assert!(matches!(cmd, CmdError::Shard(_)));
             assert_eq!(cmd.exit_code(), 7);
+            assert_eq!(cmd.to_string(), text, "Display must pass through");
+        }
+    }
+
+    #[test]
+    fn net_errors_convert_and_exit_8() {
+        for e in [
+            kpm_net::NetError::Io("connection refused".into()),
+            kpm_net::NetError::Protocol("bad magic".into()),
+            kpm_net::NetError::Rejected { retry_after_ms: 50, reason: "queue full".into() },
+            kpm_net::NetError::Server("step 1 failed".into()),
+        ] {
+            let text = e.to_string();
+            let cmd: CmdError = e.into();
+            assert!(matches!(cmd, CmdError::Net(_)));
+            assert_eq!(cmd.exit_code(), 8);
             assert_eq!(cmd.to_string(), text, "Display must pass through");
         }
     }

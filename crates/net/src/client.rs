@@ -1,0 +1,113 @@
+//! Blocking client for the `KPNT` protocol, used by `kpm submit` and the
+//! integration tests.
+
+use crate::error::NetError;
+use crate::protocol::{self, Completion, NetFrame};
+use std::net::TcpStream;
+
+/// One client session. Writes commands, reads server frames; the caller
+/// drives the conversation (completions arrive asynchronously, so expect
+/// them interleaved with command replies).
+pub struct NetClient {
+    stream: TcpStream,
+}
+
+impl NetClient {
+    /// Connects to a server at `addr` (`host:port`).
+    ///
+    /// # Errors
+    /// [`NetError::Io`] on connect failure.
+    pub fn connect(addr: &str) -> Result<NetClient, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(NetClient { stream })
+    }
+
+    fn send(&mut self, frame: &NetFrame) -> Result<(), NetError> {
+        use std::io::Write as _;
+        self.stream.write_all(&protocol::encode(frame))?;
+        Ok(())
+    }
+
+    /// Submits `spec` on `stream` with a client-chosen correlation `tag`;
+    /// `refine_steps > 1` requests streaming refinement. Expect an
+    /// [`NetFrame::Accepted`] or [`NetFrame::Rejected`] among subsequent
+    /// frames.
+    ///
+    /// # Errors
+    /// [`NetError::Io`] on write failure.
+    pub fn submit(
+        &mut self,
+        stream: &str,
+        tag: u64,
+        spec: &str,
+        refine_steps: u32,
+    ) -> Result<(), NetError> {
+        self.send(&NetFrame::Submit { stream: stream.into(), tag, spec: spec.into(), refine_steps })
+    }
+
+    /// Requests a metrics snapshot ([`NetFrame::StatsReply`] with the same
+    /// `tag`).
+    ///
+    /// # Errors
+    /// [`NetError::Io`] on write failure.
+    pub fn stats(&mut self, tag: u64) -> Result<(), NetError> {
+        self.send(&NetFrame::Stats { tag })
+    }
+
+    /// Announces the end of the session; the server delivers every pending
+    /// completion, then [`NetFrame::Bye`].
+    ///
+    /// # Errors
+    /// [`NetError::Io`] on write failure.
+    pub fn goodbye(&mut self) -> Result<(), NetError> {
+        self.send(&NetFrame::Goodbye)
+    }
+
+    /// Blocking read of the next server frame.
+    ///
+    /// # Errors
+    /// [`NetError::Io`] on socket failure/EOF, [`NetError::Protocol`] on a
+    /// malformed frame.
+    pub fn recv(&mut self) -> Result<NetFrame, NetError> {
+        protocol::read_frame(&mut self.stream)
+    }
+
+    /// Convenience: submit one spec and block until the full refinement
+    /// ladder has arrived, returning the completions in stream order.
+    ///
+    /// # Errors
+    /// [`NetError::Rejected`] if the server sheds the submission,
+    /// [`NetError::Server`] if any ladder step fails or the server closes
+    /// early, plus the transport errors of [`NetClient::recv`].
+    pub fn submit_and_collect(
+        &mut self,
+        stream: &str,
+        tag: u64,
+        spec: &str,
+        refine_steps: u32,
+    ) -> Result<Vec<Completion>, NetError> {
+        self.submit(stream, tag, spec, refine_steps)?;
+        let mut expected: Option<u32> = None;
+        let mut got = Vec::new();
+        loop {
+            match self.recv()? {
+                NetFrame::Accepted { tag: t, steps } if t == tag => expected = Some(steps),
+                NetFrame::Rejected { tag: t, retry_after_ms, reason } if t == tag => {
+                    return Err(NetError::Rejected { retry_after_ms, reason });
+                }
+                NetFrame::Completion(c) if c.tag == tag => {
+                    got.push(c);
+                    if Some(got.len() as u32) == expected {
+                        return Ok(got);
+                    }
+                }
+                NetFrame::JobFailed { tag: t, error, step, .. } if t == tag => {
+                    return Err(NetError::Server(format!("step {step} failed: {error}")));
+                }
+                NetFrame::Bye => return Err(NetError::Server("server closed early".into())),
+                _ => {} // frames for other tags/streams: not ours to handle
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Network-class errors: everything that can go wrong between a client and
+//! the serving front-end, as opposed to inside a job (that is a
+//! [`kpm_serve::worker::JobError`], delivered in-band as a `JobFailed`
+//! frame).
+
+use kpm_wire::WireError;
+
+/// Why a network operation failed.
+#[derive(Debug, Clone)]
+pub enum NetError {
+    /// Socket-level failure (connect, read, write, EOF mid-frame).
+    Io(String),
+    /// Malformed or incompatible frame (bad magic, version, payload).
+    Protocol(String),
+    /// The server refused the submission; retry after the given delay
+    /// (`0` means the request itself was invalid — do not retry).
+    Rejected {
+        /// Suggested client backoff, milliseconds.
+        retry_after_ms: u64,
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// The server closed the session or misbehaved at the protocol level
+    /// in a way that is not a framing error (e.g. unexpected frame kind).
+    Server(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(msg) => write!(f, "net io: {msg}"),
+            NetError::Protocol(msg) => write!(f, "net protocol: {msg}"),
+            NetError::Rejected { retry_after_ms, reason } => {
+                write!(f, "rejected: {reason} (retry after {retry_after_ms} ms)")
+            }
+            NetError::Server(msg) => write!(f, "server: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(msg) => NetError::Io(msg),
+            WireError::Protocol(msg) => NetError::Protocol(msg),
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_errors_map_by_class() {
+        assert!(matches!(NetError::from(WireError::Io("x".into())), NetError::Io(_)));
+        assert!(matches!(NetError::from(WireError::Protocol("x".into())), NetError::Protocol(_)));
+    }
+
+    #[test]
+    fn display_carries_retry_hint() {
+        let e = NetError::Rejected { retry_after_ms: 150, reason: "queue full".into() };
+        assert_eq!(e.to_string(), "rejected: queue full (retry after 150 ms)");
+    }
+}

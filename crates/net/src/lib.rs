@@ -1,0 +1,105 @@
+//! TCP front-end for the KPM batch service: concurrent multi-client
+//! sessions, named streams, FIFO-per-stream completions, and streaming
+//! prefix refinement.
+//!
+//! # Model
+//!
+//! A **session** is one TCP connection speaking the versioned `KPNT`
+//! protocol ([`protocol`], on the shared [`kpm_wire`] codec). Within a
+//! session the client opens as many named **streams** as it likes; each
+//! [`protocol::NetFrame::Submit`] targets one stream and is answered
+//! asynchronously — `Accepted`/`Rejected` immediately, then one
+//! **completion** per refinement step. Completions are delivered out of
+//! order across streams but strictly FIFO within one ([`stream::StreamFifo`]
+//! reorders them by admission-time sequence number).
+//!
+//! # Streaming refinement
+//!
+//! A submission with `refine_steps > 1` fans out into a ladder of sub-jobs
+//! at ascending moment orders ([`refine_ladder`]): the low-order step is
+//! cheap (often a cache hit) and arrives first as a partial result; each
+//! later step extends the Chebyshev moment prefix. Because moments of order
+//! `< N` are a bitwise prefix of any longer run
+//! ([`kpm::MomentStats::truncated`]) and the moment cache upgrades entries
+//! in place, **every partial is bitwise identical to a cold run at that
+//! order** — refinement is exact, not approximate.
+//!
+//! # Load shedding
+//!
+//! Admission control refuses work instead of queueing it unboundedly: a
+//! full service queue or an exhausted per-session in-flight budget yields a
+//! `Rejected` frame carrying a `retry_after_ms` hint, and already-accepted
+//! jobs keep flowing (a flooding client is shed without stalling anyone
+//! else; a slow reader blocks only its own writer thread).
+
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+pub(crate) mod session;
+pub mod stream;
+
+pub use client::NetClient;
+pub use error::NetError;
+pub use protocol::{Completion, NetFrame};
+pub use server::NetServer;
+
+/// Front-end tuning knobs (the batch service itself is configured by
+/// [`kpm_serve::BatchConfig`]).
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Per-session cap on admitted-but-undelivered sub-jobs; submissions
+    /// beyond it are rejected with a retry hint (fairness under flooding).
+    pub max_inflight_per_session: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self { max_inflight_per_session: 32 }
+    }
+}
+
+/// The ascending moment-order ladder for a submission at order `n` with
+/// `steps` refinement steps: each earlier step is a quarter the order of
+/// the next (e.g. `n = 1024, steps = 3` → `[64, 256, 1024]`), clamped so
+/// every step stays a valid KPM order (`>= 2`). Fewer than `steps` entries
+/// are returned when the ladder bottoms out.
+pub fn refine_ladder(n: usize, steps: u32) -> Vec<usize> {
+    let mut ladder = vec![n.max(2)];
+    while ladder.len() < steps.max(1) as usize {
+        let next = ladder.last().expect("nonempty ladder") / 4;
+        if next < 2 {
+            break;
+        }
+        ladder.push(next);
+    }
+    ladder.reverse();
+    ladder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_matches_the_headline_example() {
+        assert_eq!(refine_ladder(1024, 3), vec![64, 256, 1024]);
+    }
+
+    #[test]
+    fn ladder_without_refinement_is_the_request_itself() {
+        assert_eq!(refine_ladder(256, 1), vec![256]);
+        assert_eq!(refine_ladder(256, 0), vec![256], "0 is clamped to 1");
+    }
+
+    #[test]
+    fn ladder_bottoms_out_at_valid_orders() {
+        assert_eq!(refine_ladder(8, 5), vec![2, 8]);
+        assert_eq!(refine_ladder(2, 3), vec![2]);
+        assert_eq!(refine_ladder(0, 2), vec![2], "order is clamped to the KPM minimum");
+        for ladder in [refine_ladder(1024, 8), refine_ladder(100, 4)] {
+            assert!(ladder.windows(2).all(|w| w[0] < w[1]), "strictly ascending: {ladder:?}");
+            assert!(ladder.iter().all(|&n| n >= 2));
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! The `KPNT` client/server protocol on the shared [`kpm_wire`] codec.
+//!
+//! Same framing discipline as the shard protocol (`KPSH`): magic, version,
+//! type byte, then a length-prefixed payload, with `f64` as raw IEEE-754
+//! bits so moments cross the wire bit-exactly. Client-originated frames use
+//! type bytes 1–15, server-originated ones 16–31, so a misdirected frame is
+//! an immediate protocol error rather than a silent misparse.
+//!
+//! The unit of work is a **submission** on a named **stream**: the client
+//! picks the stream name and a `tag` (echoed verbatim, for client-side
+//! correlation); the server assigns each resulting completion a per-stream
+//! `seq` and guarantees FIFO delivery within the stream. A submission with
+//! `refine_steps > 1` fans out into that many sub-jobs at ascending moment
+//! orders (see [`crate::refine_ladder`]), each occupying one `seq`.
+
+use crate::error::NetError;
+use kpm_wire::{put_f64, put_f64s, put_str, put_u32, put_u64, Codec, Reader};
+
+/// Frame preamble for the net protocol.
+pub const MAGIC: [u8; 4] = *b"KPNT";
+/// Protocol revision; bump on any change to framing or payload layout.
+pub const VERSION: u16 = 1;
+
+/// The net protocol's framing identity on the shared codec.
+pub const CODEC: Codec = Codec { magic: MAGIC, version: VERSION };
+
+/// One successful (partial or final) result on a stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Stream this completion belongs to.
+    pub stream: String,
+    /// Per-stream delivery sequence number (contiguous from 0).
+    pub seq: u64,
+    /// Client-chosen correlation tag, echoed from the submission.
+    pub tag: u64,
+    /// Refinement step index, `0..of`.
+    pub step: u32,
+    /// Total steps in this submission's ladder.
+    pub of: u32,
+    /// Truncation order of this step.
+    pub n: u32,
+    /// Stochastic sample count behind the moment statistics.
+    pub samples: u64,
+    /// Rescaling centre (needed to reconstruct on the energy axis).
+    pub a_plus: f64,
+    /// Rescaling half-width.
+    pub a_minus: f64,
+    /// Integral of the reconstructed DoS (~1).
+    pub integral: f64,
+    /// Energy of the DoS maximum.
+    pub peak_energy: f64,
+    /// Raw moment means, bit-exact.
+    pub mean: Vec<f64>,
+    /// Raw moment standard errors, bit-exact.
+    pub std_err: Vec<f64>,
+}
+
+/// Every message of the net protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetFrame {
+    /// Client: run `spec` on stream `stream`, refining over `refine_steps`
+    /// ascending moment orders (1 = no refinement).
+    Submit {
+        /// Stream name (FIFO delivery domain).
+        stream: String,
+        /// Client correlation tag, echoed in every reply.
+        tag: u64,
+        /// Job spec line ([`kpm_serve::JobSpec::parse`] grammar).
+        spec: String,
+        /// Ladder length; clamped to the representable range server-side.
+        refine_steps: u32,
+    },
+    /// Client: request a metrics snapshot.
+    Stats {
+        /// Correlation tag for the [`NetFrame::StatsReply`].
+        tag: u64,
+    },
+    /// Client: no more submissions; server replies [`NetFrame::Bye`] once
+    /// every accepted job has been delivered.
+    Goodbye,
+    /// Server: submission admitted; expect `steps` completions.
+    Accepted {
+        /// Echoed submission tag.
+        tag: u64,
+        /// Number of ladder steps admitted (each is one seq).
+        steps: u32,
+    },
+    /// Server: submission refused (load shed or invalid).
+    Rejected {
+        /// Echoed submission tag.
+        tag: u64,
+        /// Backoff hint, milliseconds; `0` = invalid request, do not retry.
+        retry_after_ms: u64,
+        /// Refusal reason.
+        reason: String,
+    },
+    /// Server: one step of a submission finished successfully.
+    Completion(Completion),
+    /// Server: one step of a submission failed terminally.
+    JobFailed {
+        /// Stream the failed step was on.
+        stream: String,
+        /// Its reserved per-stream sequence number.
+        seq: u64,
+        /// Echoed submission tag.
+        tag: u64,
+        /// Failed step index.
+        step: u32,
+        /// Total steps in the ladder.
+        of: u32,
+        /// Rendered error.
+        error: String,
+    },
+    /// Server: metrics snapshot (versioned JSON, see the crate docs).
+    StatsReply {
+        /// Echoed stats tag.
+        tag: u64,
+        /// `net-stats` JSON document.
+        json: String,
+    },
+    /// Server: session drained; the socket closes after this frame.
+    Bye,
+}
+
+impl NetFrame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            NetFrame::Submit { .. } => 1,
+            NetFrame::Stats { .. } => 2,
+            NetFrame::Goodbye => 3,
+            NetFrame::Accepted { .. } => 16,
+            NetFrame::Rejected { .. } => 17,
+            NetFrame::Completion(_) => 18,
+            NetFrame::JobFailed { .. } => 19,
+            NetFrame::StatsReply { .. } => 20,
+            NetFrame::Bye => 21,
+        }
+    }
+}
+
+/// Encodes a frame to its full wire representation (header + payload).
+pub fn encode(frame: &NetFrame) -> Vec<u8> {
+    let mut p = Vec::new();
+    match frame {
+        NetFrame::Submit { stream, tag, spec, refine_steps } => {
+            put_str(&mut p, stream);
+            put_u64(&mut p, *tag);
+            put_str(&mut p, spec);
+            put_u32(&mut p, *refine_steps);
+        }
+        NetFrame::Stats { tag } => put_u64(&mut p, *tag),
+        NetFrame::Goodbye | NetFrame::Bye => {}
+        NetFrame::Accepted { tag, steps } => {
+            put_u64(&mut p, *tag);
+            put_u32(&mut p, *steps);
+        }
+        NetFrame::Rejected { tag, retry_after_ms, reason } => {
+            put_u64(&mut p, *tag);
+            put_u64(&mut p, *retry_after_ms);
+            put_str(&mut p, reason);
+        }
+        NetFrame::Completion(c) => {
+            put_str(&mut p, &c.stream);
+            put_u64(&mut p, c.seq);
+            put_u64(&mut p, c.tag);
+            put_u32(&mut p, c.step);
+            put_u32(&mut p, c.of);
+            put_u32(&mut p, c.n);
+            put_u64(&mut p, c.samples);
+            put_f64(&mut p, c.a_plus);
+            put_f64(&mut p, c.a_minus);
+            put_f64(&mut p, c.integral);
+            put_f64(&mut p, c.peak_energy);
+            put_f64s(&mut p, &c.mean);
+            put_f64s(&mut p, &c.std_err);
+        }
+        NetFrame::JobFailed { stream, seq, tag, step, of, error } => {
+            put_str(&mut p, stream);
+            put_u64(&mut p, *seq);
+            put_u64(&mut p, *tag);
+            put_u32(&mut p, *step);
+            put_u32(&mut p, *of);
+            put_str(&mut p, error);
+        }
+        NetFrame::StatsReply { tag, json } => {
+            put_u64(&mut p, *tag);
+            put_str(&mut p, json);
+        }
+    }
+    CODEC.frame(frame.type_byte(), p)
+}
+
+fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<NetFrame, NetError> {
+    let mut r = Reader::new(payload);
+    let frame = match type_byte {
+        1 => NetFrame::Submit {
+            stream: r.string()?,
+            tag: r.u64()?,
+            spec: r.string()?,
+            refine_steps: r.u32()?,
+        },
+        2 => NetFrame::Stats { tag: r.u64()? },
+        3 => NetFrame::Goodbye,
+        16 => NetFrame::Accepted { tag: r.u64()?, steps: r.u32()? },
+        17 => NetFrame::Rejected { tag: r.u64()?, retry_after_ms: r.u64()?, reason: r.string()? },
+        18 => NetFrame::Completion(Completion {
+            stream: r.string()?,
+            seq: r.u64()?,
+            tag: r.u64()?,
+            step: r.u32()?,
+            of: r.u32()?,
+            n: r.u32()?,
+            samples: r.u64()?,
+            a_plus: r.f64()?,
+            a_minus: r.f64()?,
+            integral: r.f64()?,
+            peak_energy: r.f64()?,
+            mean: r.f64s()?,
+            std_err: r.f64s()?,
+        }),
+        19 => NetFrame::JobFailed {
+            stream: r.string()?,
+            seq: r.u64()?,
+            tag: r.u64()?,
+            step: r.u32()?,
+            of: r.u32()?,
+            error: r.string()?,
+        },
+        20 => NetFrame::StatsReply { tag: r.u64()?, json: r.string()? },
+        21 => NetFrame::Bye,
+        other => return Err(NetError::Protocol(format!("unknown frame type {other}"))),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Decodes one full frame from a byte buffer.
+pub fn decode_bytes(bytes: &[u8]) -> Result<NetFrame, NetError> {
+    let (type_byte, payload) = CODEC.split_frame(bytes)?;
+    decode_payload(type_byte, payload)
+}
+
+/// Blocking read of one frame from a byte stream.
+///
+/// # Errors
+/// [`NetError::Io`] on read failure or EOF, [`NetError::Protocol`] on
+/// malformed frames.
+pub fn read_frame<R: std::io::Read>(reader: &mut R) -> Result<NetFrame, NetError> {
+    let (type_byte, payload) = CODEC.read_frame(reader)?;
+    decode_payload(type_byte, &payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: NetFrame) {
+        let bytes = encode(&frame);
+        assert_eq!(decode_bytes(&bytes).unwrap(), frame);
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cursor).unwrap(), frame);
+    }
+
+    #[test]
+    fn all_frames_roundtrip() {
+        roundtrip(NetFrame::Submit {
+            stream: "dos-sweep".into(),
+            tag: 42,
+            spec: "lattice=chain:64 moments=1024".into(),
+            refine_steps: 3,
+        });
+        roundtrip(NetFrame::Stats { tag: 7 });
+        roundtrip(NetFrame::Goodbye);
+        roundtrip(NetFrame::Accepted { tag: 42, steps: 3 });
+        roundtrip(NetFrame::Rejected { tag: 43, retry_after_ms: 250, reason: "queue full".into() });
+        roundtrip(NetFrame::Completion(Completion {
+            stream: "dos-sweep".into(),
+            seq: 2,
+            tag: 42,
+            step: 2,
+            of: 3,
+            n: 1024,
+            samples: 16,
+            a_plus: 0.125,
+            a_minus: 2.25,
+            integral: 0.999_999_3,
+            peak_energy: -0.013,
+            mean: vec![1.0, 0.1 + 0.2, f64::MIN_POSITIVE],
+            std_err: vec![0.0, 1e-8, -0.0],
+        }));
+        roundtrip(NetFrame::JobFailed {
+            stream: "dos-sweep".into(),
+            seq: 1,
+            tag: 42,
+            step: 1,
+            of: 3,
+            error: "kpm: degenerate spectrum".into(),
+        });
+        roundtrip(NetFrame::StatsReply { tag: 7, json: "{\"version\":1}".into() });
+        roundtrip(NetFrame::Bye);
+    }
+
+    #[test]
+    fn moment_bits_survive_exactly() {
+        let tricky = vec![0.1 + 0.2, 1.0 / 3.0, f64::from_bits(1), -1e-308];
+        let frame = NetFrame::Completion(Completion {
+            stream: "s".into(),
+            seq: 0,
+            tag: 0,
+            step: 0,
+            of: 1,
+            n: 4,
+            samples: 1,
+            a_plus: 0.0,
+            a_minus: 1.0,
+            integral: 1.0,
+            peak_energy: 0.0,
+            mean: tricky.clone(),
+            std_err: vec![0.0; 4],
+        });
+        let NetFrame::Completion(c) = decode_bytes(&encode(&frame)).unwrap() else {
+            panic!("expected completion");
+        };
+        for (a, b) in c.mean.iter().zip(&tricky) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn shard_frames_are_rejected_by_magic() {
+        // A KPSH frame accidentally sent to the net port must fail loudly.
+        let mut bytes = encode(&NetFrame::Goodbye);
+        bytes[..4].copy_from_slice(b"KPSH");
+        assert!(matches!(decode_bytes(&bytes), Err(NetError::Protocol(_))));
+    }
+
+    #[test]
+    fn version_mismatch_and_unknown_type_are_protocol_errors() {
+        let mut bytes = encode(&NetFrame::Bye);
+        bytes[4] = 99;
+        assert!(matches!(decode_bytes(&bytes), Err(NetError::Protocol(_))));
+        let mut bytes = encode(&NetFrame::Bye);
+        bytes[6] = 99;
+        assert!(matches!(decode_bytes(&bytes), Err(NetError::Protocol(_))));
+    }
+
+    #[test]
+    fn eof_is_io_error() {
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut empty), Err(NetError::Io(_))));
+    }
+}

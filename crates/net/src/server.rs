@@ -1,0 +1,135 @@
+//! The TCP front-end: accept loop, session lifecycle, shutdown.
+
+use crate::error::NetError;
+use crate::session::{self, Registry, SessionContext};
+use crate::NetConfig;
+use kpm_serve::{BatchConfig, BatchReport, BatchService, MomentEngine};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A running network front-end over a [`BatchService`].
+///
+/// Sessions run on their own threads; jobs execute on the service's worker
+/// pool exactly as batch jobs do (same queue, cache, retry machinery), so
+/// network results are bitwise identical to `kpm batch` runs of the same
+/// specs. Shut down with [`NetServer::finish`].
+pub struct NetServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: std::thread::JoinHandle<()>,
+    session_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    service: Arc<BatchService>,
+    registry: Arc<Registry>,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port),
+    /// starts the batch service, and begins accepting sessions.
+    ///
+    /// # Errors
+    /// [`NetError::Io`] if the listener cannot bind.
+    pub fn start(
+        addr: &str,
+        config: BatchConfig,
+        engine: Option<Arc<dyn MomentEngine>>,
+        net: NetConfig,
+    ) -> Result<NetServer, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let registry = Arc::new(Registry::default());
+        let queue_capacity = config.queue_capacity;
+
+        // The completion hook captures only the registry — never the
+        // service — so the service stays uniquely owned once the session
+        // and accept threads are joined (see `finish`).
+        let hook_registry = Arc::clone(&registry);
+        let service = Arc::new(BatchService::start_full(
+            config,
+            engine,
+            Some(Arc::new(move |record| session::deliver(&hook_registry, record))),
+        ));
+        // Count prefix upgrades as refinement progress in the net stats.
+        let observer_registry = Arc::clone(&registry);
+        service.cache().set_upgrade_observer(Arc::new(move |_key, _n| {
+            observer_registry.metrics.cache_refinements.inc();
+        }));
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let session_threads = Arc::new(Mutex::new(Vec::new()));
+        let ctx = Arc::new(SessionContext {
+            service: Arc::clone(&service),
+            registry: Arc::clone(&registry),
+            config: net,
+            submit_lock: Arc::new(Mutex::new(())),
+            queue_capacity,
+        });
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_sessions = Arc::clone(&session_threads);
+        let accept_thread = std::thread::Builder::new()
+            .name("kpm-net-accept".into())
+            .spawn(move || {
+                let next_session = AtomicU64::new(1);
+                loop {
+                    match listener.accept() {
+                        Ok((socket, _peer)) => {
+                            let id = next_session.fetch_add(1, Ordering::Relaxed);
+                            let ctx = Arc::clone(&ctx);
+                            let handle = std::thread::Builder::new()
+                                .name(format!("kpm-net-session-{id}"))
+                                .spawn(move || session::run_session(socket, id, &ctx))
+                                .expect("spawn session");
+                            accept_sessions.lock().expect("sessions vec lock").push(handle);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            if accept_stop.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => return,
+                    }
+                }
+            })
+            .expect("spawn accept loop");
+
+        Ok(NetServer { local_addr, stop, accept_thread, session_threads, service, registry })
+    }
+
+    /// The bound address (resolves the port when started with `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Jobs currently waiting in the service queue.
+    pub fn queue_depth(&self) -> usize {
+        self.service.queue_depth()
+    }
+
+    /// The `net-stats` JSON document (same payload the `Stats` command
+    /// returns over the wire).
+    pub fn stats_json(&self) -> String {
+        self.registry.stats_json(&self.service)
+    }
+
+    /// Stops accepting, force-closes live sessions (already-queued frames
+    /// still flush to clients), drains the job queue, and returns the batch
+    /// report covering every job the server admitted.
+    pub fn finish(self) -> BatchReport {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.accept_thread.join();
+        self.registry.shutdown_sessions();
+        for handle in self.session_threads.lock().expect("sessions vec lock").drain(..) {
+            let _ = handle.join();
+        }
+        // All service clones lived in the accept/session threads just
+        // joined; the hook holds only the registry.
+        let service = Arc::try_unwrap(self.service)
+            .unwrap_or_else(|_| panic!("batch service still shared at shutdown"));
+        service.finish()
+    }
+}

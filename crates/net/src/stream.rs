@@ -1,0 +1,102 @@
+//! Per-stream FIFO reorder buffer.
+//!
+//! Jobs execute on the shared worker pool in whatever order the priority
+//! queue and the pool's parallelism dictate, so completions for one stream
+//! can arrive out of order. The protocol promises FIFO *delivery* within a
+//! stream: each submission step reserves the next sequence number at
+//! admission time, and a completed frame is released only once every lower
+//! seq has been released before it. Across streams nothing is held back —
+//! that independence is the point of having streams.
+
+use std::collections::BTreeMap;
+
+/// Reorder buffer for one named stream.
+#[derive(Debug, Default)]
+pub struct StreamFifo {
+    next_reserved: u64,
+    next_to_release: u64,
+    parked: BTreeMap<u64, Vec<u8>>,
+}
+
+impl StreamFifo {
+    /// Reserves the next sequence number (at admission time, so wire order
+    /// within the stream matches admission order regardless of execution
+    /// order).
+    pub fn reserve(&mut self) -> u64 {
+        let seq = self.next_reserved;
+        self.next_reserved += 1;
+        seq
+    }
+
+    /// Marks `seq` complete with its encoded frame; returns every frame
+    /// that is now releasable, in seq order (empty while a predecessor is
+    /// still outstanding).
+    pub fn complete(&mut self, seq: u64, frame: Vec<u8>) -> Vec<Vec<u8>> {
+        debug_assert!(seq < self.next_reserved, "completing an unreserved seq");
+        self.parked.insert(seq, frame);
+        let mut released = Vec::new();
+        while let Some(frame) = self.parked.remove(&self.next_to_release) {
+            released.push(frame);
+            self.next_to_release += 1;
+        }
+        released
+    }
+
+    /// Completions parked behind an outstanding predecessor.
+    pub fn parked(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Reserved sequence numbers not yet released.
+    pub fn outstanding(&self) -> u64 {
+        self.next_reserved - self.next_to_release
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tagged(n: u8) -> Vec<u8> {
+        vec![n]
+    }
+
+    #[test]
+    fn in_order_completions_release_immediately() {
+        let mut fifo = StreamFifo::default();
+        let (a, b) = (fifo.reserve(), fifo.reserve());
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(fifo.complete(a, tagged(0)), vec![tagged(0)]);
+        assert_eq!(fifo.complete(b, tagged(1)), vec![tagged(1)]);
+        assert_eq!(fifo.outstanding(), 0);
+    }
+
+    #[test]
+    fn out_of_order_completions_are_parked_then_drained_in_seq_order() {
+        let mut fifo = StreamFifo::default();
+        let seqs: Vec<u64> = (0..4).map(|_| fifo.reserve()).collect();
+        // Finish 2, 1, 3 first: nothing releasable until 0 lands.
+        assert!(fifo.complete(seqs[2], tagged(2)).is_empty());
+        assert!(fifo.complete(seqs[1], tagged(1)).is_empty());
+        assert!(fifo.complete(seqs[3], tagged(3)).is_empty());
+        assert_eq!(fifo.parked(), 3);
+        assert_eq!(
+            fifo.complete(seqs[0], tagged(0)),
+            vec![tagged(0), tagged(1), tagged(2), tagged(3)],
+        );
+        assert_eq!(fifo.parked(), 0);
+        assert_eq!(fifo.outstanding(), 0);
+    }
+
+    #[test]
+    fn release_resumes_mid_stream_after_a_gap() {
+        let mut fifo = StreamFifo::default();
+        for _ in 0..3 {
+            fifo.reserve();
+        }
+        assert!(fifo.complete(2, tagged(2)).is_empty());
+        assert_eq!(fifo.complete(0, tagged(0)), vec![tagged(0)]);
+        assert_eq!(fifo.outstanding(), 2);
+        assert_eq!(fifo.complete(1, tagged(1)), vec![tagged(1), tagged(2)]);
+    }
+}

@@ -1,0 +1,258 @@
+//! The CI `net-integration` scenario: one localhost server, four concurrent
+//! client sessions — two mixed-stream submitters, one slow reader, one
+//! flooding client that must be shed — asserting FIFO-per-stream delivery,
+//! load shedding without stalling accepted work, and byte-identical results
+//! versus the cold batch path.
+
+use kpm_net::{Completion, NetClient, NetConfig, NetFrame, NetServer};
+use kpm_serve::worker::compute_raw_moments;
+use kpm_serve::{BatchConfig, JobSpec};
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn server() -> NetServer {
+    NetServer::start(
+        "127.0.0.1:0",
+        BatchConfig {
+            workers: 2,
+            queue_capacity: 16,
+            timeout: Duration::from_secs(60),
+            max_retries: 0,
+            ..BatchConfig::default()
+        },
+        None,
+        NetConfig { max_inflight_per_session: 8 },
+    )
+    .unwrap()
+}
+
+/// Cold single-process reference for a spec line (the `kpm batch` path —
+/// serve's own tests pin `compute_raw_moments` bitwise against it).
+fn cold_mean_bits(spec: &str) -> Vec<u64> {
+    let (stats, _, _) = compute_raw_moments(&JobSpec::parse(spec).unwrap(), 0).unwrap();
+    stats.mean.iter().map(|m| m.to_bits()).collect()
+}
+
+/// Submits with bounded retry on `Rejected` (the shed-and-retry protocol a
+/// well-behaved client follows under load).
+fn submit_with_retry(client: &mut NetClient, stream: &str, tag: u64, spec: &str) {
+    client.submit(stream, tag, spec, 1).unwrap();
+}
+
+/// Reads frames until `want` completions have arrived, honoring retries for
+/// rejected tags; returns completions in arrival order.
+fn collect(
+    client: &mut NetClient,
+    pending: &mut HashMap<u64, (String, String)>,
+    delay: Duration,
+) -> Vec<Completion> {
+    let mut got = Vec::new();
+    while !pending.is_empty() {
+        if !delay.is_zero() {
+            std::thread::sleep(delay); // a deliberately slow reader
+        }
+        match client.recv().unwrap() {
+            NetFrame::Accepted { .. } => {}
+            NetFrame::Rejected { tag, retry_after_ms, reason } => {
+                // Shed: back off and resubmit the same work.
+                assert!(retry_after_ms > 0, "load shed must carry a retry hint: {reason}");
+                std::thread::sleep(Duration::from_millis(retry_after_ms.min(200)));
+                let (stream, spec) = pending[&tag].clone();
+                submit_with_retry(client, &stream, tag, &spec);
+            }
+            NetFrame::Completion(c) => {
+                pending.remove(&c.tag);
+                got.push(c);
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    got
+}
+
+fn run_client(
+    addr: &str,
+    name: &str,
+    jobs: Vec<(String, String)>,
+    delay: Duration,
+) -> Vec<Completion> {
+    let mut client = NetClient::connect(addr).unwrap();
+    let mut pending: HashMap<u64, (String, String)> = HashMap::new();
+    for (tag, (stream, spec)) in jobs.into_iter().enumerate() {
+        submit_with_retry(&mut client, &stream, tag as u64, &spec);
+        pending.insert(tag as u64, (stream, spec));
+    }
+    let got = collect(&mut client, &mut pending, delay);
+    client.goodbye().unwrap();
+    loop {
+        match client.recv().unwrap() {
+            NetFrame::Bye => break,
+            NetFrame::Accepted { .. } | NetFrame::Rejected { .. } => {}
+            other => panic!("{name}: unexpected frame after goodbye: {other:?}"),
+        }
+    }
+    got
+}
+
+#[test]
+fn four_concurrent_clients_mixed_slow_and_flooding() {
+    let server = server();
+    let addr = server.local_addr().to_string();
+
+    // Distinct specs so each client's results are attributable; all cheap.
+    let mixed_a: Vec<(String, String)> = (0..6)
+        .map(|i| {
+            let stream = if i % 2 == 0 { "even" } else { "odd" };
+            (stream.into(), format!("lattice=chain:32 moments=64 random=2 sets=1 seed={i}"))
+        })
+        .collect();
+    let mixed_b: Vec<(String, String)> = (0..6)
+        .map(|i| ("sweep".into(), format!("lattice=chain:24 moments=48 random=1 sets=2 seed={i}")))
+        .collect();
+    let slow: Vec<(String, String)> = (0..3)
+        .map(|i| ("slow".into(), format!("lattice=chain:16 moments=32 random=1 sets=1 seed={i}")))
+        .collect();
+
+    let threads: Vec<std::thread::JoinHandle<Vec<Completion>>> = vec![
+        {
+            let (addr, jobs) = (addr.clone(), mixed_a.clone());
+            std::thread::spawn(move || run_client(&addr, "mixed-a", jobs, Duration::ZERO))
+        },
+        {
+            let (addr, jobs) = (addr.clone(), mixed_b.clone());
+            std::thread::spawn(move || run_client(&addr, "mixed-b", jobs, Duration::ZERO))
+        },
+        {
+            let (addr, jobs) = (addr.clone(), slow.clone());
+            std::thread::spawn(move || run_client(&addr, "slow", jobs, Duration::from_millis(40)))
+        },
+        {
+            // The flooding client: 40 sleepy jobs fired at wire speed into a
+            // 16-slot queue behind an 8-job session budget — most must be
+            // shed. It submits without reading, then drains.
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(&addr).unwrap();
+                for tag in 0..40u64 {
+                    client
+                        .submit(
+                            "flood",
+                            tag,
+                            "lattice=chain:16 moments=16 random=1 sets=1 fault=sleep:20",
+                            1,
+                        )
+                        .unwrap();
+                }
+                client.goodbye().unwrap();
+                let (mut accepted, mut rejected, mut completions) = (0u32, 0u32, Vec::new());
+                loop {
+                    match client.recv().unwrap() {
+                        NetFrame::Accepted { .. } => accepted += 1,
+                        NetFrame::Rejected { retry_after_ms, .. } => {
+                            assert!(retry_after_ms > 0);
+                            rejected += 1;
+                        }
+                        NetFrame::Completion(c) => completions.push(c),
+                        NetFrame::Bye => break,
+                        other => panic!("flood: unexpected frame {other:?}"),
+                    }
+                }
+                assert!(rejected > 0, "flooding client must be shed");
+                assert_eq!(
+                    completions.len() as u32,
+                    accepted,
+                    "every accepted job completes despite the shedding"
+                );
+                completions
+            })
+        },
+    ];
+
+    let results: Vec<Vec<Completion>> =
+        threads.into_iter().map(|t| t.join().expect("client thread")).collect();
+
+    // FIFO within every stream: arrival order == seq order, seqs contiguous.
+    for completions in &results {
+        let mut per_stream: HashMap<&str, u64> = HashMap::new();
+        for c in completions {
+            let next = per_stream.entry(c.stream.as_str()).or_insert(0);
+            assert_eq!(c.seq, *next, "FIFO violated on stream {}", c.stream);
+            *next += 1;
+        }
+    }
+
+    // Byte-identical to the cold batch path, for every client's jobs.
+    for (completions, jobs) in results.iter().zip([&mixed_a, &mixed_b, &slow]) {
+        assert_eq!(completions.len(), jobs.len());
+        for c in completions {
+            let (_, spec) = &jobs[c.tag as usize];
+            let cold = cold_mean_bits(spec);
+            let streamed: Vec<u64> = c.mean.iter().map(|m| m.to_bits()).collect();
+            assert_eq!(streamed, cold, "moments for {spec} differ from the batch path");
+        }
+    }
+    // (The flooding client's jobs share one spec; spot-check it too.)
+    let flood_cold = cold_mean_bits("lattice=chain:16 moments=16 random=1 sets=1 fault=sleep:20");
+    for c in &results[3] {
+        let streamed: Vec<u64> = c.mean.iter().map(|m| m.to_bits()).collect();
+        assert_eq!(streamed, flood_cold);
+    }
+
+    let report = server.finish();
+    assert_eq!(report.failed(), 0, "{}", report.render());
+}
+
+#[test]
+fn stats_command_returns_the_versioned_schema() {
+    use kpm_obs::json::{parse, Value};
+    let server = server();
+    let mut client = NetClient::connect(&server.local_addr().to_string()).unwrap();
+    // Put one job through so the counters are nonzero.
+    client.submit_and_collect("s", 1, "lattice=chain:16 moments=16 random=1 sets=1", 1).unwrap();
+    client.stats(99).unwrap();
+    let NetFrame::StatsReply { tag, json } = client.recv().unwrap() else {
+        panic!("expected stats reply")
+    };
+    assert_eq!(tag, 99);
+
+    let value = parse(&json).expect("net-stats JSON parses");
+    assert_eq!(value.get("version").and_then(Value::as_u64), Some(1));
+    assert_eq!(value.get("kind").and_then(Value::as_str), Some("net-stats"));
+    let serve = value.get("serve").expect("nested serve metrics");
+    assert_eq!(serve.get("kind").and_then(Value::as_str), Some("serve-metrics"));
+    assert!(
+        serve.get("counters").and_then(|c| c.get("serve.jobs.submitted")).is_some(),
+        "serve counters present"
+    );
+    let net = value.get("net").expect("net section");
+    let counters = net.get("counters").expect("net counters");
+    assert_eq!(counters.get("net.sessions.opened").and_then(Value::as_u64), Some(1));
+    assert_eq!(counters.get("net.submissions.accepted").and_then(Value::as_u64), Some(1));
+    assert_eq!(counters.get("net.jobs.delivered").and_then(Value::as_u64), Some(1));
+    assert_eq!(counters.get("net.stats.requests").and_then(Value::as_u64), Some(1));
+    let gauges = net.get("gauges").expect("net gauges");
+    assert_eq!(gauges.get("net.sessions.open").and_then(Value::as_u64), Some(1));
+    assert_eq!(gauges.get("net.jobs.inflight").and_then(Value::as_u64), Some(0));
+
+    client.goodbye().unwrap();
+    assert!(matches!(client.recv().unwrap(), NetFrame::Bye));
+    server.finish();
+}
+
+#[test]
+fn invalid_spec_is_rejected_without_a_retry_hint() {
+    let server = server();
+    let mut client = NetClient::connect(&server.local_addr().to_string()).unwrap();
+    client.submit("s", 5, "lattice=klein-bottle:7 moments=banana", 1).unwrap();
+    match client.recv().unwrap() {
+        NetFrame::Rejected { tag, retry_after_ms, reason } => {
+            assert_eq!(tag, 5);
+            assert_eq!(retry_after_ms, 0, "invalid requests must not suggest retrying");
+            assert!(reason.contains("bad spec"), "{reason}");
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    client.goodbye().unwrap();
+    assert!(matches!(client.recv().unwrap(), NetFrame::Bye));
+    server.finish();
+}

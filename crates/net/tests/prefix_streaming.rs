@@ -1,0 +1,78 @@
+//! The streaming-refinement exactness guarantee (ISSUE 6 acceptance
+//! criterion): every partial result at order N delivered over the wire is
+//! bitwise identical to a cold single-process run at N — through the local
+//! compute path and through the sharded engine.
+
+use kpm_net::{NetClient, NetConfig, NetFrame, NetServer};
+use kpm_serve::worker::compute_raw_moments;
+use kpm_serve::{BatchConfig, JobSpec};
+use kpm_shard::ShardedEngine;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SPEC: &str = "lattice=chain:48 moments=1024 random=2 sets=1 seed=3";
+const LADDER: [usize; 3] = [64, 256, 1024];
+
+fn quick_config() -> BatchConfig {
+    BatchConfig {
+        workers: 2,
+        timeout: Duration::from_secs(60),
+        max_retries: 0,
+        ..BatchConfig::default()
+    }
+}
+
+fn spec_at(n: usize) -> JobSpec {
+    let mut spec = JobSpec::parse(SPEC).unwrap();
+    spec.num_moments = n;
+    spec
+}
+
+/// Submits the ladder and checks each streamed partial bitwise against an
+/// independent cold run at that order.
+fn assert_refinement_matches_cold_runs(server: NetServer) {
+    let addr = server.local_addr().to_string();
+    let mut client = NetClient::connect(&addr).unwrap();
+    let completions = client.submit_and_collect("refine", 7, SPEC, 3).unwrap();
+    client.goodbye().unwrap();
+    assert!(matches!(client.recv().unwrap(), NetFrame::Bye));
+    let report = server.finish();
+    assert_eq!(report.failed(), 0, "{}", report.render());
+
+    assert_eq!(completions.len(), 3);
+    for (step, (completion, &n)) in completions.iter().zip(&LADDER).enumerate() {
+        assert_eq!(completion.step, step as u32);
+        assert_eq!(completion.of, 3);
+        assert_eq!(completion.seq, step as u64, "FIFO within the stream");
+        assert_eq!(completion.n as usize, n);
+
+        // The cold reference: a fresh single-process run at exactly this
+        // order (the same path `kpm batch`/`kpm dos` take).
+        let (cold, a_plus, a_minus) = compute_raw_moments(&spec_at(n), 0).unwrap();
+        assert_eq!(completion.a_plus.to_bits(), a_plus.to_bits());
+        assert_eq!(completion.a_minus.to_bits(), a_minus.to_bits());
+        assert_eq!(completion.mean.len(), n);
+        for (streamed, cold) in completion.mean.iter().zip(&cold.mean) {
+            assert_eq!(streamed.to_bits(), cold.to_bits(), "mean bits at order {n}");
+        }
+        for (streamed, cold) in completion.std_err.iter().zip(&cold.std_err) {
+            assert_eq!(streamed.to_bits(), cold.to_bits(), "std_err bits at order {n}");
+        }
+    }
+}
+
+#[test]
+fn refinement_ladder_is_bitwise_identical_to_cold_runs() {
+    let server =
+        NetServer::start("127.0.0.1:0", quick_config(), None, NetConfig::default()).unwrap();
+    assert_refinement_matches_cold_runs(server);
+}
+
+#[test]
+fn refinement_through_sharded_engine_is_bitwise_identical() {
+    let engine = Arc::new(ShardedEngine::local(2));
+    let server =
+        NetServer::start("127.0.0.1:0", quick_config(), Some(engine), NetConfig::default())
+            .unwrap();
+    assert_refinement_matches_cold_runs(server);
+}

@@ -375,6 +375,58 @@ impl Counter {
     }
 }
 
+/// A named, always-live up/down gauge cell (point-in-time metric).
+///
+/// Where a [`Counter`] only ever grows, a gauge tracks a level that rises
+/// and falls — open network sessions, per-client in-flight jobs, queue
+/// occupancy. Decrements saturate at zero rather than wrapping, so a
+/// double-release bug reads as a stuck-low gauge instead of a number near
+/// `u64::MAX`.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a zeroed gauge with the given canonical name.
+    pub const fn new(name: &'static str) -> Gauge {
+        Gauge { name, value: AtomicU64::new(0) }
+    }
+
+    /// The canonical metric name, e.g. `"net.sessions.open"`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Raises the level by one and returns the new value.
+    #[inline]
+    pub fn inc(&self) -> u64 {
+        self.value.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Lowers the level by one, saturating at zero.
+    #[inline]
+    pub fn dec(&self) {
+        // fetch_update never wraps below zero even under concurrent decs.
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(1)));
+    }
+
+    /// Sets the level directly (e.g. mirroring a queue depth).
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
 /// Lock-free log₂-bucketed latency histogram (microsecond resolution).
 ///
 /// Bucket `i` counts samples with `floor(log2(µs)) == i`, saturating at the
@@ -538,6 +590,41 @@ mod tests {
         assert_eq!(spans[1].get("parent").and_then(json::Value::as_u64), Some(0));
         let counters = value.get("counters").unwrap();
         assert_eq!(counters.get("kpm.realizations").and_then(json::Value::as_u64), Some(28));
+    }
+
+    #[test]
+    fn gauge_rises_falls_and_saturates_at_zero() {
+        static OPEN: Gauge = Gauge::new("net.sessions.open");
+        assert_eq!(OPEN.name(), "net.sessions.open");
+        assert_eq!(OPEN.inc(), 1);
+        assert_eq!(OPEN.inc(), 2);
+        OPEN.dec();
+        assert_eq!(OPEN.get(), 1);
+        OPEN.dec();
+        OPEN.dec(); // extra release must not wrap
+        assert_eq!(OPEN.get(), 0);
+        OPEN.set(7);
+        assert_eq!(OPEN.get(), 7);
+        OPEN.set(0);
+    }
+
+    #[test]
+    fn gauge_is_consistent_under_concurrent_inc_dec() {
+        let gauge = std::sync::Arc::new(Gauge::new("net.inflight"));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let g = std::sync::Arc::clone(&gauge);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    g.inc();
+                    g.dec();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(gauge.get(), 0);
     }
 
     #[test]

@@ -70,11 +70,16 @@ struct Inner {
     tick: u64,
 }
 
+/// Callback invoked after an entry is upgraded to a higher order; receives
+/// the cache key and the new order. See [`MomentCache::set_upgrade_observer`].
+pub type UpgradeObserver = std::sync::Arc<dyn Fn(u64, usize) + Send + Sync>;
+
 /// The cache. All methods take `&self`; a mutex guards the map.
 pub struct MomentCache {
     inner: Mutex<Inner>,
     capacity: usize,
     dir: Option<PathBuf>,
+    observer: Mutex<Option<UpgradeObserver>>,
 }
 
 impl MomentCache {
@@ -85,7 +90,21 @@ impl MomentCache {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize, dir: Option<PathBuf>) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        Self { inner: Mutex::new(Inner { entries: HashMap::new(), tick: 0 }), capacity, dir }
+        Self {
+            inner: Mutex::new(Inner { entries: HashMap::new(), tick: 0 }),
+            capacity,
+            dir,
+            observer: Mutex::new(None),
+        }
+    }
+
+    /// Registers a callback fired whenever [`MomentCache::insert`] upgrades
+    /// an existing entry to a higher order (the prefix-extension event a
+    /// streaming-refinement front-end watches for). The observer runs
+    /// outside the entry lock, so it may call back into the cache. At most
+    /// one observer; a later call replaces the earlier one.
+    pub fn set_upgrade_observer(&self, observer: UpgradeObserver) {
+        *self.observer.lock().expect("observer lock") = Some(observer);
     }
 
     /// Entries currently held.
@@ -130,6 +149,7 @@ impl MomentCache {
     /// than what is already cached is ignored — the cache only grows more
     /// capable. Evicts least-recently-used entries beyond capacity.
     pub fn insert(&self, key: u64, stats: MomentStats, a_plus: f64, a_minus: f64) -> InsertReport {
+        let new_n = stats.num_moments();
         let mut inner = self.inner.lock().expect("cache lock");
         inner.tick += 1;
         let tick = inner.tick;
@@ -157,6 +177,13 @@ impl MomentCache {
                 .expect("nonempty over-capacity cache");
             inner.entries.remove(&oldest);
             evicted += 1;
+        }
+        drop(inner);
+        if upgraded {
+            let observer = self.observer.lock().expect("observer lock").clone();
+            if let Some(observer) = observer {
+                observer(key, new_n);
+            }
         }
         InsertReport { upgraded, evicted }
     }
@@ -284,6 +311,23 @@ mod tests {
         let report = cache.insert(1, stats(4, 0.1), 0.0, 1.0);
         assert!(!report.upgraded);
         assert!(matches!(cache.lookup(1, 16), Lookup::Hit(_)));
+    }
+
+    #[test]
+    fn upgrade_observer_fires_only_on_prefix_extension() {
+        use std::sync::{Arc, Mutex};
+        let cache = MomentCache::new(4, None);
+        let events: Arc<Mutex<Vec<(u64, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        cache.set_upgrade_observer(Arc::new(move |key, n| {
+            sink.lock().unwrap().push((key, n));
+        }));
+        cache.insert(9, stats(8, 0.1), 0.0, 1.0); // fresh: no event
+        cache.insert(9, stats(8, 0.1), 0.0, 1.0); // same order: no event
+        cache.insert(9, stats(4, 0.1), 0.0, 1.0); // downgrade attempt: no event
+        cache.insert(9, stats(16, 0.1), 0.0, 1.0); // upgrade
+        cache.insert(9, stats(32, 0.1), 0.0, 1.0); // upgrade again
+        assert_eq!(*events.lock().unwrap(), vec![(9, 16), (9, 32)]);
     }
 
     #[test]

@@ -105,6 +105,11 @@ pub struct JobSuccess {
     /// The raw moments behind the reconstruction (bitwise comparable to a
     /// one-shot run with the same spec).
     pub moments: kpm::MomentStats,
+    /// Rescaling centre the moments were computed with — carried so a
+    /// remote consumer can reconstruct on the original energy axis.
+    pub a_plus: f64,
+    /// Rescaling half-width the moments were computed with.
+    pub a_minus: f64,
     /// Where the moments came from.
     pub cache: CacheStatus,
     /// Wall-clock from dequeue to completion.
@@ -244,6 +249,13 @@ impl BatchReport {
     }
 }
 
+/// Callback invoked by a worker thread the moment a job reaches a terminal
+/// state (completed or failed), before the record lands in the final
+/// report. This is the delivery path for asynchronous front-ends (the net
+/// server pushes completion frames from it), so implementations must not
+/// block: hand the record off to a queue or channel and return.
+pub type CompletionHook = Arc<dyn Fn(&JobRecord) + Send + Sync>;
+
 /// The running service: queue + worker pool + cache + metrics.
 pub struct BatchService {
     queue: Arc<JobQueue>,
@@ -264,6 +276,17 @@ impl BatchService {
     /// Starts the worker pool with an optional [`MomentEngine`] replacing
     /// the local compute path (`None` behaves exactly like [`start`](Self::start)).
     pub fn start_with_engine(config: BatchConfig, engine: Option<Arc<dyn MomentEngine>>) -> Self {
+        Self::start_full(config, engine, None)
+    }
+
+    /// Starts the worker pool with an optional engine and an optional
+    /// [`CompletionHook`] that observes every terminal job record as it is
+    /// produced (asynchronous delivery for network front-ends).
+    pub fn start_full(
+        config: BatchConfig,
+        engine: Option<Arc<dyn MomentEngine>>,
+        on_complete: Option<CompletionHook>,
+    ) -> Self {
         worker::silence_compute_panics();
         let workers = if config.workers > 0 {
             config.workers
@@ -286,6 +309,7 @@ impl BatchService {
                 backoff_base: config.backoff_base,
             },
             engine,
+            on_complete,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -326,6 +350,12 @@ impl BatchService {
     /// Live metrics handle.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The moment cache behind the worker pool (e.g. to register a
+    /// [`cache::UpgradeObserver`] for streaming-refinement telemetry).
+    pub fn cache(&self) -> &MomentCache {
+        &self.cache
     }
 
     /// Machine-readable metrics snapshot: versioned JSON carrying the same
@@ -570,6 +600,39 @@ mod tests {
             let JobOutcome::Completed(s) = &r.outcome else { panic!("completed") };
             assert_eq!(s.moments.mean, direct.0.mean);
         }
+    }
+
+    #[test]
+    fn completion_hook_sees_every_terminal_record_before_finish() {
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<(JobId, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let service = BatchService::start_full(
+            BatchConfig { workers: 1, max_retries: 0, ..quick_config() },
+            None,
+            Some(Arc::new(move |record: &JobRecord| {
+                let ok = matches!(record.outcome, JobOutcome::Completed(_));
+                sink.lock().unwrap().push((record.id, ok));
+            })),
+        );
+        let ok_id = service.submit(job("lattice=chain:16 moments=16 random=1 sets=1")).unwrap();
+        let bad_id = service.submit(job("lattice=chain:16 moments=16 fault=panic")).unwrap();
+        let report = service.finish();
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.failed(), 1);
+        // Both terminal outcomes were delivered to the hook, in worker order
+        // (one worker = submission order), and the success carries the
+        // rescale parameters a remote consumer needs.
+        assert_eq!(*seen.lock().unwrap(), vec![(ok_id, true), (bad_id, false)]);
+        let success = report
+            .records
+            .iter()
+            .find_map(|r| match &r.outcome {
+                JobOutcome::Completed(s) => Some(s),
+                _ => None,
+            })
+            .unwrap();
+        assert!(success.a_minus > 0.0, "rescale half-width travels with the record");
     }
 
     #[test]

@@ -79,6 +79,7 @@ pub(crate) struct WorkerContext {
     pub results: Arc<Mutex<BTreeMap<JobId, JobRecord>>>,
     pub policy: WorkerPolicy,
     pub engine: Option<Arc<dyn crate::MomentEngine>>,
+    pub on_complete: Option<crate::CompletionHook>,
 }
 
 /// Worker main loop: drain the queue until it closes.
@@ -99,6 +100,12 @@ pub(crate) fn run_worker(ctx: Arc<WorkerContext>) {
             JobOutcome::Completed(_) => bump(&ctx.metrics.completed),
             JobOutcome::Failed { .. } => bump(&ctx.metrics.failed),
             JobOutcome::Cancelled => bump(&ctx.metrics.cancelled),
+        }
+        // Deliver the terminal record to the front-end hook before it lands
+        // in the report map; the hook contract (see [`crate::CompletionHook`])
+        // is non-blocking handoff.
+        if let Some(hook) = &ctx.on_complete {
+            hook(&record);
         }
         ctx.results.lock().expect("results lock").insert(job.id, record);
     }
@@ -168,6 +175,8 @@ fn process(ctx: &WorkerContext, id: JobId, spec: &JobSpec) -> JobRecord {
                 integral: dos.integrate(),
                 peak_energy: dos.peak_energy(),
                 moments: dos.moments,
+                a_plus: hit.a_plus,
+                a_minus: hit.a_minus,
                 cache: cache_status,
                 duration: started.elapsed(),
                 wrote,

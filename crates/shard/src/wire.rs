@@ -1,35 +1,43 @@
 //! The versioned, length-prefixed binary wire protocol.
 //!
-//! Every frame is
+//! Framing (magic `KPSH`, version checked on every frame) rides on the
+//! shared [`kpm_wire`] codec — the same discipline `kpm-net` uses with its
+//! own magic — so both protocols share one header layout, one payload
+//! reader, and one set of bit-exact `f64` primitives. See `kpm-wire` for
+//! the byte-level format.
 //!
-//! ```text
-//! +--------+---------+------+-------------+----------------+
-//! | magic  | version | type | payload len | payload        |
-//! | "KPSH" | u16 LE  | u8   | u32 LE      | `len` bytes    |
-//! +--------+---------+------+-------------+----------------+
-//! ```
-//!
-//! All integers are little-endian. Strings are `u32` length + UTF-8 bytes.
 //! Moment rows travel as raw IEEE-754 bit patterns (`f64::to_bits`), never
 //! through decimal formatting, so a value arrives bit-for-bit as computed —
 //! the transport can not perturb the exact-merge guarantee.
 //!
-//! The version is checked on every frame; a mismatch is a
-//! [`ShardError::Protocol`], not a best-effort parse, because silently
-//! reinterpreting frames across protocol revisions could corrupt moments
-//! without failing loudly.
+//! A version mismatch is a [`ShardError::Protocol`], not a best-effort
+//! parse, because silently reinterpreting frames across protocol revisions
+//! could corrupt moments without failing loudly.
 
 use crate::error::ShardError;
+use kpm_wire::{put_str, put_u32, put_u64, Codec, Reader, WireError};
 
 /// Frame preamble.
 pub const MAGIC: [u8; 4] = *b"KPSH";
 /// Protocol revision; bump on any change to framing or payload layout.
 pub const VERSION: u16 = 1;
 /// Header length: magic + version + type + payload length.
-pub const HEADER_LEN: usize = 4 + 2 + 1 + 4;
+pub const HEADER_LEN: usize = kpm_wire::HEADER_LEN;
 /// Payloads above this are rejected as protocol violations (a corrupted
 /// length prefix must not trigger a multi-gigabyte allocation).
-pub const MAX_PAYLOAD: u32 = 1 << 30;
+pub const MAX_PAYLOAD: u32 = kpm_wire::MAX_PAYLOAD;
+
+/// The shard protocol's framing identity on the shared codec.
+pub const CODEC: Codec = Codec { magic: MAGIC, version: VERSION };
+
+impl From<WireError> for ShardError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(msg) => ShardError::Io(msg),
+            WireError::Protocol(msg) => ShardError::Protocol(msg),
+        }
+    }
+}
 
 /// One realization-range assignment for a worker.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,19 +109,6 @@ impl Frame {
     }
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
-
 /// Encodes a frame to its full wire representation (header + payload).
 pub fn encode(frame: &Frame) -> Vec<u8> {
     let mut payload = Vec::new();
@@ -146,82 +141,17 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
         }
         Frame::Shutdown => {}
     }
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
-    out.push(frame.type_byte());
-    put_u32(&mut out, payload.len() as u32);
-    out.extend_from_slice(&payload);
-    out
-}
-
-/// Cursor over a received payload.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ShardError> {
-        if self.pos + n > self.bytes.len() {
-            return Err(ShardError::Protocol(format!(
-                "truncated payload: wanted {n} bytes at offset {} of {}",
-                self.pos,
-                self.bytes.len()
-            )));
-        }
-        let slice = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
-    }
-
-    fn u32(&mut self) -> Result<u32, ShardError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
-    }
-
-    fn u64(&mut self) -> Result<u64, ShardError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
-    }
-
-    fn string(&mut self) -> Result<String, ShardError> {
-        let len = self.u32()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| ShardError::Protocol("non-UTF-8 string field".into()))
-    }
-
-    fn finish(self) -> Result<(), ShardError> {
-        if self.pos != self.bytes.len() {
-            return Err(ShardError::Protocol(format!(
-                "{} trailing payload bytes",
-                self.bytes.len() - self.pos
-            )));
-        }
-        Ok(())
-    }
+    CODEC.frame(frame.type_byte(), payload)
 }
 
 /// Validates a header, returning `(type byte, payload length)`.
 pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32), ShardError> {
-    if header[..4] != MAGIC {
-        return Err(ShardError::Protocol(format!("bad magic {:02x?}", &header[..4])));
-    }
-    let version = u16::from_le_bytes([header[4], header[5]]);
-    if version != VERSION {
-        return Err(ShardError::Protocol(format!(
-            "protocol version {version}, expected {VERSION}"
-        )));
-    }
-    let len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]);
-    if len > MAX_PAYLOAD {
-        return Err(ShardError::Protocol(format!("payload length {len} exceeds cap")));
-    }
-    Ok((header[6], len))
+    Ok(CODEC.parse_header(header)?)
 }
 
 /// Decodes a payload given its frame type byte.
 pub fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ShardError> {
-    let mut r = Reader { bytes: payload, pos: 0 };
+    let mut r = Reader::new(payload);
     let frame = match type_byte {
         1 => Frame::Ping { nonce: r.u64()? },
         2 => Frame::Pong { nonce: r.u64()? },
@@ -263,18 +193,7 @@ pub fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ShardError
 /// Decodes one full frame (header + payload) from a byte buffer, as the
 /// loopback transport delivers them.
 pub fn decode_bytes(bytes: &[u8]) -> Result<Frame, ShardError> {
-    if bytes.len() < HEADER_LEN {
-        return Err(ShardError::Protocol(format!("frame of {} bytes has no header", bytes.len())));
-    }
-    let header: [u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("header slice");
-    let (type_byte, len) = parse_header(&header)?;
-    let payload = &bytes[HEADER_LEN..];
-    if payload.len() != len as usize {
-        return Err(ShardError::Protocol(format!(
-            "payload length {} does not match header {len}",
-            payload.len()
-        )));
-    }
+    let (type_byte, payload) = CODEC.split_frame(bytes)?;
     decode_payload(type_byte, payload)
 }
 
@@ -284,11 +203,7 @@ pub fn decode_bytes(bytes: &[u8]) -> Result<Frame, ShardError> {
 /// [`ShardError::Io`] on read failure or EOF, [`ShardError::Protocol`] on
 /// malformed frames.
 pub fn read_frame<R: std::io::Read>(reader: &mut R) -> Result<Frame, ShardError> {
-    let mut header = [0u8; HEADER_LEN];
-    reader.read_exact(&mut header)?;
-    let (type_byte, len) = parse_header(&header)?;
-    let mut payload = vec![0u8; len as usize];
-    reader.read_exact(&mut payload)?;
+    let (type_byte, payload) = CODEC.read_frame(reader)?;
     decode_payload(type_byte, &payload)
 }
 
@@ -322,6 +237,18 @@ mod tests {
         }));
         roundtrip(Frame::WorkerError { job: 7, shard: 1, message: "kpm: bad".into() });
         roundtrip(Frame::Shutdown);
+    }
+
+    #[test]
+    fn frame_bytes_are_pinned_across_the_codec_extraction() {
+        // The shared-codec rewrite must not change a single wire byte:
+        // golden encoding of a Ping frame, field by field.
+        let bytes = encode(&Frame::Ping { nonce: 0x0102_0304_0506_0708 });
+        assert_eq!(&bytes[..4], b"KPSH");
+        assert_eq!(bytes[4..6], 1u16.to_le_bytes());
+        assert_eq!(bytes[6], 1); // type byte
+        assert_eq!(bytes[7..11], 8u32.to_le_bytes()); // payload length
+        assert_eq!(bytes[11..], 0x0102_0304_0506_0708u64.to_le_bytes());
     }
 
     #[test]

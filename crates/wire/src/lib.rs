@@ -1,0 +1,415 @@
+//! `kpm-wire` — the shared length-prefixed binary framing discipline.
+//!
+//! Both wire protocols in this workspace (`kpm-shard`'s coordinator/worker
+//! protocol, magic `KPSH`, and `kpm-net`'s client/server protocol, magic
+//! `KPNT`) frame every message identically:
+//!
+//! ```text
+//! +--------+---------+------+-------------+----------------+
+//! | magic  | version | type | payload len | payload        |
+//! | 4 B    | u16 LE  | u8   | u32 LE      | `len` bytes    |
+//! +--------+---------+------+-------------+----------------+
+//! ```
+//!
+//! All integers are little-endian. Strings are `u32` length + UTF-8 bytes.
+//! `f64` values travel as raw IEEE-754 bit patterns ([`put_f64`] /
+//! [`Reader::f64`]), never through decimal formatting, so a moment arrives
+//! bit-for-bit as computed — the transport cannot perturb an exact-result
+//! guarantee.
+//!
+//! A [`Codec`] pins one protocol's magic and version; header validation
+//! checks both on every frame, and a mismatch is a hard
+//! [`WireError::Protocol`] rather than a best-effort parse — silently
+//! reinterpreting frames across protocol revisions could corrupt payloads
+//! without failing loudly. Payload lengths above [`MAX_PAYLOAD`] are
+//! rejected up front so a corrupted length prefix can never trigger a
+//! multi-gigabyte allocation.
+
+use std::fmt;
+
+/// Header length: magic + version + type + payload length.
+pub const HEADER_LEN: usize = 4 + 2 + 1 + 4;
+
+/// Payloads above this are rejected as protocol violations.
+pub const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Transport failure (read error, EOF mid-frame).
+    Io(String),
+    /// The peer violated the framing or payload layout.
+    Protocol(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(msg) => write!(f, "io: {msg}"),
+            WireError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.to_string())
+    }
+}
+
+/// One protocol's framing identity: a 4-byte magic plus a version that is
+/// checked on every frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Codec {
+    /// Frame preamble bytes.
+    pub magic: [u8; 4],
+    /// Protocol revision; bump on any change to framing or payload layout.
+    pub version: u16,
+}
+
+impl Codec {
+    /// Assembles a full frame (header + payload) for a frame type.
+    pub fn frame(&self, type_byte: u8, payload: Vec<u8>) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&self.magic);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.push(type_byte);
+        put_u32(&mut out, payload.len() as u32);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Validates a header, returning `(type byte, payload length)`.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on bad magic, version mismatch, or an
+    /// oversized payload length.
+    pub fn parse_header(&self, header: &[u8; HEADER_LEN]) -> Result<(u8, u32), WireError> {
+        if header[..4] != self.magic {
+            return Err(WireError::Protocol(format!("bad magic {:02x?}", &header[..4])));
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != self.version {
+            return Err(WireError::Protocol(format!(
+                "protocol version {version}, expected {}",
+                self.version
+            )));
+        }
+        let len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]);
+        if len > MAX_PAYLOAD {
+            return Err(WireError::Protocol(format!("payload length {len} exceeds cap")));
+        }
+        Ok((header[6], len))
+    }
+
+    /// Splits one full frame (header + payload) out of a byte buffer, as
+    /// in-process loopback transports deliver them. The buffer must hold
+    /// exactly one frame.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on a malformed header or a payload whose
+    /// length disagrees with it.
+    pub fn split_frame<'a>(&self, bytes: &'a [u8]) -> Result<(u8, &'a [u8]), WireError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(WireError::Protocol(format!(
+                "frame of {} bytes has no header",
+                bytes.len()
+            )));
+        }
+        let header: [u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("header slice");
+        let (type_byte, len) = self.parse_header(&header)?;
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() != len as usize {
+            return Err(WireError::Protocol(format!(
+                "payload length {} does not match header {len}",
+                payload.len()
+            )));
+        }
+        Ok((type_byte, payload))
+    }
+
+    /// Blocking read of one frame's `(type byte, payload)` from a byte
+    /// stream (the TCP transports).
+    ///
+    /// # Errors
+    /// [`WireError::Io`] on read failure or EOF, [`WireError::Protocol`] on
+    /// a malformed header.
+    pub fn read_frame<R: std::io::Read>(&self, reader: &mut R) -> Result<(u8, Vec<u8>), WireError> {
+        let mut header = [0u8; HEADER_LEN];
+        reader.read_exact(&mut header)?;
+        let (type_byte, len) = self.parse_header(&header)?;
+        let mut payload = vec![0u8; len as usize];
+        reader.read_exact(&mut payload)?;
+        Ok((type_byte, payload))
+    }
+}
+
+// --- Payload writers ----------------------------------------------------
+
+/// Appends a `u32` in little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its raw IEEE-754 bit pattern (bit-exact transport).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends a length-prefixed `f64` slice, each value as raw bits.
+pub fn put_f64s(out: &mut Vec<u8>, values: &[f64]) {
+    put_u32(out, values.len() as u32);
+    for &v in values {
+        put_f64(out, v);
+    }
+}
+
+// --- Payload reader -----------------------------------------------------
+
+/// Cursor over a received payload. Every accessor fails loudly on
+/// truncation, and [`Reader::finish`] rejects trailing bytes, so a decoder
+/// consumes exactly what the encoder produced or errors.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Takes the next `n` raw bytes.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(WireError::Protocol(format!(
+                "truncated payload: wanted {n} bytes at offset {} of {}",
+                self.pos,
+                self.bytes.len()
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on truncation.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on truncation.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` from its raw bit pattern.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on truncation.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on truncation or invalid UTF-8.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Protocol("non-UTF-8 string field".into()))
+    }
+
+    /// Reads a length-prefixed `f64` vector written by [`put_f64s`]. The
+    /// declared length is bounded by the remaining payload before
+    /// allocation.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on truncation.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, WireError> {
+        let len = self.u32()? as usize;
+        if len.saturating_mul(8) > self.bytes.len() - self.pos {
+            return Err(WireError::Protocol(format!(
+                "f64 vector of {len} entries exceeds remaining payload"
+            )));
+        }
+        (0..len).map(|_| self.f64()).collect()
+    }
+
+    /// Asserts the payload was consumed exactly.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] when bytes remain.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.pos != self.bytes.len() {
+            return Err(WireError::Protocol(format!(
+                "{} trailing payload bytes",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const CODEC: Codec = Codec { magic: *b"TEST", version: 3 };
+
+    #[test]
+    fn frame_roundtrips_through_both_decode_paths() {
+        let payload = vec![1u8, 2, 3, 4, 5];
+        let bytes = CODEC.frame(9, payload.clone());
+        assert_eq!(bytes.len(), HEADER_LEN + payload.len());
+        let (t, p) = CODEC.split_frame(&bytes).unwrap();
+        assert_eq!((t, p), (9, payload.as_slice()));
+        let mut cursor = std::io::Cursor::new(bytes);
+        let (t, p) = CODEC.read_frame(&mut cursor).unwrap();
+        assert_eq!((t, p), (9, payload));
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_version_and_oversize() {
+        let mut bytes = CODEC.frame(1, Vec::new());
+        bytes[0] = b'X';
+        assert!(matches!(CODEC.split_frame(&bytes), Err(WireError::Protocol(_))));
+
+        let mut bytes = CODEC.frame(1, Vec::new());
+        bytes[4] = 99;
+        match CODEC.split_frame(&bytes) {
+            Err(WireError::Protocol(msg)) => assert!(msg.contains("version"), "{msg}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+
+        let mut bytes = CODEC.frame(1, Vec::new());
+        bytes[7..11].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        match CODEC.split_frame(&bytes) {
+            Err(WireError::Protocol(msg)) => assert!(msg.contains("cap"), "{msg}"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_rejected() {
+        let bytes = CODEC.frame(2, vec![7, 7, 7]);
+        assert!(matches!(
+            CODEC.split_frame(&bytes[..bytes.len() - 1]),
+            Err(WireError::Protocol(_))
+        ));
+        let mut extended = bytes;
+        extended.push(0);
+        assert!(matches!(CODEC.split_frame(&extended), Err(WireError::Protocol(_))));
+    }
+
+    #[test]
+    fn eof_is_io_error() {
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(CODEC.read_frame(&mut empty), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn reader_primitives_roundtrip() {
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 0xdead);
+        put_u64(&mut payload, u64::MAX - 1);
+        put_str(&mut payload, "kpm/wire ✓");
+        put_f64(&mut payload, -0.0);
+        put_f64s(&mut payload, &[0.1 + 0.2, f64::MIN_POSITIVE]);
+        let mut r = Reader::new(&payload);
+        assert_eq!(r.u32().unwrap(), 0xdead);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.string().unwrap(), "kpm/wire ✓");
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        let v = r.f64s().unwrap();
+        assert_eq!(v[0].to_bits(), (0.1 + 0.2f64).to_bits());
+        assert_eq!(v[1].to_bits(), f64::MIN_POSITIVE.to_bits());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn f64s_length_is_bounded_by_remaining_payload() {
+        let mut payload = Vec::new();
+        put_u32(&mut payload, u32::MAX); // claims 4G entries
+        let mut r = Reader::new(&payload);
+        assert!(matches!(r.f64s(), Err(WireError::Protocol(_))));
+    }
+
+    #[test]
+    fn reader_rejects_short_take_and_bad_utf8() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(r.u32(), Err(WireError::Protocol(_))));
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 2);
+        payload.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = Reader::new(&payload);
+        assert!(matches!(r.string(), Err(WireError::Protocol(_))));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any (type byte, payload) framed by a codec decodes back exactly,
+        /// through the buffer path and the stream path, and a structured
+        /// payload of mixed primitives survives bit-for-bit.
+        fn frames_roundtrip(
+            type_byte in 0u8..=255,
+            words in proptest::collection::vec(proptest::arbitrary::any::<u64>(), 0..16),
+            s in proptest::collection::vec(0u8..128, 0..32),
+        ) {
+            let text: String = s.iter().map(|&b| (b.max(32)) as char).collect();
+            let mut payload = Vec::new();
+            put_str(&mut payload, &text);
+            let floats: Vec<f64> = words.iter().map(|&w| f64::from_bits(w)).collect();
+            put_f64s(&mut payload, &floats);
+            for &w in &words {
+                put_u64(&mut payload, w);
+            }
+
+            let bytes = CODEC.frame(type_byte, payload.clone());
+            let (t, p) = CODEC.split_frame(&bytes).unwrap();
+            prop_assert_eq!(t, type_byte);
+            prop_assert_eq!(p, payload.as_slice());
+            let mut cursor = std::io::Cursor::new(&bytes);
+            let (t, p) = CODEC.read_frame(&mut cursor).unwrap();
+            prop_assert_eq!(t, type_byte);
+
+            let mut r = Reader::new(&p);
+            prop_assert_eq!(r.string().unwrap(), text);
+            let back = r.f64s().unwrap();
+            for (a, &w) in back.iter().zip(&words) {
+                prop_assert_eq!(a.to_bits(), w, "f64 bits must survive");
+            }
+            for &w in &words {
+                prop_assert_eq!(r.u64().unwrap(), w);
+            }
+            prop_assert!(r.finish().is_ok());
+        }
+    }
+}
