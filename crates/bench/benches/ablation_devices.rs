@@ -1,0 +1,40 @@
+//! Multi-device ablation bench: prices the owner-computes realization
+//! split of the event pipeline at 1..8 devices (the curve the repro
+//! binary writes to `ablation_devices.csv`). The pricing walks per-engine
+//! command queues and an event heap, so this also guards the discrete
+//! event scheduler against becoming the bottleneck of the repro binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kpm_bench::figures;
+use kpm_stream::StreamKpmEngine;
+use kpm_streamsim::{GpuSpec, MomentRunPlan};
+use std::hint::black_box;
+
+fn bench_device_split(c: &mut Criterion) {
+    let engine = StreamKpmEngine::new(GpuSpec::tesla_c2050());
+    let shape = engine.shape_for(1000, 7000, false, 1024, 1792);
+    let mut group = c.benchmark_group("ablation_devices");
+    group.sample_size(30);
+
+    for &devices in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("pipeline_split", devices), &devices, |b, &n| {
+            b.iter(|| {
+                black_box(
+                    MomentRunPlan::new(shape)
+                        .with_devices(n)
+                        .run(engine.device().spec(), 0.2)
+                        .total,
+                )
+            });
+        });
+    }
+
+    // The full curve, both mappings — exactly what the repro binary emits.
+    group.bench_function("scaling_curve_full", |b| {
+        b.iter(|| black_box(figures::device_scaling(&[1, 2, 4, 8])));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_device_split);
+criterion_main!(benches);

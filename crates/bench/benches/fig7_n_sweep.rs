@@ -26,12 +26,18 @@ fn bench_fig7(c: &mut Criterion) {
         });
     }
 
-    // Pricing a paper-scale estimate must stay trivially cheap.
+    // Pricing a paper-scale estimate must stay trivially cheap — now via
+    // the overlap-off event pipeline (same numbers as the retired analytic
+    // model, but the pricing walks the command queue).
     let engine = StreamKpmEngine::new(GpuSpec::tesla_c2050());
     group.bench_function("model_estimate_paper_scale", |b| {
         b.iter(|| {
             let shape = engine.shape_for(128, 128 * 128, true, 2048, 1792);
-            black_box(engine.estimate(&shape))
+            black_box(
+                kpm_streamsim::MomentRunPlan::new(shape)
+                    .with_overlap(false)
+                    .total(engine.device().spec(), 0.2),
+            )
         });
     });
     group.finish();

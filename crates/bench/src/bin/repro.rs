@@ -6,6 +6,7 @@
 //! repro fig7            # Fig. 7: dense N sweep
 //! repro fig8            # Fig. 8: dense H_SIZE sweep
 //! repro ablations       # mapping / layout / recursion / cluster / kernels
+//! repro devices         # 1..8-device scaling through the event pipeline
 //! repro all [--full]    # everything
 //! ```
 //!
@@ -34,7 +35,7 @@ fn main() -> ExitCode {
                 }
             },
             "--full" => full = true,
-            "fig5" | "fig6" | "fig7" | "fig8" | "ablations" | "all" => {
+            "fig5" | "fig6" | "fig7" | "fig8" | "ablations" | "devices" | "all" => {
                 command = Some(a.clone());
             }
             other => {
@@ -53,12 +54,14 @@ fn main() -> ExitCode {
         "fig7" => traced("fig7", &out_dir, || fig7(&out_dir)),
         "fig8" => traced("fig8", &out_dir, || fig8(&out_dir)),
         "ablations" => traced("ablations", &out_dir, || ablations(&out_dir)),
+        "devices" => traced("devices", &out_dir, || devices(&out_dir)),
         "all" => {
             traced("fig5", &out_dir, || fig5(&out_dir));
             traced("fig6", &out_dir, || fig6(&out_dir, full));
             traced("fig7", &out_dir, || fig7(&out_dir));
             traced("fig8", &out_dir, || fig8(&out_dir));
             traced("ablations", &out_dir, || ablations(&out_dir));
+            traced("devices", &out_dir, || devices(&out_dir));
         }
         _ => unreachable!(),
     }
@@ -86,7 +89,7 @@ fn traced(name: &str, out: &Path, body: impl FnOnce()) {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: repro <fig5|fig6|fig7|fig8|ablations|all> [--full] [--out DIR]");
+    eprintln!("usage: repro <fig5|fig6|fig7|fig8|ablations|devices|all> [--full] [--out DIR]");
     ExitCode::FAILURE
 }
 
@@ -217,6 +220,30 @@ fn ablations(out: &Path) {
         eprintln!("failed to write {}: {e}", path.display());
     }
 
+    print_kernel_quality(out);
+}
+
+fn devices(out: &Path) {
+    println!("== Device scaling — Fig. 5 workload at N = 1024, event-pipeline split ==");
+    let rows = figures::device_scaling(&[1, 2, 4, 8]);
+    let mut t = Table::new(&["devices", "mapping", "modeled_seconds", "speedup"]);
+    for r in &rows {
+        t.row(vec![
+            r.devices.to_string(),
+            figures::mapping_label(r.mapping).to_string(),
+            format!("{:.6}", r.modeled_s),
+            format!("{:.3}", r.speedup),
+        ]);
+    }
+    println!("{}", t.render());
+    let path = out.join("ablation_devices.csv");
+    match t.write_csv(&path) {
+        Ok(()) => println!("wrote {}\n", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}\n", path.display()),
+    }
+}
+
+fn print_kernel_quality(out: &Path) {
     println!("-- kernel quality: negative DoS mass on a gapped spectrum --");
     let mut kq = Table::new(&["kernel", "negative_mass_fraction"]);
     for (name, neg) in figures::kernel_quality() {

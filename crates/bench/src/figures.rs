@@ -5,7 +5,7 @@ use kpm::prelude::*;
 use kpm::workload::KpmWorkload;
 use kpm_lattice::paper_cubic_hamiltonian;
 use kpm_stream::{Mapping, StreamKpmEngine, VectorLayout};
-use kpm_streamsim::{CpuSpec, GpuSpec};
+use kpm_streamsim::{CpuSpec, GpuSpec, MomentLaunchShape, MomentRunPlan};
 
 /// The paper's realization load: R = 14, S = 128 (Sec. IV; only the
 /// product `S * R = 1792` matters — see DESIGN.md §1).
@@ -36,6 +36,20 @@ fn default_engine() -> StreamKpmEngine {
     StreamKpmEngine::new(GpuSpec::tesla_c2050())
 }
 
+/// Calibrated compute-efficiency knob shared by every modeled point (the
+/// stream engine's default).
+const EFFICIENCY: f64 = 0.2;
+
+/// Modeled GPU time for `shape` on `engine`'s device, via the overlap-off
+/// event pipeline (bitwise equal to the retired analytic estimate — pinned
+/// in kpm-streamsim's tests).
+fn pipeline_secs(engine: &StreamKpmEngine, shape: MomentLaunchShape) -> f64 {
+    MomentRunPlan::new(shape)
+        .with_overlap(false)
+        .total(engine.device().spec(), EFFICIENCY)
+        .as_secs_f64()
+}
+
 /// Fig. 5: the 10×10×10 lattice (D = 1000, 7 stored entries/row, sparse),
 /// N swept over `ns` (paper: 128, 256, 512, 1024).
 pub fn fig5(ns: &[usize]) -> Vec<SpeedupRow> {
@@ -53,7 +67,7 @@ pub fn fig5(ns: &[usize]) -> Vec<SpeedupRow> {
             SpeedupRow {
                 x: n,
                 cpu_s: cpu_run_time(&w, &cpu_spec).as_secs_f64(),
-                gpu_s: engine.estimate(&shape).as_secs_f64(),
+                gpu_s: pipeline_secs(&engine, shape),
             }
         })
         .collect()
@@ -75,7 +89,7 @@ pub fn fig7(ns: &[usize]) -> Vec<SpeedupRow> {
             SpeedupRow {
                 x: n,
                 cpu_s: cpu_run_time(&w, &cpu_spec).as_secs_f64(),
-                gpu_s: engine.estimate(&shape).as_secs_f64(),
+                gpu_s: pipeline_secs(&engine, shape),
             }
         })
         .collect()
@@ -97,7 +111,7 @@ pub fn fig8(dims: &[usize]) -> Vec<SpeedupRow> {
             SpeedupRow {
                 x: d,
                 cpu_s: cpu_run_time(&w, &cpu_spec).as_secs_f64(),
-                gpu_s: engine.estimate(&shape).as_secs_f64(),
+                gpu_s: pipeline_secs(&engine, shape),
             }
         })
         .collect()
@@ -190,8 +204,8 @@ pub fn ablations() -> Vec<AblationRow> {
     let shape_block = block_engine.shape_for(1000, 7000, false, 1024, PAPER_SR);
     rows.push(AblationRow {
         label: "mapping: thread-per-realization (paper) -> block-per-realization".into(),
-        baseline: paper_engine.estimate(&shape_paper).as_secs_f64(),
-        variant: block_engine.estimate(&shape_block).as_secs_f64(),
+        baseline: pipeline_secs(&paper_engine, shape_paper),
+        variant: pipeline_secs(&block_engine, shape_block),
         unit: "s",
     });
 
@@ -200,8 +214,8 @@ pub fn ablations() -> Vec<AblationRow> {
     let shape_naive = naive_engine.shape_for(1000, 7000, false, 1024, PAPER_SR);
     rows.push(AblationRow {
         label: "layout: contiguous (naive) -> interleaved (coalesced)".into(),
-        baseline: naive_engine.estimate(&shape_naive).as_secs_f64(),
-        variant: paper_engine.estimate(&shape_paper).as_secs_f64(),
+        baseline: pipeline_secs(&naive_engine, shape_naive),
+        variant: pipeline_secs(&paper_engine, shape_paper),
         unit: "s",
     });
 
@@ -221,14 +235,23 @@ pub fn ablations() -> Vec<AblationRow> {
     //    thread-per-realization mapping starves a single GPU already, so
     //    splitting realizations across devices cannot scale it; the
     //    cluster rows therefore use the block-per-realization mapping,
-    //    which keeps every device saturated. Modeled as the per-device
-    //    share of realizations.
+    //    which keeps every device saturated. Modeled as the owner-computes
+    //    realization split of the event pipeline (makespan of the slowest
+    //    device).
     let one_dev_shape = block_engine.shape_for(1000, 7000, false, 1024, PAPER_SR);
-    let quarter_shape = block_engine.shape_for(1000, 7000, false, 1024, PAPER_SR / 4);
     rows.push(AblationRow {
         label: "cluster: 1 device -> 4 devices (block mapping, realization partition)".into(),
-        baseline: block_engine.estimate(&one_dev_shape).as_secs_f64(),
-        variant: block_engine.estimate(&quarter_shape).as_secs_f64(),
+        baseline: MomentRunPlan::new(one_dev_shape)
+            .with_overlap(false)
+            .run(&gpu, EFFICIENCY)
+            .total
+            .as_secs_f64(),
+        variant: MomentRunPlan::new(one_dev_shape)
+            .with_overlap(false)
+            .with_devices(4)
+            .run(&gpu, EFFICIENCY)
+            .total
+            .as_secs_f64(),
         unit: "s",
     });
 
@@ -251,16 +274,15 @@ pub fn ablations() -> Vec<AblationRow> {
 
     // 6. Streams: would chunked transfer/compute overlap (CUDA streams)
     //    have helped the paper? Fig. 8's biggest configuration has the
-    //    largest transfers, so it is the most favourable case.
+    //    largest transfers, so it is the most favourable case. One event
+    //    pipeline run prices both arms: `serial_total` is the overlap-off
+    //    chain, `total` the chunked-overlap makespan.
     let big = paper_engine.shape_for(4096, 4096 * 4096, true, 128, PAPER_SR);
-    let upload = gpu.transfer_time(big.matrix_bytes() as usize);
-    let kernel = gpu.kernel_time(&big.kernel_cost(&gpu), big.grid_blocks(), 128, 0.2);
-    let download = gpu.transfer_time(8 * big.num_moments);
-    let sched = kpm_streamsim::streams::chunked_pipeline(upload, kernel, download, 4);
+    let sched = MomentRunPlan::new(big).with_chunks(4).run(&gpu, EFFICIENCY);
     rows.push(AblationRow {
         label: "streams: synchronous (paper) -> 4-stream overlap (Fig. 8 largest)".into(),
-        baseline: sched.serial.as_secs_f64(),
-        variant: sched.overlapped.as_secs_f64(),
+        baseline: sched.serial_total.as_secs_f64(),
+        variant: sched.total.as_secs_f64(),
         unit: "s",
     });
 
@@ -272,8 +294,8 @@ pub fn ablations() -> Vec<AblationRow> {
     let a100_shape_paper = a100_paper.shape_for(1000, 7000, false, 1024, PAPER_SR);
     rows.push(AblationRow {
         label: "hardware: C2050 -> A100-class (paper's thread mapping)".into(),
-        baseline: paper_engine.estimate(&shape_paper).as_secs_f64(),
-        variant: a100_paper.estimate(&a100_shape_paper).as_secs_f64(),
+        baseline: pipeline_secs(&paper_engine, shape_paper),
+        variant: pipeline_secs(&a100_paper, a100_shape_paper),
         unit: "s",
     });
     let a100_block =
@@ -281,11 +303,58 @@ pub fn ablations() -> Vec<AblationRow> {
     let a100_shape_block = a100_block.shape_for(1000, 7000, false, 1024, PAPER_SR);
     rows.push(AblationRow {
         label: "hardware: C2050 -> A100-class (block mapping)".into(),
-        baseline: block_engine.estimate(&shape_block).as_secs_f64(),
-        variant: a100_block.estimate(&a100_shape_block).as_secs_f64(),
+        baseline: pipeline_secs(&block_engine, shape_block),
+        variant: pipeline_secs(&a100_block, a100_shape_block),
         unit: "s",
     });
 
+    rows
+}
+
+/// One row of the multi-device scaling curve.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceScalingRow {
+    /// Devices available to the owner-computes splitter.
+    pub devices: usize,
+    /// Work mapping of every per-device launch.
+    pub mapping: Mapping,
+    /// Modeled makespan, seconds (slowest device of the best split).
+    pub modeled_s: f64,
+    /// Speedup over the 1-device time under the same mapping.
+    pub speedup: f64,
+}
+
+/// Stable CSV label for a mapping.
+pub fn mapping_label(mapping: Mapping) -> &'static str {
+    match mapping {
+        Mapping::ThreadPerRealization => "thread-per-realization",
+        Mapping::BlockPerRealization => "block-per-realization",
+    }
+}
+
+/// Multi-device scaling of the Fig. 5 workload at N = 1024 (paper Sec. V
+/// future work): modeled makespan of the event pipeline's owner-computes
+/// realization split for each device count, under both work mappings.
+/// Overlap stays on — each device pipelines its own upload against its
+/// first compute chunks, exactly as the single-device model does.
+pub fn device_scaling(device_counts: &[usize]) -> Vec<DeviceScalingRow> {
+    let mut rows = Vec::new();
+    for mapping in [Mapping::ThreadPerRealization, Mapping::BlockPerRealization] {
+        let engine = StreamKpmEngine::new(GpuSpec::tesla_c2050()).with_mapping(mapping);
+        let shape = engine.shape_for(1000, 7000, false, 1024, PAPER_SR);
+        let time = |devices: usize| {
+            MomentRunPlan::new(shape)
+                .with_devices(devices)
+                .run(engine.device().spec(), EFFICIENCY)
+                .total
+                .as_secs_f64()
+        };
+        let base = time(1);
+        for &n in device_counts {
+            let t = time(n);
+            rows.push(DeviceScalingRow { devices: n, mapping, modeled_s: t, speedup: base / t });
+        }
+    }
     rows
 }
 
@@ -439,6 +508,41 @@ mod tests {
             block_gain > 1.5 * thread_gain,
             "block mapping must inherit more of the generational gain: {thread_gain} vs {block_gain}"
         );
+    }
+
+    #[test]
+    fn device_scaling_is_monotone_and_block_mapping_scales() {
+        let counts = [1usize, 2, 4, 8];
+        let rows = device_scaling(&counts);
+        assert_eq!(rows.len(), 2 * counts.len());
+        for mapping in [Mapping::ThreadPerRealization, Mapping::BlockPerRealization] {
+            let curve: Vec<&DeviceScalingRow> =
+                rows.iter().filter(|r| r.mapping == mapping).collect();
+            assert_eq!(curve.len(), counts.len());
+            // More devices never hurt (the splitter idles devices it
+            // cannot use), and 1 device is the exact single-device model.
+            assert!((curve[0].speedup - 1.0).abs() < 1e-12);
+            for w in curve.windows(2) {
+                assert!(
+                    w[1].modeled_s <= w[0].modeled_s + 1e-12,
+                    "{}: {} devices slower than {}",
+                    mapping_label(mapping),
+                    w[1].devices,
+                    w[0].devices
+                );
+            }
+        }
+        // The block mapping keeps every device busy, so it must scale
+        // much better than the latency-bound paper mapping at 8 devices.
+        let at8 =
+            |m: Mapping| rows.iter().find(|r| r.mapping == m && r.devices == 8).unwrap().speedup;
+        assert!(
+            at8(Mapping::BlockPerRealization) > at8(Mapping::ThreadPerRealization),
+            "block {} vs thread {}",
+            at8(Mapping::BlockPerRealization),
+            at8(Mapping::ThreadPerRealization)
+        );
+        assert!(at8(Mapping::BlockPerRealization) > 2.0);
     }
 
     #[test]

@@ -155,6 +155,10 @@ COMMON OPTIONS:
   --random   R  --sets S            (default 14, 2)
   --kernel   jackson | lorentz | fejer | dirichlet   (default jackson)
   --seed     master seed            (default 42)
+  --device   host | sim | sim:N    (dos) backend: host runs on this machine;
+                                   sim[:N] routes the same run through the
+                                   N-device event-pipeline model (same
+                                   numbers, plus a modeled time)
   --exec     auto | realizations | rows | hybrid   execution plan (default auto)
   --threads  N                      worker-thread budget for row-tiled plans
                                     (default 0 = RAYON_NUM_THREADS or all cores)
@@ -276,7 +280,7 @@ fn shard_job_spec(args: &Args) -> Result<kpm_serve::JobSpec, CmdError> {
     let mut parts: Vec<String> = Vec::new();
     for key in [
         "lattice", "bc", "hopping", "disorder", "dseed", "format", "moments", "random", "sets",
-        "seed",
+        "seed", "device",
     ] {
         if let Some(v) = args.get(key) {
             parts.push(format!("{key}={v}"));
@@ -404,8 +408,30 @@ pub fn dos(args: &Args) -> Result<String, CmdError> {
     if let Some(engine) = shard_engine(args)? {
         return dos_sharded(args, &engine);
     }
+    let device_spec: kpm::DeviceSpec =
+        args.get("device").unwrap_or("host").parse().map_err(CmdError::Kpm)?;
     let w = workload(args)?;
-    let dos = DosEstimator::new(w.params).compute(&w.h)?;
+    let (dos, device_lines) = match device_spec {
+        kpm::DeviceSpec::Host => (DosEstimator::new(w.params).compute(&w.h)?, None),
+        sim => {
+            // Route through the Device backend: functional results are
+            // bitwise identical to the host path, plus a modeled clock
+            // from the event pipeline.
+            let device = sim.build();
+            let run = device.submit(kpm::DeviceOp::Sparse(&w.h), &w.params)?;
+            let dos = DosEstimator::new(w.params.clone()).reconstruct(
+                run.moments,
+                run.a_plus,
+                run.a_minus,
+            )?;
+            let caps = device.caps();
+            let mut lines = format!("  device      : {sim} ({} instance(s))\n", caps.instances);
+            if let Some(secs) = run.clock.modeled_secs() {
+                let _ = writeln!(lines, "  modeled time: {secs:.6} s (event pipeline)");
+            }
+            (dos, Some(lines))
+        }
+    };
     let mut report = dos_report(
         &dos,
         &format!(
@@ -416,6 +442,9 @@ pub fn dos(args: &Args) -> Result<String, CmdError> {
             w.h.format_name()
         ),
     );
+    if let Some(lines) = device_lines {
+        report.push_str(&lines);
+    }
     if let Some(path) = maybe_write_csv(
         args,
         "energy,rho",
@@ -586,7 +615,12 @@ pub fn estimate(args: &Args) -> Result<String, CmdError> {
     ] {
         let engine = StreamKpmEngine::new(GpuSpec::tesla_c2050()).with_mapping(mapping);
         let shape = engine.shape_for(d, stored, dense, n, realizations);
-        let gpu = engine.estimate(&shape).as_secs_f64();
+        // Overlap-off event pipeline: reproduces the retired analytic model
+        // bitwise (pinned in kpm-streamsim's tests).
+        let gpu = kpm_streamsim::MomentRunPlan::new(shape)
+            .with_overlap(false)
+            .total(engine.device().spec(), 0.2)
+            .as_secs_f64();
         let _ = writeln!(report, "  {label}: {gpu:.3} s  (speedup {:.2}x)", cpu / gpu);
     }
     Ok(report)
@@ -715,6 +749,65 @@ mod tests {
         };
         assert_eq!(strip(&reports[0]), strip(&reports[1]));
         assert_eq!(strip(&reports[0]), strip(&reports[2]));
+    }
+
+    /// The tentpole CLI criterion: `--device sim[:n]` routes the run
+    /// through the event-pipeline device and reproduces the host numbers
+    /// bitwise — same report body, same CSV bytes — plus a modeled clock.
+    #[test]
+    fn dos_device_sim_matches_host_bitwise() {
+        let dir = std::env::temp_dir().join("kpm_cli_device_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |device: Option<&str>| {
+            let path = dir.join(format!("dos_{}.csv", device.unwrap_or("host")));
+            let path_s = path.to_str().unwrap().to_string();
+            let mut words =
+                vec!["--lattice", "chain:48", "--moments", "32", "--sets", "1", "--out", &path_s];
+            if let Some(d) = device {
+                words.extend_from_slice(&["--device", d]);
+            }
+            let report = dos(&args(&words)).unwrap();
+            (report, std::fs::read(&path).unwrap())
+        };
+        let (host_report, host_csv) = run(None);
+        for d in ["sim", "sim:2", "sim:4"] {
+            let (sim_report, sim_csv) = run(Some(d));
+            assert_eq!(sim_csv, host_csv, "--device {d} must reproduce host CSV bytes");
+            assert!(sim_report.contains("modeled time"), "{sim_report}");
+            assert!(sim_report.contains(&format!("device      : {d} ")), "{sim_report}");
+            // The report is the host report plus the device lines.
+            let strip = |r: &str| {
+                r.lines()
+                    .filter(|l| {
+                        !l.contains("device      :")
+                            && !l.contains("modeled time")
+                            && !l.contains("wrote ")
+                    })
+                    .map(|l| format!("{l}\n"))
+                    .collect::<String>()
+            };
+            assert_eq!(strip(&sim_report), strip(&host_report), "--device {d} changed the physics");
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn dos_rejects_bad_device() {
+        for bad in ["gpu", "sim:0", "sim:x"] {
+            let a = args(&["--lattice", "chain:16", "--moments", "16", "--device", bad]);
+            let err = dos(&a).unwrap_err();
+            assert!(matches!(err, CmdError::Kpm(_)), "--device {bad}: {err}");
+        }
+    }
+
+    /// `--device` flows into the sharded job spec (and stays bitwise
+    /// identical there — pinned in kpm-shard's tests).
+    #[test]
+    fn shard_job_spec_carries_device() {
+        let a = args(&["--lattice", "chain:16", "--device", "sim:4"]);
+        let spec = shard_job_spec(&a).unwrap();
+        assert_eq!(spec.device, kpm::DeviceSpec::Sim { devices: 4 });
+        assert!(spec.canonical().contains("device=sim:4"), "{}", spec.canonical());
     }
 
     #[test]

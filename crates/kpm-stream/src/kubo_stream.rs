@@ -482,7 +482,10 @@ mod tests {
             realizations: 1792,
             block_size: 128,
         };
-        let t_dos = dos_shape.estimate_total(&spec, 0.2).as_secs_f64();
+        let t_dos = kpm_streamsim::queue::MomentRunPlan::new(dos_shape)
+            .with_overlap(false)
+            .total(&spec, 0.2)
+            .as_secs_f64();
         let t_kubo = kubo_shape.estimate(&spec, 0.2).as_secs_f64();
         assert!(t_kubo > 50.0 * t_dos, "2D KPM must dwarf the DoS: {t_dos} vs {t_kubo}");
     }

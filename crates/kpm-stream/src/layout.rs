@@ -1,122 +1,5 @@
-//! Work mapping and device memory layout.
+//! Compatibility shim: work mapping and vector layout moved into the
+//! simulator crate ([`kpm_streamsim::layout`]) alongside the cost formulas
+//! that consume them. Re-exported here at the old paths.
 
-/// How realizations are mapped onto the device's execution hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Mapping {
-    /// The paper's mapping: one **thread** per realization,
-    /// `ceil(S*R / BLOCK_SIZE)` blocks (Sec. III-A: "the number of thread
-    /// blocks becomes RS/BLOCK_SIZE"). Each thread runs the entire
-    /// recursion serially over its own four vectors. Simple, but launches
-    /// only `S*R` threads — deeply latency-bound on a 448-core device,
-    /// which is the structural reason the paper's speedup saturates near
-    /// 4x.
-    ThreadPerRealization,
-    /// One **block** per realization: the block's threads partition the
-    /// vector elements for the matvec and Chebyshev update and tree-reduce
-    /// the dot products in shared memory. Launches `S*R*BLOCK_SIZE`
-    /// threads; our ablation shows what the paper left on the table.
-    BlockPerRealization,
-}
-
-/// How per-realization vectors are laid out in global memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum VectorLayout {
-    /// `element-major`: component `i` of realization `t` lives at
-    /// `i * num_realizations + t`. Under [`Mapping::ThreadPerRealization`]
-    /// adjacent threads then touch adjacent addresses — coalesced.
-    Interleaved,
-    /// `realization-major`: realization `t` owns the contiguous slab
-    /// `t * dim .. (t+1) * dim`. Natural for
-    /// [`Mapping::BlockPerRealization`]; catastrophic for coalescing under
-    /// thread-per-realization (the naive-port ablation).
-    Contiguous,
-}
-
-impl VectorLayout {
-    /// Flat index of component `i` of realization `t` in a buffer holding
-    /// `total` realizations of dimension `dim`.
-    #[inline]
-    pub fn index(&self, i: usize, t: usize, dim: usize, total: usize) -> usize {
-        debug_assert!(i < dim && t < total);
-        match self {
-            VectorLayout::Interleaved => i * total + t,
-            VectorLayout::Contiguous => t * dim + i,
-        }
-    }
-
-    /// Effective memory-coalescing factor of per-realization vector
-    /// accesses under the given mapping (drives the cost model; see
-    /// DESIGN.md §5).
-    pub fn coalescing(&self, mapping: Mapping) -> f64 {
-        match (mapping, self) {
-            // Adjacent threads, adjacent addresses: near-ideal (0.8 covers
-            // real-world overheads like partial first/last transactions).
-            (Mapping::ThreadPerRealization, VectorLayout::Interleaved) => 0.8,
-            // Each thread strides by `dim` doubles: one useful double per
-            // 128 B transaction, 32-way waste.
-            (Mapping::ThreadPerRealization, VectorLayout::Contiguous) => 1.0 / 16.0,
-            // Block threads sweep a contiguous slab together: coalesced.
-            (Mapping::BlockPerRealization, VectorLayout::Contiguous) => 0.8,
-            // Block threads stride by `total`: uncoalesced.
-            (Mapping::BlockPerRealization, VectorLayout::Interleaved) => 1.0 / 16.0,
-        }
-    }
-
-    /// The natural (coalesced) layout for a mapping.
-    pub fn natural_for(mapping: Mapping) -> VectorLayout {
-        match mapping {
-            Mapping::ThreadPerRealization => VectorLayout::Interleaved,
-            Mapping::BlockPerRealization => VectorLayout::Contiguous,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn index_bijective_over_buffer() {
-        for layout in [VectorLayout::Interleaved, VectorLayout::Contiguous] {
-            let (dim, total) = (7, 5);
-            let mut seen = vec![false; dim * total];
-            for i in 0..dim {
-                for t in 0..total {
-                    let idx = layout.index(i, t, dim, total);
-                    assert!(!seen[idx], "{layout:?} collision at ({i}, {t})");
-                    seen[idx] = true;
-                }
-            }
-            assert!(seen.iter().all(|&b| b));
-        }
-    }
-
-    #[test]
-    fn interleaved_adjacent_realizations_adjacent_addresses() {
-        let l = VectorLayout::Interleaved;
-        assert_eq!(
-            l.index(3, 1, 10, 8),
-            l.index(3, 0, 10, 8) + 1,
-            "consecutive t must be consecutive addresses"
-        );
-    }
-
-    #[test]
-    fn contiguous_adjacent_components_adjacent_addresses() {
-        let l = VectorLayout::Contiguous;
-        assert_eq!(l.index(4, 2, 10, 8), l.index(3, 2, 10, 8) + 1);
-    }
-
-    #[test]
-    fn natural_layouts_coalesce_unnatural_do_not() {
-        for mapping in [Mapping::ThreadPerRealization, Mapping::BlockPerRealization] {
-            let natural = VectorLayout::natural_for(mapping);
-            let unnatural = match natural {
-                VectorLayout::Interleaved => VectorLayout::Contiguous,
-                VectorLayout::Contiguous => VectorLayout::Interleaved,
-            };
-            assert!(natural.coalescing(mapping) > 0.5);
-            assert!(unnatural.coalescing(mapping) < 0.1);
-        }
-    }
-}
+pub use kpm_streamsim::layout::{Mapping, VectorLayout};

@@ -71,7 +71,9 @@ pub fn tune_block_size(
         let candidate = MomentLaunchShape { block_size: b, ..*shape };
         points.push(TunePoint {
             block_size: b,
-            time: candidate.estimate_total(spec, compute_efficiency),
+            time: kpm_streamsim::queue::MomentRunPlan::new(candidate)
+                .with_overlap(false)
+                .total(spec, compute_efficiency),
         });
     }
     let best = points

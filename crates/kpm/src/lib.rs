@@ -47,6 +47,7 @@ pub mod bessel;
 pub mod chebyshev;
 pub mod complex;
 pub mod dct;
+pub mod device;
 pub mod dos;
 pub mod error;
 pub mod estimator;
@@ -65,6 +66,7 @@ pub mod spectral;
 pub mod thermal;
 pub mod workload;
 
+pub use device::{Device, DeviceClock, DeviceOp, DeviceRun, DeviceSpec, HostDevice, SimDevice};
 pub use dos::{Dos, DosEstimator};
 pub use error::KpmError;
 pub use estimator::Estimator;
@@ -88,6 +90,9 @@ pub use kpm_obs as obs;
 /// instead of deep module paths; it covers the [`Estimator`] workloads, the
 /// pipeline primitives they are built from, and the tracing handle.
 pub mod prelude {
+    pub use crate::device::{
+        Device, DeviceCaps, DeviceClock, DeviceOp, DeviceRun, DeviceSpec, HostDevice, SimDevice,
+    };
     pub use crate::dos::{Dos, DosEstimator};
     pub use crate::error::KpmError;
     pub use crate::estimator::Estimator;

@@ -300,6 +300,38 @@ mod tests {
         roundtrip(NetFrame::Bye);
     }
 
+    /// Golden V1 Submit frame, byte for byte, as emitted by clients built
+    /// before the `device=` job-spec key existed. Pins two compatibility
+    /// guarantees: the framing itself has not shifted, and a spec line
+    /// without a `device=` token still decodes to the default host device.
+    #[test]
+    fn golden_v1_submit_without_device_decodes_to_host() {
+        let stream = b"dos-sweep";
+        let spec = b"lattice=chain:64 moments=256 seed=42";
+        let mut golden: Vec<u8> = Vec::new();
+        golden.extend_from_slice(b"KPNT"); // magic
+        golden.extend_from_slice(&1u16.to_le_bytes()); // version 1
+        golden.push(1); // type: Submit
+        let payload_len = 4 + stream.len() + 8 + 4 + spec.len() + 4;
+        golden.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        golden.extend_from_slice(&(stream.len() as u32).to_le_bytes());
+        golden.extend_from_slice(stream);
+        golden.extend_from_slice(&7u64.to_le_bytes()); // tag
+        golden.extend_from_slice(&(spec.len() as u32).to_le_bytes());
+        golden.extend_from_slice(spec);
+        golden.extend_from_slice(&2u32.to_le_bytes()); // refine_steps
+
+        let frame = decode_bytes(&golden).unwrap();
+        let NetFrame::Submit { stream, tag, spec, refine_steps } = frame else {
+            panic!("expected Submit");
+        };
+        assert_eq!((stream.as_str(), tag, refine_steps), ("dos-sweep", 7, 2));
+        let job = kpm_serve::JobSpec::parse(&spec).unwrap();
+        assert_eq!(job.device, kpm::DeviceSpec::Host);
+        // And the same frame re-encodes to the identical bytes.
+        assert_eq!(encode(&NetFrame::Submit { stream, tag, spec, refine_steps }), golden);
+    }
+
     #[test]
     fn moment_bits_survive_exactly() {
         let tricky = vec![0.1 + 0.2, 1.0 / 3.0, f64::from_bits(1), -1e-308];

@@ -224,6 +224,16 @@ fn stats_command_returns_the_versioned_schema() {
         serve.get("counters").and_then(|c| c.get("serve.jobs.submitted")).is_some(),
         "serve counters present"
     );
+    // The device counters ride along in the same versioned document: the
+    // job above ran uncached on the default host device.
+    assert_eq!(
+        serve.get("counters").and_then(|c| c.get("serve.device.host")).and_then(Value::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        serve.get("counters").and_then(|c| c.get("serve.device.sim")).and_then(Value::as_u64),
+        Some(0)
+    );
     let net = value.get("net").expect("net section");
     let counters = net.get("counters").expect("net counters");
     assert_eq!(counters.get("net.sessions.opened").and_then(Value::as_u64), Some(1));

@@ -12,6 +12,7 @@
 //! either (damping is applied at reconstruction), so a cached run at
 //! `N_cached >= N` serves any kernel at any order up to `N_cached`.
 
+use kpm::device::DeviceSpec;
 use kpm::KernelType;
 use kpm_lattice::spec::{parse_boundary, LatticeSpec, SpecError};
 use kpm_lattice::{Boundary, OnSite};
@@ -167,6 +168,10 @@ pub struct JobSpec {
     pub seed: u64,
     /// Execution backend.
     pub backend: Backend,
+    /// Device the CPU backend submits to (`host` or a simulated device;
+    /// both produce bitwise identical numbers, so only the reported clock
+    /// differs). Ignored by the stream backend.
+    pub device: DeviceSpec,
     /// Sparse storage format for lattice models (dense models ignore it).
     pub format: MatrixFormat,
     /// Queue lane.
@@ -190,6 +195,7 @@ impl Default for JobSpec {
             kernel: KernelType::Jackson,
             seed: 42,
             backend: Backend::Cpu,
+            device: DeviceSpec::Host,
             format: MatrixFormat::Csr,
             priority: Priority::Normal,
             fault: None,
@@ -240,7 +246,8 @@ impl JobSpec {
     ///
     /// Keys: `lattice` (incl. `dense:D`), `bc`, `hopping`, `disorder`,
     /// `dseed`, `moments`, `random`, `sets`, `kernel`, `seed`, `backend`,
-    /// `format` (`csr | ell | stencil | auto`), `priority`, `fault`
+    /// `device` (`host | sim | sim:N`), `format`
+    /// (`csr | ell | stencil | auto`), `priority`, `fault`
     /// (`panic | flaky:K | sleep:MS`), `out`. Unset keys take the CLI
     /// defaults.
     ///
@@ -311,6 +318,9 @@ impl JobSpec {
                         _ => return Err(bad(key, value)),
                     };
                 }
+                "device" => {
+                    job.device = value.parse().map_err(|_| bad(key, value))?;
+                }
                 "format" => {
                     job.format = value.parse().map_err(|_| bad(key, value))?;
                 }
@@ -360,7 +370,7 @@ impl JobSpec {
         };
         format!(
             "lattice={} bc={} hopping={} disorder={} moments={} random={} sets={} kernel={} \
-             seed={} backend={} format={} priority={}",
+             seed={} backend={} device={} format={} priority={}",
             model_to_str(&self.model),
             match self.boundary {
                 Boundary::Open => "open",
@@ -374,6 +384,7 @@ impl JobSpec {
             kernel_to_str(self.kernel),
             self.seed,
             self.backend.as_str(),
+            self.device,
             self.format.as_str(),
             self.priority.as_str(),
         )
@@ -384,18 +395,23 @@ impl JobSpec {
         fnv1a(self.canonical().as_bytes())
     }
 
-    /// Cache key: the content hash with `moments`, `kernel`, `format`, and
-    /// `priority` masked out. Raw Chebyshev moments `mu_0..mu_{N-1}` are a
-    /// prefix of any longer run and are kernel-independent, so entries are
-    /// shared across truncation orders and kernels; the storage format is
-    /// excluded too because every format applies bitwise-identically, so a
-    /// moment vector computed via ELL serves a CSR job verbatim. The
-    /// backend *stays* in the key: the stream engine's padding/rescaling
-    /// path is not guaranteed bitwise identical to the host path.
+    /// Cache key: the content hash with `moments`, `kernel`, `format`,
+    /// `priority`, and `device` masked out. Raw Chebyshev moments
+    /// `mu_0..mu_{N-1}` are a prefix of any longer run and are
+    /// kernel-independent, so entries are shared across truncation orders
+    /// and kernels; the storage format is excluded too because every format
+    /// applies bitwise-identically, so a moment vector computed via ELL
+    /// serves a CSR job verbatim. The device is excluded for the same
+    /// reason: `SimDevice` runs the exact host functional pipeline and
+    /// differs only in the clock it reports, so a sim-computed entry is a
+    /// valid host answer. The backend *stays* in the key: the stream
+    /// engine's padding/rescaling path is not guaranteed bitwise identical
+    /// to the host path.
     pub fn cache_key(&self) -> u64 {
         let neutral = JobSpec {
             num_moments: 2,
             kernel: KernelType::Jackson,
+            device: DeviceSpec::Host,
             format: MatrixFormat::Csr,
             priority: Priority::Normal,
             ..self.clone()
@@ -540,6 +556,32 @@ mod tests {
             assert_eq!(again.format, format);
         }
         assert!(matches!(JobSpec::parse("format=coo"), Err(JobParseError::BadValue { .. })));
+    }
+
+    #[test]
+    fn device_parses_and_shares_cache_but_not_content_hash() {
+        let base = JobSpec::parse("lattice=chain:32 moments=64").unwrap();
+        assert_eq!(base.device, DeviceSpec::Host);
+        for (token, device) in [
+            ("device=host", DeviceSpec::Host),
+            ("device=sim", DeviceSpec::Sim { devices: 1 }),
+            ("device=sim:4", DeviceSpec::Sim { devices: 4 }),
+        ] {
+            let job = JobSpec::parse(&format!("lattice=chain:32 moments=64 {token}")).unwrap();
+            assert_eq!(job.device, device);
+            // Round-trips through the canonical line.
+            let again = JobSpec::parse(&job.canonical()).unwrap();
+            assert_eq!(again.device, device);
+            // The device says *where* to run, not *what*: same cached
+            // moments serve either backend (bitwise identical pipelines)...
+            assert_eq!(job.cache_key(), base.cache_key(), "{token}");
+            // ...but it is part of the job's canonical identity.
+            if device != DeviceSpec::Host {
+                assert_ne!(job.content_hash(), base.content_hash(), "{token}");
+            }
+        }
+        assert!(matches!(JobSpec::parse("device=gpu"), Err(JobParseError::BadValue { .. })));
+        assert!(matches!(JobSpec::parse("device=sim:0"), Err(JobParseError::BadValue { .. })));
     }
 
     #[test]

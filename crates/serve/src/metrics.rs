@@ -48,6 +48,10 @@ pub struct Metrics {
     /// Total worker time spent processing jobs, in microseconds (the
     /// utilization numerator; workers × wall time is the denominator).
     pub busy_us: Counter,
+    /// Jobs executed on the host device backend.
+    pub device_host: Counter,
+    /// Jobs executed on the simulated device backend.
+    pub device_sim: Counter,
     /// Time jobs spent queued before a worker picked them up.
     pub queue_wait: Histogram,
     /// Time spent executing (per successful attempt).
@@ -70,6 +74,8 @@ impl Default for Metrics {
             cache_upgrades: Counter::new("serve.cache.upgrades"),
             cache_evictions: Counter::new("serve.cache.evictions"),
             busy_us: Counter::new("serve.worker.busy_us"),
+            device_host: Counter::new("serve.device.host"),
+            device_sim: Counter::new("serve.device.sim"),
             queue_wait: Histogram::default(),
             exec_time: Histogram::default(),
         }
@@ -106,6 +112,8 @@ impl Metrics {
             &self.cache_upgrades,
             &self.cache_evictions,
             &self.busy_us,
+            &self.device_host,
+            &self.device_sim,
         ];
         let mut out: Vec<(&'static str, u64)> = own.iter().map(|c| (c.name(), c.get())).collect();
         out.push(("serve.queue.depth", queue_depth as u64));

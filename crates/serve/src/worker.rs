@@ -133,7 +133,15 @@ fn process(ctx: &WorkerContext, id: JobId, spec: &JobSpec) -> JobRecord {
 
     let moments = match cached {
         Some(hit) => Ok(hit),
-        None => compute_with_retry(ctx, spec, key, cache_status),
+        None => {
+            // Count where uncached work actually lands (cache hits execute
+            // on no device at all).
+            match spec.device {
+                kpm::DeviceSpec::Host => bump(&ctx.metrics.device_host),
+                kpm::DeviceSpec::Sim { .. } => bump(&ctx.metrics.device_sim),
+            }
+            compute_with_retry(ctx, spec, key, cache_status)
+        }
     };
 
     let outcome = match moments {
@@ -319,10 +327,18 @@ pub fn compute_raw_moments(
     params.validate()?;
     let matrix = spec.build_matrix();
     match spec.backend {
-        Backend::Cpu => match &matrix {
-            JobMatrix::Sparse(h) => h.cpu(&params),
-            JobMatrix::Dense(h) => h.cpu(&params),
-        },
+        // The CPU backend submits through the job's device: `host` runs the
+        // tiled engine directly, `sim[:n]` runs the identical functional
+        // pipeline and additionally prices the run on the event-queue
+        // device model — the numbers are bitwise equal either way.
+        Backend::Cpu => {
+            let device = spec.device.build();
+            let run = match &matrix {
+                JobMatrix::Sparse(h) => device.submit(kpm::DeviceOp::Sparse(h), &params)?,
+                JobMatrix::Dense(h) => device.submit(kpm::DeviceOp::Dense(h), &params)?,
+            };
+            Ok((run.moments, run.a_plus, run.a_minus))
+        }
         Backend::Stream => {
             let mut engine = StreamKpmEngine::new(GpuSpec::tesla_c2050());
             let result = match &matrix {
@@ -334,20 +350,6 @@ pub fn compute_raw_moments(
             .map_err(|e| JobError::Engine(e.to_string()))?;
             Ok((result.moments, result.a_plus, result.a_minus))
         }
-    }
-}
-
-/// Shim so sparse and dense matrices share the CPU pipeline.
-trait Erased {
-    fn cpu(&self, params: &KpmParams) -> Result<(MomentStats, f64, f64), JobError>;
-}
-
-impl<A: Boundable + TiledOp + Sync> Erased for A {
-    fn cpu(&self, params: &KpmParams) -> Result<(MomentStats, f64, f64), JobError> {
-        let bounds = self.spectral_bounds(params.bounds)?;
-        let rescaled = rescale(self, bounds, params.padding)?;
-        let stats = stochastic_moments(&rescaled, params);
-        Ok((stats, rescaled.a_plus(), rescaled.a_minus()))
     }
 }
 
@@ -391,6 +393,20 @@ mod tests {
         let dos = kpm::DosEstimator::new(job.kpm_params()).compute(&h).unwrap();
         assert_eq!(stats.mean, dos.moments.mean);
         assert_eq!((a_plus, a_minus), (dos.a_plus, dos.a_minus));
+    }
+
+    #[test]
+    fn sim_device_matches_host_device_bitwise() {
+        // The sim backend runs the identical functional pipeline; only the
+        // clock differs — the contract that lets the cache mask the device.
+        let host = spec("lattice=chain:32 moments=24 random=3 sets=2 seed=5");
+        let sim = spec("lattice=chain:32 moments=24 random=3 sets=2 seed=5 device=sim:4");
+        let (a, a_plus, a_minus) = compute_raw_moments(&host, 0).unwrap();
+        let (b, b_plus, b_minus) = compute_raw_moments(&sim, 0).unwrap();
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.std_err, b.std_err);
+        assert_eq!((a_plus, a_minus), (b_plus, b_minus));
+        assert_eq!(host.cache_key(), sim.cache_key());
     }
 
     #[test]

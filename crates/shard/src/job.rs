@@ -330,6 +330,20 @@ mod tests {
     }
 
     #[test]
+    fn sim_device_specs_stay_shardable_and_bitwise_identical() {
+        // `device=` selects a clock, not a pipeline: the sharded partials
+        // are computed by the same host functional path either way, so a
+        // sim-device job shards fine and its rows match the host job's.
+        let host = ShardJob::parse("dos lattice=chain:16 moments=12 random=2 sets=2").unwrap();
+        let sim = ShardJob::parse("dos lattice=chain:16 moments=12 random=2 sets=2 device=sim:4")
+            .unwrap();
+        assert_eq!(sim.total_units(), host.total_units());
+        let a = host.compute_partial(0..host.total_units()).unwrap();
+        let b = sim.compute_partial(0..sim.total_units()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn unit_counts_and_row_lengths() {
         let dos = dos_job("lattice=chain:16 moments=12 random=3 sets=2");
         assert_eq!(dos.total_units(), 6);

@@ -67,8 +67,11 @@ pub mod dim;
 pub mod error;
 pub mod host;
 pub mod kernel;
+pub mod layout;
 pub mod mem;
 pub mod model;
+pub mod queue;
+pub mod shape;
 pub mod streams;
 
 pub use device::{Device, LaunchRecord};
@@ -76,5 +79,11 @@ pub use dim::{Dim3, LaunchDims};
 pub use error::SimError;
 pub use host::{CpuSpec, HostClock, MemTraffic};
 pub use kernel::{BlockKernel, BlockScope, KernelCost};
+pub use layout::{Mapping, VectorLayout};
 pub use mem::GlobalBuffer;
 pub use model::{GpuSpec, SimTime};
+pub use queue::{
+    CmdId, Command, CommandTrace, DevicePipeline, EngineBusy, EngineKind, MomentRunPlan,
+    MomentRunReport, PipelineReport, StageTimes,
+};
+pub use shape::{MomentLaunchShape, Precision, SparseFormat};

@@ -58,6 +58,16 @@ impl Schedule {
 /// operations overlap unless they contend for the same resource (each of
 /// the three resources processes one operation at a time, FIFO in enqueue
 /// order — a faithful simplification of the copy/compute engines).
+///
+/// Retired in favour of the discrete-event [`crate::queue::DevicePipeline`],
+/// which models explicit per-engine command queues with event dependencies
+/// instead of a closed-form list schedule. This module stays as the
+/// duplex-PCIe (separate in/out links) variant pinned by its tests.
+#[deprecated(
+    since = "0.7.0",
+    note = "use queue::DevicePipeline / queue::MomentRunPlan; this list-schedule \
+            model is retained only for the duplex-link comparison"
+)]
 pub fn schedule(ops: &[StreamOp]) -> Schedule {
     let serial = SimTime(ops.iter().map(|o| o.duration.0).sum());
 
@@ -81,6 +91,12 @@ pub fn schedule(ops: &[StreamOp]) -> Schedule {
 /// Convenience: the canonical chunked pipeline `copy-in -> kernel ->
 /// copy-out` split into `chunks` equal parts across `chunks` streams —
 /// the standard CUDA overlap pattern.
+#[deprecated(
+    since = "0.7.0",
+    note = "use queue::MomentRunPlan with overlap enabled; this helper models a \
+            duplex PCIe link and is retained only for comparison"
+)]
+#[allow(deprecated)]
 pub fn chunked_pipeline(
     copy_in: SimTime,
     kernel: SimTime,
@@ -103,6 +119,7 @@ pub fn chunked_pipeline(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 

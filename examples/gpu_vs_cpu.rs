@@ -60,7 +60,11 @@ fn main() {
     ] {
         let e = StreamKpmEngine::new(GpuSpec::tesla_c2050()).with_mapping(mapping);
         let shape = e.shape_for(1000, 7000, false, 1024, 1792);
-        println!("  {label}: {:.2} s", e.estimate(&shape).as_secs_f64());
+        // Overlap-off event pipeline == the retired analytic estimate.
+        let modeled = kpm_suite::streamsim::MomentRunPlan::new(shape)
+            .with_overlap(false)
+            .total(e.device().spec(), 0.2);
+        println!("  {label}: {:.2} s", modeled.as_secs_f64());
     }
     println!("\nRun `cargo run -p kpm-bench --bin repro -- all` for the figures.");
 }

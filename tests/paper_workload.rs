@@ -118,17 +118,26 @@ mod kpm_bench_check {
             * (rng + mv * (w.num_moments as f64 - 1.0) + cd * w.num_moments as f64)
     }
 
+    /// Overlap-off event pipeline: same numbers as the retired analytic
+    /// estimate (pinned bitwise in kpm-streamsim's tests).
+    fn gpu_time(engine: &StreamKpmEngine, shape: kpm_suite::streamsim::MomentLaunchShape) -> f64 {
+        kpm_suite::streamsim::MomentRunPlan::new(shape)
+            .with_overlap(false)
+            .total(engine.device().spec(), 0.2)
+            .as_secs_f64()
+    }
+
     pub fn speedup_sparse(d: usize, nnz: usize, n: usize) -> f64 {
         let w = KpmWorkload { dim: d, stored_entries: nnz, num_moments: n, realizations: 1792 };
         let engine = StreamKpmEngine::new(GpuSpec::tesla_c2050());
         let shape = engine.shape_for(d, nnz, false, n, 1792);
-        cpu_time(&w) / engine.estimate(&shape).as_secs_f64()
+        cpu_time(&w) / gpu_time(&engine, shape)
     }
 
     pub fn speedup_dense(d: usize, n: usize) -> f64 {
         let w = KpmWorkload { dim: d, stored_entries: d * d, num_moments: n, realizations: 1792 };
         let engine = StreamKpmEngine::new(GpuSpec::tesla_c2050());
         let shape = engine.shape_for(d, d * d, true, n, 1792);
-        cpu_time(&w) / engine.estimate(&shape).as_secs_f64()
+        cpu_time(&w) / gpu_time(&engine, shape)
     }
 }
