@@ -47,7 +47,7 @@ pub struct Args {
 }
 
 /// Keys that are boolean flags (no value).
-const FLAGS: &[&str] = &["full", "help", "once", "quiet", "stats"];
+const FLAGS: &[&str] = &["full", "help", "no-tune", "once", "quiet", "stats"];
 
 impl Args {
     /// Parses raw arguments (after the subcommand).
@@ -92,6 +92,12 @@ impl Args {
     /// Raw string value.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// Sets (or overwrites) a value — for commands that fold a positional
+    /// argument into a keyed option, like `kpm tune <lattice>`.
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.values.insert(key.to_string(), value.to_string());
     }
 
     /// `true` if the flag was given.

@@ -139,7 +139,9 @@ COMMANDS:
   serve     accept job lines on stdin until EOF or Ctrl-C, or over TCP
             with --listen ADDR
   submit    send a job to a kpm serve --listen server (--addr HOST:PORT)
-  tune      block-size sweep for the simulated device
+  tune      `kpm tune [<lattice>]`: calibrate the execution profile for a
+            lattice (probe sweep + profile store) and sweep block sizes for
+            the simulated device
   estimate  modeled CPU vs GPU run times at any scale
   worker    serve shard computations over TCP (--listen ADDR [--once])
   help      this text
@@ -159,9 +161,18 @@ COMMON OPTIONS:
                                    sim[:N] routes the same run through the
                                    N-device event-pipeline model (same
                                    numbers, plus a modeled time)
-  --exec     auto | realizations | rows | hybrid   execution plan (default auto)
+  --exec     auto | realizations | rows | hybrid   execution plan (default
+             auto: calibrated profile when one exists, static prior otherwise;
+             any other value overrides calibration)
   --threads  N                      worker-thread budget for row-tiled plans
                                     (default 0 = RAYON_NUM_THREADS or all cores)
+  --profile-store DIR  persist calibrated execution profiles under DIR, or
+                       'none' for memory only (default results/profiles for
+                       `kpm tune`, memory-only elsewhere)
+  --no-tune            disable calibrated planning (static heuristic only)
+  --precision f64 | mixed    moments arithmetic (default f64; mixed = f32
+                             recursion state with f64 accumulation, opt-in,
+                             value-affecting — see DESIGN §12)
   --out      CSV path               (default none: table to stdout)
   --trace    FILE                   write a span/counter trace as JSON
 
@@ -559,8 +570,51 @@ pub fn spectral(args: &Args) -> Result<String, CmdError> {
     Ok(report)
 }
 
-/// `kpm tune`.
+/// `kpm tune`: calibrate the execution profile for the lattice's operator
+/// shape (timed probe sweep, persisted to the profile store), then the
+/// modeled block-size sweep for the simulated device.
 pub fn tune(args: &Args) -> Result<String, CmdError> {
+    // Part 1 — real-machine calibration. `kpm tune` persists by default
+    // (that's its job); every other command stays memory-only unless
+    // `--profile-store` says otherwise.
+    if args.get("profile-store").is_none() {
+        set_profile_dir(Some(std::path::PathBuf::from("results/profiles")));
+    }
+    let Workload { h, params } = workload(args)?;
+    let chunks = realization_chunk_count(&params, 0..params.total_realizations());
+    let threads = kpm::exec::effective_threads();
+    let sweep_t0 = std::time::Instant::now();
+    let profile = ensure_profile(&h, chunks);
+    let sweep = sweep_t0.elapsed();
+    let plan = profile.plan(threads);
+    let mut report = format!(
+        "execution profile (D = {}, entries = {}, chunks = {}, threads = {}):\n",
+        profile.shape.dim, profile.shape.entries, profile.shape.chunks, profile.shape.threads
+    );
+    let _ = writeln!(report, "  {:>10} {:016x}", "key", profile.shape.key());
+    let _ = writeln!(
+        report,
+        "  {:>10} {} ({:?})  [{}{}]",
+        "plan",
+        plan.name(),
+        plan,
+        profile.origin.as_str(),
+        if profile.probe_nanos > 0 {
+            format!(", probe {:.3} ms", profile.probe_nanos as f64 / 1e6)
+        } else {
+            String::new()
+        },
+    );
+    let _ = writeln!(report, "  {:>10} {} (advisory)", "variant", profile.variant_hint.name());
+    let _ = writeln!(
+        report,
+        "  {:>10} {}",
+        "store",
+        kpm::tune::store().dir().map_or("memory only".into(), |d| d.display().to_string()),
+    );
+    let _ = writeln!(report, "  sweep took {:.3} ms\n", sweep.as_secs_f64() * 1e3);
+
+    // Part 2 — the modeled device sweep (the paper's BLOCK_SIZE table).
     let spec = LatticeSpec::parse(args.get("lattice").unwrap_or("cubic:10,10,10"))?;
     let d = spec.num_sites();
     let n: usize = args.get_or("moments", 1024)?;
@@ -569,8 +623,9 @@ pub fn tune(args: &Args) -> Result<String, CmdError> {
     let stored = 7 * d; // paper-style sparse estimate
     let shape = engine.shape_for(d, stored, false, n, realizations);
     let result = tune_block_size(engine.device().spec(), &shape, 0.2, None);
-    let mut report = format!(
-        "block-size sweep (D = {d}, N = {n}, S*R = {realizations}, thread-per-realization):\n"
+    let _ = writeln!(
+        report,
+        "block-size sweep (D = {d}, N = {n}, S*R = {realizations}, thread-per-realization):"
     );
     let _ = writeln!(report, "  {:>10} {:>12}", "BLOCK_SIZE", "modeled (s)");
     for p in &result.points {
@@ -667,13 +722,21 @@ pub fn run_with_positionals(
 }
 
 /// Applies the process-global execution-plan options (`--exec`,
-/// `--threads`) before the command runs. Validation happens before any
-/// mutation, so a bad value leaves the policy untouched.
+/// `--threads`, `--precision`, `--profile-store`, `--no-tune`) before the
+/// command runs. Validation happens before any mutation, so a bad value
+/// leaves the policy untouched.
 fn apply_exec_options(args: &Args) -> Result<(), CmdError> {
     let policy = match args.get("exec") {
         None => None,
         Some(v) => Some(
             v.parse::<ExecPolicy>().map_err(|e: String| CmdError::Other(format!("--exec: {e}")))?,
+        ),
+    };
+    let precision = match args.get("precision") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<MomentPrecision>()
+                .map_err(|e: String| CmdError::Other(format!("--precision: {e}")))?,
         ),
     };
     let threads: usize = args.get_or("threads", 0)?;
@@ -682,6 +745,17 @@ fn apply_exec_options(args: &Args) -> Result<(), CmdError> {
     }
     if threads > 0 {
         set_thread_budget(threads);
+    }
+    if let Some(p) = precision {
+        set_moments_precision(p);
+    }
+    if args.flag("no-tune") {
+        set_tuning_enabled(false);
+    }
+    match args.get("profile-store") {
+        None => {}
+        Some("none") => set_profile_dir(None),
+        Some(dir) => set_profile_dir(Some(std::path::PathBuf::from(dir))),
     }
     Ok(())
 }
@@ -694,6 +768,19 @@ fn dispatch(command: &str, args: &Args, positionals: &[String]) -> Result<String
     if command == "submit" {
         return crate::batch::submit(args, positionals);
     }
+    if command == "tune" {
+        // `kpm tune <lattice>` — the positional is shorthand for
+        // `--lattice` and wins over it when both are given.
+        if let Some(extra) = positionals.get(1) {
+            return Err(CmdError::Args(ArgError::UnexpectedPositional(extra.clone())));
+        }
+        if let Some(lattice) = positionals.first() {
+            let mut with_lattice = args.clone();
+            with_lattice.set("lattice", lattice);
+            return tune(&with_lattice);
+        }
+        return tune(args);
+    }
     if let Some(p) = positionals.first() {
         return Err(CmdError::Args(ArgError::UnexpectedPositional(p.clone())));
     }
@@ -703,7 +790,6 @@ fn dispatch(command: &str, args: &Args, positionals: &[String]) -> Result<String
         "evolve" => evolve(args),
         "spectral" => spectral(args),
         "serve" => crate::batch::serve(args),
-        "tune" => tune(args),
         "estimate" => estimate(args),
         "worker" => worker(args),
         "help" => Ok(USAGE.to_string()),
@@ -861,12 +947,63 @@ mod tests {
         assert!(spectral(&a).is_err());
     }
 
+    /// The tune tests mutate the process-global profile store; serialize
+    /// them so the directory/None settings don't race.
+    static TUNE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn tune_lists_candidates_and_best() {
-        let a = args(&["--moments", "128"]);
+        let _guard = TUNE_LOCK.lock().unwrap();
+        let a = args(&["--moments", "128", "--profile-store", "none"]);
+        apply_exec_options(&a).unwrap();
         let report = tune(&a).unwrap();
         assert!(report.contains("<= best"), "{report}");
         assert!(report.contains("BLOCK_SIZE"));
+        // The calibration half reports the measured profile and its plan.
+        assert!(report.contains("execution profile"), "{report}");
+        assert!(report.contains("plan"), "{report}");
+        kpm::tune::set_profile_dir(None);
+    }
+
+    #[test]
+    fn tune_accepts_a_positional_lattice() {
+        let _guard = TUNE_LOCK.lock().unwrap();
+        let a = args(&["--moments", "32", "--profile-store", "none"]);
+        apply_exec_options(&a).unwrap();
+        let report = run_with_positionals("tune", &a, &["chain:700".to_string()]).unwrap();
+        assert!(report.contains("D = 700"), "{report}");
+        // A second positional is a usage error, not silently dropped.
+        let extra = ["chain:700".to_string(), "oops".to_string()];
+        assert!(run_with_positionals("tune", &a, &extra).is_err());
+        kpm::tune::store().clear_memory();
+        kpm::tune::set_profile_dir(None);
+    }
+
+    #[test]
+    fn tune_persists_profile_to_the_store_dir() {
+        let _guard = TUNE_LOCK.lock().unwrap();
+        kpm::tune::store().clear_memory();
+        let dir = std::env::temp_dir().join(format!("kpm-cli-tune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a = args(&[
+            "--lattice",
+            "cubic:10,10,10",
+            "--moments",
+            "64",
+            "--profile-store",
+            dir.to_str().unwrap(),
+        ]);
+        apply_exec_options(&a).unwrap();
+        let report = tune(&a).unwrap();
+        assert!(report.contains(dir.to_str().unwrap()), "{report}");
+        let profiles: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "profile"))
+            .collect();
+        assert_eq!(profiles.len(), 1, "expected one persisted profile");
+        kpm::tune::set_profile_dir(None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,11 +1,19 @@
 //! Block-size autotuning — the paper's first future-work item
 //! ("a method to find the best block size used in the GPU", Sec. V).
 //!
-//! Sweeps candidate `BLOCK_SIZE`s over the launch-shape cost model and
-//! returns the fastest. The model captures the real trade-off: blocks that
-//! are not warp multiples waste lanes; very small blocks cap resident
-//! warps; very large blocks reduce scheduling granularity (wave
-//! quantization).
+//! Sweeps candidate `BLOCK_SIZE`s and returns the fastest — the same probe
+//! protocol `kpm::tune` runs on the real machine (candidate grid, time each
+//! one, keep the measured minimum), here priced on the modeled device. The
+//! model captures the real trade-off: blocks that are not warp multiples
+//! waste lanes; very small blocks cap resident warps; very large blocks
+//! reduce scheduling granularity (wave quantization).
+//!
+//! Candidates are priced through the event-queue device pipeline
+//! ([`kpm_streamsim::queue::MomentRunPlan`]) with transfer/compute overlap
+//! on — what the modeled device actually does. The retired overlap-off
+//! analytic chain survives only as the deprecated
+//! [`tune_block_size_analytic`] shim (the same pattern `cost.rs` used when
+//! the closed-form model moved into the pipeline).
 
 use crate::cost::MomentLaunchShape;
 use kpm_streamsim::{GpuSpec, SimTime};
@@ -47,7 +55,8 @@ pub fn default_candidates(spec: &GpuSpec) -> Vec<usize> {
 }
 
 /// Sweeps `candidates` (or the defaults) for the given shape and returns
-/// the fastest block size under the cost model.
+/// the fastest block size, priced through the overlapping event-queue
+/// pipeline — the launch actually modeled by the device.
 ///
 /// # Panics
 /// Panics if the candidate list resolves to empty.
@@ -56,6 +65,29 @@ pub fn tune_block_size(
     shape: &MomentLaunchShape,
     compute_efficiency: f64,
     candidates: Option<&[usize]>,
+) -> TuneResult {
+    sweep(spec, shape, compute_efficiency, candidates, true)
+}
+
+/// [`tune_block_size`] priced on the retired overlap-off analytic chain
+/// (strict `setup + upload + generation + reduction + download` sum).
+#[deprecated(note = "the overlap-off analytic pricing is retired; use `tune_block_size` \
+            (pipelined) or price `kpm_streamsim::StageTimes` directly")]
+pub fn tune_block_size_analytic(
+    spec: &GpuSpec,
+    shape: &MomentLaunchShape,
+    compute_efficiency: f64,
+    candidates: Option<&[usize]>,
+) -> TuneResult {
+    sweep(spec, shape, compute_efficiency, candidates, false)
+}
+
+fn sweep(
+    spec: &GpuSpec,
+    shape: &MomentLaunchShape,
+    compute_efficiency: f64,
+    candidates: Option<&[usize]>,
+    overlap: bool,
 ) -> TuneResult {
     let defaults;
     let list: &[usize] = match candidates {
@@ -72,7 +104,7 @@ pub fn tune_block_size(
         points.push(TunePoint {
             block_size: b,
             time: kpm_streamsim::queue::MomentRunPlan::new(candidate)
-                .with_overlap(false)
+                .with_overlap(overlap)
                 .total(spec, compute_efficiency),
         });
     }
@@ -150,6 +182,28 @@ mod tests {
             |b: usize| result.points.iter().find(|p| p.block_size == b).unwrap().time.as_secs_f64();
         assert!(by_size(100) >= by_size(96), "100 wastes 28 lanes of its 4th warp");
         assert_ne!(result.best, 100, "a misaligned size must not win this sweep");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn analytic_shim_prices_the_serial_chain() {
+        // The deprecated shim reproduces the retired overlap-off pricing,
+        // and the pipelined default can only hide transfer time — so for
+        // every candidate the pipelined price is <= the analytic one.
+        let spec = GpuSpec::tesla_c2050();
+        let piped = tune_block_size(&spec, &paper_shape(), 0.2, None);
+        let serial = tune_block_size_analytic(&spec, &paper_shape(), 0.2, None);
+        assert_eq!(piped.points.len(), serial.points.len());
+        for (p, s) in piped.points.iter().zip(&serial.points) {
+            assert_eq!(p.block_size, s.block_size);
+            assert!(
+                p.time.as_secs_f64() <= s.time.as_secs_f64() + 1e-12,
+                "overlap made block {} slower: {} vs {}",
+                p.block_size,
+                p.time.as_secs_f64(),
+                s.time.as_secs_f64()
+            );
+        }
     }
 
     #[test]

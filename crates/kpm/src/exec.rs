@@ -154,17 +154,82 @@ pub fn effective_threads() -> usize {
     .min(cores)
 }
 
-/// Tile height used by the row-parallel plans: `KPM_TILE_ROWS` (read once)
-/// or [`kpm_linalg::DEFAULT_TILE_ROWS`].
+/// The `KPM_TILE_ROWS` environment override, if set *and valid*. Read once;
+/// `0`, empty, and non-numeric values are rejected with a one-line stderr
+/// warning (via [`vecops::positive_env_override`]) and treated as unset.
+pub fn env_tile_rows() -> Option<usize> {
+    static CACHED: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHED.get_or_init(|| vecops::positive_env_override("KPM_TILE_ROWS"))
+}
+
+/// Tile height used by the row-parallel plans when no calibrated profile is
+/// in play: `KPM_TILE_ROWS` (validated, read once) or
+/// [`kpm_linalg::DEFAULT_TILE_ROWS`].
 pub fn tile_rows() -> usize {
-    static CACHED: OnceLock<usize> = OnceLock::new();
-    *CACHED.get_or_init(|| {
-        std::env::var("KPM_TILE_ROWS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&t| t > 0)
-            .unwrap_or(kpm_linalg::DEFAULT_TILE_ROWS)
-    })
+    resolve_tile_rows(None)
+}
+
+/// Resolves the tile height with the documented precedence:
+/// **environment override > calibrated profile > built-in prior.** The
+/// profile value is what the autotuner measured as fastest; an explicit
+/// `KPM_TILE_ROWS` always wins over it (the operator said so), and the
+/// [`kpm_linalg::DEFAULT_TILE_ROWS`] prior backs both.
+pub fn resolve_tile_rows(profile: Option<usize>) -> usize {
+    env_tile_rows().or(profile).unwrap_or(kpm_linalg::DEFAULT_TILE_ROWS)
+}
+
+/// Arithmetic precision of the moments recursion.
+///
+/// `F64` is the default and the only value family the determinism contract
+/// covers. `MixedF32` stores the recursion vectors in f32 (rounding each
+/// Chebyshev step to storage precision) while accumulating every moment dot
+/// in f64 — the paper's single-precision bandwidth win, modeled on the CPU.
+/// It is value-affecting and therefore strictly opt-in; the error-budget
+/// test in `kpm/tests/exec_plans.rs` pins its deviation from the f64 path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MomentPrecision {
+    /// Full f64 recursion (default).
+    #[default]
+    F64,
+    /// f32 recursion state, f64 dot accumulation (opt-in).
+    MixedF32,
+}
+
+impl MomentPrecision {
+    /// Canonical lower-case name (also the CLI token).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MomentPrecision::F64 => "f64",
+            MomentPrecision::MixedF32 => "mixed",
+        }
+    }
+}
+
+impl std::str::FromStr for MomentPrecision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "f64" | "double" => Ok(MomentPrecision::F64),
+            "mixed" | "mixed-f32" => Ok(MomentPrecision::MixedF32),
+            other => Err(format!("unknown precision '{other}' (expected f64|mixed)")),
+        }
+    }
+}
+
+static PRECISION: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide moments precision (e.g. from `--precision`).
+pub fn set_moments_precision(p: MomentPrecision) {
+    PRECISION.store(p as u8, Ordering::Relaxed);
+}
+
+/// The moments precision in effect (default [`MomentPrecision::F64`]).
+pub fn moments_precision() -> MomentPrecision {
+    match PRECISION.load(Ordering::Relaxed) {
+        1 => MomentPrecision::MixedF32,
+        _ => MomentPrecision::F64,
+    }
 }
 
 /// The concrete schedule [`plan`] resolved for one moments run.
@@ -231,6 +296,27 @@ fn untiled(dim: usize, chunks: usize) -> ExecPlan {
 /// change a single bit of the result.
 pub fn plan(dim: usize, chunks: usize) -> ExecPlan {
     plan_with(exec_policy(), dim, chunks, effective_threads(), tile_rows())
+}
+
+/// [`plan`], but consulting the calibrated profile store first.
+///
+/// Under [`ExecPolicy::Auto`] this looks up the measured [`crate::tune`]
+/// profile for `(dim, model entries, chunks, threads)` and uses its plan
+/// when one exists; the static heuristic in [`plan_with`] is demoted to the
+/// cold-start prior. Any explicit `--exec` policy (non-`Auto`) bypasses the
+/// store entirely — the operator's word beats the tuner's. Profiles only
+/// ever tune *within* the value family `Auto` would pick for `dim` (the
+/// store refuses family-crossing entries), so calibration can never change
+/// a bit of the result.
+pub fn plan_for(dim: usize, model_entries: usize, chunks: usize) -> ExecPlan {
+    let policy = exec_policy();
+    let threads = effective_threads();
+    if policy == ExecPolicy::Auto {
+        if let Some(plan) = crate::tune::calibrated_plan(dim, model_entries, chunks, threads) {
+            return plan;
+        }
+    }
+    plan_with(policy, dim, chunks, threads, tile_rows())
 }
 
 /// [`plan`] with every input explicit — the deterministic core, also used

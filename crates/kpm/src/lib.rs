@@ -64,13 +64,14 @@ pub mod random;
 pub mod rescale;
 pub mod spectral;
 pub mod thermal;
+pub mod tune;
 pub mod workload;
 
 pub use device::{Device, DeviceClock, DeviceOp, DeviceRun, DeviceSpec, HostDevice, SimDevice};
 pub use dos::{Dos, DosEstimator};
 pub use error::KpmError;
 pub use estimator::Estimator;
-pub use exec::{ExecPlan, ExecPolicy};
+pub use exec::{ExecPlan, ExecPolicy, MomentPrecision};
 pub use green::{GreenEstimator, GreensFunction};
 pub use kernels::KernelType;
 pub use kubo::{Conductivity, DoubleMoments, KuboEstimator};
@@ -78,6 +79,7 @@ pub use ldos::LdosEstimator;
 pub use moments::{shard_plan, KpmParams, MomentStats, Recursion};
 pub use random::Distribution;
 pub use rescale::BoundsMethod;
+pub use tune::{ensure_profile, ExecProfile, ProbeShape, ProfileStore};
 
 /// Re-export of the observability layer so downstream crates (and
 /// applications) can open spans and read counters without a separate
@@ -96,17 +98,24 @@ pub mod prelude {
     pub use crate::dos::{Dos, DosEstimator};
     pub use crate::error::KpmError;
     pub use crate::estimator::Estimator;
-    pub use crate::exec::{exec_policy, set_exec_policy, set_thread_budget, ExecPlan, ExecPolicy};
+    pub use crate::exec::{
+        exec_policy, moments_precision, set_exec_policy, set_moments_precision, set_thread_budget,
+        ExecPlan, ExecPolicy, MomentPrecision,
+    };
     pub use crate::green::{GreenEstimator, GreensFunction};
     pub use crate::kernels::KernelType;
     pub use crate::kubo::{Conductivity, DoubleMoments, KuboEstimator};
     pub use crate::ldos::LdosEstimator;
     pub use crate::moments::{
-        block_vector_moments, per_realization_moments, shard_plan, single_vector_moments,
-        stochastic_moments, KpmParams, MomentStats, Recursion,
+        block_vector_moments, block_vector_moments_mixed, per_realization_moments,
+        realization_chunk_count, shard_plan, single_vector_moments, stochastic_moments, KpmParams,
+        MomentStats, Recursion,
     };
     pub use crate::random::{realization_stream, Distribution};
     pub use crate::rescale::{rescale, Boundable, BoundsMethod};
+    pub use crate::tune::{
+        ensure_profile, set_profile_dir, set_tuning_enabled, ExecProfile, ProbeShape,
+    };
     pub use kpm_linalg::gershgorin::SpectralBounds;
     pub use kpm_linalg::{BlockOp, LinearOp, TiledOp};
     pub use kpm_obs::TraceHandle;

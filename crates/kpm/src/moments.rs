@@ -291,6 +291,37 @@ pub fn shard_plan(total: usize, num_shards: usize) -> Vec<std::ops::Range<usize>
     (0..shards).map(|k| (k * total / shards)..((k + 1) * total / shards)).collect()
 }
 
+/// Groups a realization index range into per-set `(s, r_lo..r_hi)` chunks —
+/// the work units [`per_realization_moments`] plans over. Exposed so the
+/// serving layers can derive the chunk count a job will use (the calibrated
+/// profile key includes it) without duplicating the grouping rule.
+pub fn realization_chunks(
+    r_per_s: usize,
+    range: std::ops::Range<usize>,
+) -> Vec<(usize, std::ops::Range<usize>)> {
+    let mut chunks: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+    let mut idx = range.start;
+    while idx < range.end {
+        let s = idx / r_per_s;
+        let r_lo = idx % r_per_s;
+        let r_hi = (range.end - s * r_per_s).min(r_per_s);
+        chunks.push((s, r_lo..r_hi));
+        idx = s * r_per_s + r_hi;
+    }
+    chunks
+}
+
+/// The number of planning chunks a `params` run over `range` produces —
+/// `realization_chunks(...).len()` without the allocation's contents
+/// mattering. Serve workers and shard compute threads feed this to
+/// [`crate::tune::ensure_profile`].
+pub fn realization_chunk_count(params: &KpmParams, range: std::ops::Range<usize>) -> usize {
+    if range.is_empty() {
+        return 0;
+    }
+    realization_chunks(params.num_random, range).len()
+}
+
 /// The normalized per-realization moment vectors `mu~_n / D` for the
 /// realization index range `range` (canonical `idx = s * R + r` indexing)
 /// of the full `S x R` ensemble described by `params`.
@@ -326,15 +357,7 @@ pub fn per_realization_moments<A: TiledOp + Sync>(
     // Group the index range by realization set: (s, r_lo..r_hi) chunks, one
     // D x (r_hi - r_lo) block each. A full interior set keeps its full-R
     // block exactly as the unsharded driver builds it.
-    let mut chunks: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
-    let mut idx = range.start;
-    while idx < range.end {
-        let s = idx / r_per_s;
-        let r_lo = idx % r_per_s;
-        let r_hi = (range.end - s * r_per_s).min(r_per_s);
-        chunks.push((s, r_lo..r_hi));
-        idx = s * r_per_s + r_hi;
-    }
+    let chunks = realization_chunks(r_per_s, range);
 
     let run_chunk = |(s, rs): &(usize, std::ops::Range<usize>)| -> Vec<Vec<f64>> {
         let k = rs.len();
@@ -402,7 +425,42 @@ pub fn per_realization_moments<A: TiledOp + Sync>(
         per_column
     };
 
-    let plan = exec::plan(d, chunks.len());
+    // Mixed precision is value-affecting and opt-in: it runs the untiled
+    // f32-state recursion serially per chunk (one value family, documented
+    // in DESIGN §12), bypassing the calibrated planner entirely.
+    let mixed = exec::moments_precision() == exec::MomentPrecision::MixedF32;
+    let run_chunk_mixed = |(s, rs): &(usize, std::ops::Range<usize>)| -> Vec<Vec<f64>> {
+        let k = rs.len();
+        let mut block = vec![0.0; d * k];
+        for (j, r) in rs.clone().enumerate() {
+            fill_random_vector(
+                params.distribution,
+                params.seed,
+                *s,
+                r,
+                &mut block[j * d..(j + 1) * d],
+            );
+        }
+        let mut per_column = block_vector_moments_mixed(op, &block, k, n);
+        let inv_d = 1.0 / d as f64;
+        for mu in per_column.iter_mut() {
+            for m in mu.iter_mut() {
+                *m *= inv_d;
+            }
+        }
+        kpm_obs::counter_add("kpm.realizations", k as u64);
+        per_column
+    };
+    if mixed {
+        if kpm_obs::enabled() {
+            kpm_obs::counter_add("kpm.exec.plan.mixed", 1);
+        }
+        let _exec_span = kpm_obs::span_labeled("kpm.exec", "mixed");
+        let per_chunk: Vec<Vec<Vec<f64>>> = chunks.iter().map(run_chunk_mixed).collect();
+        return per_chunk.into_iter().flatten().collect();
+    }
+
+    let plan = exec::plan_for(d, op.model_entries(), chunks.len());
     if kpm_obs::enabled() {
         kpm_obs::counter_add(&format!("kpm.exec.plan.{}", plan.name()), 1);
     }
@@ -574,6 +632,64 @@ pub fn block_vector_moments<A: BlockOp + ?Sized>(
         Recursion::Plain => block_plain_moments(op, block, k, num_moments),
         Recursion::Doubling => block_doubling_moments(op, block, k, num_moments),
     }
+}
+
+/// [`block_vector_moments`] with the mixed-precision recursion: every
+/// Chebyshev state vector is rounded to f32 storage precision after each
+/// step — the paper's single-precision bandwidth saving, modeled on the CPU
+/// — while every moment dot still accumulates in f64. Plain recursion only
+/// (moment doubling would square the rounding error for the high moments).
+///
+/// Value-affecting and strictly opt-in: [`per_realization_moments`] only
+/// dispatches here under `MomentPrecision::MixedF32`, and the error-budget
+/// test in `kpm/tests/exec_plans.rs` pins its deviation from the f64 path
+/// on the paper's lattices.
+///
+/// # Panics
+/// Panics if `block.len() != op.dim() * k`, `k == 0`, or `num_moments < 2`.
+pub fn block_vector_moments_mixed<A: BlockOp + ?Sized>(
+    op: &A,
+    block: &[f64],
+    k: usize,
+    num_moments: usize,
+) -> Vec<Vec<f64>> {
+    assert!(k > 0, "block must have at least one column");
+    assert_eq!(block.len(), op.dim() * k, "start block length");
+    assert!(num_moments >= 2, "need at least two moments");
+    let d = op.dim();
+    let n = num_moments;
+    let quantize = |v: &mut [f64]| {
+        for x in v.iter_mut() {
+            *x = *x as f32 as f64;
+        }
+    };
+    let mut r0 = block.to_vec();
+    quantize(&mut r0);
+    let mut mu: Vec<Vec<f64>> = (0..k).map(|_| Vec::with_capacity(n)).collect();
+    let mut prev = r0.clone(); // R_0, already at storage precision
+    let mut cur = vec![0.0; d * k]; // R_1
+    apply_block_counted(op, &prev, &mut cur, k);
+    quantize(&mut cur);
+    for (j, mu_j) in mu.iter_mut().enumerate() {
+        let col = j * d..(j + 1) * d;
+        mu_j.push(vecops::dot(&r0[col.clone()], &prev[col.clone()])); // mu~_0
+        mu_j.push(vecops::dot(&r0[col.clone()], &cur[col])); // mu~_1
+    }
+    let mut scratch = vec![0.0; d * k];
+    for _ in 2..n {
+        apply_block_counted(op, &cur, &mut scratch, k);
+        // R_{n+2} = 2 H R_{n+1} - R_n, stored back at f32 precision; the
+        // dot against R_0 runs over the rounded state but sums in f64.
+        for (p, &s) in prev.iter_mut().zip(scratch.iter()) {
+            *p = ((2.0 * s - *p) as f32) as f64;
+        }
+        for (j, mu_j) in mu.iter_mut().enumerate() {
+            let col = j * d..(j + 1) * d;
+            mu_j.push(vecops::dot(&r0[col.clone()], &prev[col]));
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    mu
 }
 
 fn block_plain_moments<A: BlockOp + ?Sized>(

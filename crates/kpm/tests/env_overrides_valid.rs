@@ -1,0 +1,18 @@
+//! Hardened env-override parsing, valid-value half: a well-formed
+//! `KPM_TILE_ROWS` wins over both the calibrated profile value and the
+//! built-in prior — the top of the documented precedence chain
+//! **env > profile > prior**.
+//!
+//! Own test binary, single test: the override is read once per process.
+
+#[test]
+fn valid_env_override_beats_profile_and_prior() {
+    std::env::set_var("KPM_TILE_ROWS", "256");
+
+    assert_eq!(kpm::exec::env_tile_rows(), Some(256));
+    assert_eq!(kpm::exec::tile_rows(), 256);
+    // The operator's explicit choice beats the tuner's measurement...
+    assert_eq!(kpm::exec::resolve_tile_rows(Some(512)), 256);
+    // ...and the prior.
+    assert_eq!(kpm::exec::resolve_tile_rows(None), 256);
+}

@@ -28,6 +28,9 @@ impl Drop for PolicyGuard {
     fn drop(&mut self) {
         set_exec_policy(ExecPolicy::Auto);
         set_thread_budget(0);
+        set_moments_precision(MomentPrecision::F64);
+        set_tuning_enabled(true);
+        kpm::tune::store().clear_memory();
     }
 }
 
@@ -159,6 +162,115 @@ fn rows_and_hybrid_policies_are_bitwise_identical() {
         assert_eq!(r.std_err, runs[0].std_err);
         assert_eq!(r.samples, runs[0].samples);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Calibration never changes the value family: for every profile the
+    /// tuner can emit on a tiled-dimension operator (`Rows` or `Hybrid`,
+    /// any canonical-grid tile height, any outer split) and every thread
+    /// budget, the moments with the profile installed are **bitwise
+    /// identical** to the cold-start (static prior) run.
+    #[test]
+    fn calibrated_profiles_preserve_bitwise_moments(
+        hybrid in any::<bool>(),
+        tile_mult in 1usize..5,
+        outer in 2usize..5,
+        threads in 1usize..5,
+        seed in 0u64..128,
+    ) {
+        let _g = policy_guard();
+        let h = lattice("chain:600", MatrixFormat::Csr);
+        let op = RescaledOp::new(h, 0.0, 3.0);
+        let params = KpmParams::new(16).with_random_vectors(3, 2).with_seed(seed);
+        set_thread_budget(threads);
+
+        // Cold start: empty store, Auto falls back to the static prior.
+        kpm::tune::store().clear_memory();
+        let cold = stochastic_moments(&op, &params);
+
+        // Install a measured profile for the exact shape `plan_for` keys on.
+        let chunks = realization_chunk_count(&params, 0..params.total_realizations());
+        let shape = ProbeShape {
+            dim: op.dim(),
+            entries: op.model_entries(),
+            chunks,
+            threads: kpm::exec::effective_threads(),
+        };
+        let profile = ExecProfile {
+            shape,
+            policy: if hybrid { ExecPolicy::Hybrid } else { ExecPolicy::Rows },
+            outer: if hybrid { outer } else { 0 },
+            tile_rows: tile_mult * kpm_linalg::DEFAULT_TILE_ROWS,
+            variant_hint: kpm_linalg::vecops::KernelVariant::Unrolled4,
+            probe_nanos: 1,
+            origin: kpm::tune::ProfileOrigin::Measured,
+        };
+        prop_assert!(kpm::tune::store().insert(profile));
+        let calibrated = stochastic_moments(&op, &params);
+        kpm::tune::store().clear_memory();
+
+        prop_assert_eq!(&cold.mean, &calibrated.mean,
+            "calibrated run must be bitwise identical to cold start");
+        prop_assert_eq!(&cold.std_err, &calibrated.std_err);
+    }
+}
+
+/// Below `ROW_MIN_DIM` the tuner only ever records the untiled prior; a
+/// present profile is bitwise identical to the cold-start run there too.
+#[test]
+fn small_dim_prior_profile_is_bitwise_stable() {
+    let _g = policy_guard();
+    let h = lattice("chain:100", MatrixFormat::Csr);
+    let op = RescaledOp::new(h, 0.0, 3.0);
+    let params = KpmParams::new(16).with_random_vectors(2, 2).with_seed(5);
+
+    kpm::tune::store().clear_memory();
+    let cold = stochastic_moments(&op, &params);
+
+    // `ensure_profile` on a small dim records the prior without probing.
+    let chunks = realization_chunk_count(&params, 0..params.total_realizations());
+    let profile = kpm::tune::ensure_profile(&op, chunks);
+    assert_eq!(profile.policy, ExecPolicy::Realizations);
+    assert_eq!(profile.origin, kpm::tune::ProfileOrigin::Prior);
+    let with_profile = stochastic_moments(&op, &params);
+
+    assert_eq!(cold.mean, with_profile.mean);
+    assert_eq!(cold.std_err, with_profile.std_err);
+}
+
+/// The mixed-precision moments path (f32 recursion state, f64 dot
+/// accumulation) is off by default and stays within its documented error
+/// budget on the paper's flagship lattice: every normalized moment within
+/// `1e-4` absolute of the f64 reference (`mu_0 = 1` sets the scale).
+#[test]
+fn mixed_precision_is_opt_in_and_within_error_budget() {
+    let _g = policy_guard();
+    assert_eq!(
+        kpm::exec::moments_precision(),
+        MomentPrecision::F64,
+        "mixed precision must be off by default"
+    );
+    let h = lattice("cubic:10,10,10", MatrixFormat::Ell);
+    let op = RescaledOp::new(h, 0.0, 8.0);
+    let params = KpmParams::new(64).with_random_vectors(2, 1).with_seed(42);
+    let reference = stochastic_moments(&op, &params);
+
+    set_moments_precision(MomentPrecision::MixedF32);
+    let mixed = stochastic_moments(&op, &params);
+    set_moments_precision(MomentPrecision::F64);
+
+    assert_ne!(mixed.mean, reference.mean, "the mixed path must actually run");
+    let budget = 1e-4; // documented bound, DESIGN §12
+    let mut worst = 0.0f64;
+    for (m, (&a, &b)) in mixed.mean.iter().zip(&reference.mean).enumerate() {
+        let err = (a - b).abs();
+        worst = worst.max(err);
+        assert!(err <= budget, "moment {m}: |{a} - {b}| = {err} exceeds budget {budget}");
+    }
+    // The bound is not vacuous: f32 rounding is visible but far inside it.
+    assert!(worst > 0.0);
 }
 
 /// The shard contract survives the tiled engine: slicing the realization

@@ -15,14 +15,24 @@
 //!
 //! # Determinism
 //!
-//! Each tile's partial dots are a pure function of the tile's rows —
+//! Partial dots are a pure function of fixed row *segments* —
 //! [`vecops::dot`] / [`vecops::chebyshev_combine_dot`] over fixed slices,
-//! stored into the tile's private slot segment; the per-step reduction sums
-//! the slots in canonical (ascending) tile order on one thread. Which worker
+//! stored into private slot segments; the per-step reduction sums the slots
+//! in canonical (ascending) segment order on one thread. Which worker
 //! executes a tile therefore cannot affect any bit of the result: for a
 //! fixed tile size, moments are bitwise identical across thread counts,
 //! including the single-threaded fast path. This is pinned by tests here and
 //! in the `kpm` crate.
+//!
+//! The slot granularity is decoupled from the work granularity: when
+//! `tile_rows` is a multiple of [`DEFAULT_TILE_ROWS`], each tile computes
+//! its dots per canonical [`DEFAULT_TILE_ROWS`]-row segment (see
+//! [`slot_rows_for`]), so the association — and therefore every bit of the
+//! result — is identical for *any* such tile height. This is what lets the
+//! autotuner in `kpm::tune` treat tile height as a free performance axis:
+//! `tile_rows` in {128, 256, 384, ...} are pure scheduling choices. Tile
+//! heights that are not a multiple of the canonical segment fall back to
+//! per-tile slots (the historical association) and remain value-affecting.
 //!
 //! Tiled results are *not* bitwise identical to the untiled serial path
 //! (a full-vector `vecops::dot` associates differently than per-tile dots
@@ -529,18 +539,41 @@ fn tile_range(tile: usize, tile_rows: usize, d: usize) -> Range<usize> {
     lo..(lo + tile_rows).min(d)
 }
 
-/// `mu[j][0] = <r0_j|r0_j>` accumulated per tile in canonical order — the
-/// degenerate `n == 1` case shared by both recursions.
+/// The row width of one dot *slot* for a given tile height: the canonical
+/// [`DEFAULT_TILE_ROWS`] when `tile_rows` is a multiple of it (so the dot
+/// association is independent of the tile height), the tile height itself
+/// otherwise (the historical per-tile association).
+#[inline]
+pub fn slot_rows_for(tile_rows: usize) -> usize {
+    if tile_rows > 0 && tile_rows.is_multiple_of(DEFAULT_TILE_ROWS) {
+        DEFAULT_TILE_ROWS
+    } else {
+        tile_rows
+    }
+}
+
+/// `true` when `tile_rows` produces bitwise-identical moments to the
+/// default tile height — i.e. it lies on the canonical-segment grid. The
+/// autotuner only emits tile heights satisfying this.
+#[inline]
+pub fn tile_rows_is_value_safe(tile_rows: usize) -> bool {
+    slot_rows_for(tile_rows) == DEFAULT_TILE_ROWS
+}
+
+/// `mu[j][0] = <r0_j|r0_j>` accumulated per canonical segment in ascending
+/// order — the degenerate `n == 1` case shared by both recursions.
 fn tile_ordered_norms(r0: &[f64], d: usize, k: usize, tile_rows: usize) -> Vec<Vec<f64>> {
-    let ntiles = d.div_ceil(tile_rows);
+    let slot_rows = slot_rows_for(tile_rows);
+    let nsegs = d.div_ceil(slot_rows);
     (0..k)
         .map(|j| {
             let col = &r0[j * d..(j + 1) * d];
             let mut total = 0.0;
-            for tile in 0..ntiles {
-                let seg = &col[tile_range(tile, tile_rows, d)];
-                // Same per-tile `vecops::dot` association as step 0 of the
-                // engines, so mu_0 is identical whichever path computes it.
+            for seg in 0..nsegs {
+                let seg = &col[tile_range(seg, slot_rows, d)];
+                // Same per-segment `vecops::dot` association as step 0 of
+                // the engines, so mu_0 is identical whichever path computes
+                // it.
                 total += vecops::dot(seg, seg);
             }
             vec![total]
@@ -582,13 +615,19 @@ pub fn fused_block_moments_plain<A: TiledOp + Sync + ?Sized>(
     }
     let ntiles = d.div_ceil(tile_rows);
     let workers = threads.clamp(1, ntiles);
+    // Slot granularity is the canonical segment, not the tile: any
+    // tile height on the canonical grid yields the same slots in the same
+    // order, so the reduction is bitwise independent of `tile_rows` there.
+    let slot_rows = slot_rows_for(tile_rows);
+    let nsegs = d.div_ceil(slot_rows);
+    let variant = vecops::kernel_variant();
     // Buffer `a` starts as r0 (= T_0 x), `b` receives T_1 x in step 0; from
     // then on the roles alternate by step parity and the previous vector is
     // overwritten in place.
     let mut a = r0.to_vec();
     let mut b = vec![0.0f64; d * k];
     const NSLOTS: usize = 2;
-    let mut slots = vec![0.0f64; ntiles * NSLOTS * k];
+    let mut slots = vec![0.0f64; nsegs * NSLOTS * k];
     let mut scratch = vec![0.0f64; workers * tile_rows * k];
     let buffers = EngineBuffers {
         a: a.as_mut_ptr(),
@@ -602,9 +641,12 @@ pub fn fused_block_moments_plain<A: TiledOp + Sync + ?Sized>(
         let rows = tile_range(tile, tile_rows, d);
         let row0 = rows.start;
         let len = rows.len();
-        let slot_base = tile * NSLOTS * k;
-        // Safety: this tile's slot segment and buffer rows are touched by no
-        // other tile this step, the scratch stripe belongs to worker `w`
+        // Tiles on the canonical grid start on a segment boundary, so the
+        // tile covers whole segments (the last may be ragged against `d`).
+        let seg0 = row0 / slot_rows;
+        let segs_here = len.div_ceil(slot_rows);
+        // Safety: this tile's slot segments and buffer rows are touched by
+        // no other tile this step, the scratch stripe belongs to worker `w`
         // alone, and the barrier orders steps. The stream lands in the
         // L1-resident scratch; the combine and dots then run over the hot
         // tile with the same vectorized kernels as the untiled path, so the
@@ -615,7 +657,7 @@ pub fn fused_block_moments_plain<A: TiledOp + Sync + ?Sized>(
                 // r1 = A r0 via the worker's scratch stripe (a disjoint
                 // `&mut` slice — a raw-pointer sink would lose `noalias` and
                 // devectorize the format kernels), copied out to `b`; then
-                // <r0|r0> and <r0|r1> on the hot tile.
+                // <r0|r0> and <r0|r1> per canonical segment of the hot tile.
                 let scratch_tile =
                     std::slice::from_raw_parts_mut(buffers.scratch.add(w * tile_rows * k), len * k);
                 op.stream_block_rows(r0, k, rows.clone(), &mut |val, i, j| {
@@ -623,16 +665,22 @@ pub fn fused_block_moments_plain<A: TiledOp + Sync + ?Sized>(
                 });
                 for j in 0..k {
                     let lo = j * d + row0;
-                    let r0s = &r0[lo..lo + len];
-                    let bs = &scratch_tile[j * len..(j + 1) * len];
-                    std::ptr::copy_nonoverlapping(bs.as_ptr(), buffers.b.add(lo), len);
-                    *slots.add(slot_base + j) = vecops::dot(r0s, r0s);
-                    *slots.add(slot_base + k + j) = vecops::dot(r0s, bs);
+                    let col = &scratch_tile[j * len..(j + 1) * len];
+                    std::ptr::copy_nonoverlapping(col.as_ptr(), buffers.b.add(lo), len);
+                    for s in 0..segs_here {
+                        let off = s * slot_rows;
+                        let seg_len = slot_rows.min(len - off);
+                        let slot_base = (seg0 + s) * NSLOTS * k;
+                        let r0s = &r0[lo + off..lo + off + seg_len];
+                        let bs = &col[off..off + seg_len];
+                        *slots.add(slot_base + j) = vecops::dot(r0s, r0s);
+                        *slots.add(slot_base + k + j) = vecops::dot(r0s, bs);
+                    }
                 }
             } else {
                 // Stream (A x)[tile] into the worker's scratch, then
                 // r_{s+1} = 2 (A x) - r_{s-1} over r_{s-1} in place, fused
-                // with <r0|r_{s+1}>.
+                // with <r0|r_{s+1}> per canonical segment.
                 let (xp, pp) =
                     if step % 2 == 1 { (buffers.b, buffers.a) } else { (buffers.a, buffers.b) };
                 let x = std::slice::from_raw_parts(xp as *const f64, d * k);
@@ -647,26 +695,33 @@ pub fn fused_block_moments_plain<A: TiledOp + Sync + ?Sized>(
                     });
                 for j in 0..k {
                     let lo = j * d + row0;
-                    let r0s = &r0[lo..lo + len];
-                    let hs = &scratch_tile[j * len..(j + 1) * len];
-                    let ps = std::slice::from_raw_parts_mut(pp.add(lo), len);
-                    *slots.add(slot_base + j) = if (a_plus, inv) == (0.0, 1.0) {
-                        vecops::chebyshev_combine_dot(hs, ps, r0s)
-                    } else {
-                        let xs = &x[lo..lo + len];
-                        vecops::rescaled_chebyshev_combine_dot(hs, xs, ps, r0s, a_plus, inv)
-                    };
+                    for s in 0..segs_here {
+                        let off = s * slot_rows;
+                        let seg_len = slot_rows.min(len - off);
+                        let slot_base = (seg0 + s) * NSLOTS * k;
+                        let r0s = &r0[lo + off..lo + off + seg_len];
+                        let hs = &scratch_tile[j * len + off..j * len + off + seg_len];
+                        let ps = std::slice::from_raw_parts_mut(pp.add(lo + off), seg_len);
+                        *slots.add(slot_base + j) = if (a_plus, inv) == (0.0, 1.0) {
+                            vecops::chebyshev_combine_dot_variant(variant, hs, ps, r0s)
+                        } else {
+                            let xs = &x[lo + off..lo + off + seg_len];
+                            vecops::rescaled_chebyshev_combine_dot_variant(
+                                variant, hs, xs, ps, r0s, a_plus, inv,
+                            )
+                        };
+                    }
                 }
             }
         }
     };
     let mut mu: Vec<Vec<f64>> = (0..k).map(|_| Vec::with_capacity(n)).collect();
-    let slot_sum = |tile_slot: usize, j: usize| -> f64 {
+    let slot_sum = |seg_slot: usize, j: usize| -> f64 {
         let mut total = 0.0;
-        for tile in 0..ntiles {
+        for seg in 0..nsegs {
             // Safety: worker 0 reads after the end-of-step barrier; no tile
             // is writing.
-            total += unsafe { *buffers.slots.add(tile * NSLOTS * k + tile_slot * k + j) };
+            total += unsafe { *buffers.slots.add(seg * NSLOTS * k + seg_slot * k + j) };
         }
         total
     };
@@ -715,10 +770,13 @@ pub fn fused_block_moments_doubling<A: TiledOp + Sync + ?Sized>(
     }
     let ntiles = d.div_ceil(tile_rows);
     let workers = threads.clamp(1, ntiles);
+    // Canonical segment slots, as in the plain engine.
+    let slot_rows = slot_rows_for(tile_rows);
+    let nsegs = d.div_ceil(slot_rows);
     let mut a = r0.to_vec();
     let mut b = vec![0.0f64; d * k];
     const NSLOTS: usize = 3;
-    let mut slots = vec![0.0f64; ntiles * NSLOTS * k];
+    let mut slots = vec![0.0f64; nsegs * NSLOTS * k];
     let mut scratch = vec![0.0f64; workers * tile_rows * k];
     let buffers = EngineBuffers {
         a: a.as_mut_ptr(),
@@ -735,7 +793,8 @@ pub fn fused_block_moments_doubling<A: TiledOp + Sync + ?Sized>(
         let rows = tile_range(tile, tile_rows, d);
         let row0 = rows.start;
         let len = rows.len();
-        let slot_base = tile * NSLOTS * k;
+        let seg0 = row0 / slot_rows;
+        let segs_here = len.div_ceil(slot_rows);
         // Safety: as in the plain engine — disjoint tiles and scratch
         // stripes, barrier-ordered steps, combine + dots on the still-hot
         // tile after the stream.
@@ -743,7 +802,7 @@ pub fn fused_block_moments_doubling<A: TiledOp + Sync + ?Sized>(
             let slots = buffers.slots;
             if step == 0 {
                 // r1 = A r0 via the scratch stripe (see the plain engine);
-                // then <r0|r0>, <r0|r1>, <r1|r1> on the hot tile.
+                // then <r0|r0>, <r0|r1>, <r1|r1> per canonical segment.
                 let scratch_tile =
                     std::slice::from_raw_parts_mut(buffers.scratch.add(w * tile_rows * k), len * k);
                 op.stream_block_rows(r0, k, rows.clone(), &mut |val, i, j| {
@@ -751,16 +810,22 @@ pub fn fused_block_moments_doubling<A: TiledOp + Sync + ?Sized>(
                 });
                 for j in 0..k {
                     let lo = j * d + row0;
-                    let r0s = &r0[lo..lo + len];
-                    let bs = &scratch_tile[j * len..(j + 1) * len];
-                    std::ptr::copy_nonoverlapping(bs.as_ptr(), buffers.b.add(lo), len);
-                    *slots.add(slot_base + j) = vecops::dot(r0s, r0s);
-                    *slots.add(slot_base + k + j) = vecops::dot(r0s, bs);
-                    *slots.add(slot_base + 2 * k + j) = vecops::dot(bs, bs);
+                    let col = &scratch_tile[j * len..(j + 1) * len];
+                    std::ptr::copy_nonoverlapping(col.as_ptr(), buffers.b.add(lo), len);
+                    for s in 0..segs_here {
+                        let off = s * slot_rows;
+                        let seg_len = slot_rows.min(len - off);
+                        let slot_base = (seg0 + s) * NSLOTS * k;
+                        let r0s = &r0[lo + off..lo + off + seg_len];
+                        let bs = &col[off..off + seg_len];
+                        *slots.add(slot_base + j) = vecops::dot(r0s, r0s);
+                        *slots.add(slot_base + k + j) = vecops::dot(r0s, bs);
+                        *slots.add(slot_base + 2 * k + j) = vecops::dot(bs, bs);
+                    }
                 }
             } else {
                 // r_{t+1} = 2 A r_t - r_{t-1} via the scratch stripe; then
-                // <r_t|r_{t+1}> and <r_{t+1}|r_{t+1}> on the hot tile.
+                // <r_t|r_{t+1}> and <r_{t+1}|r_{t+1}> per canonical segment.
                 let (xp, pp) =
                     if step % 2 == 1 { (buffers.b, buffers.a) } else { (buffers.a, buffers.b) };
                 let x = std::slice::from_raw_parts(xp as *const f64, d * k);
@@ -774,17 +839,22 @@ pub fn fused_block_moments_doubling<A: TiledOp + Sync + ?Sized>(
                     });
                 for j in 0..k {
                     let lo = j * d + row0;
-                    let xs = &x[lo..lo + len];
-                    let hs = &scratch_tile[j * len..(j + 1) * len];
-                    let ps = std::slice::from_raw_parts_mut(pp.add(lo), len);
-                    if (a_plus, inv) == (0.0, 1.0) {
-                        vecops::chebyshev_combine_inplace(hs, ps);
-                    } else {
-                        vecops::rescaled_chebyshev_combine_inplace(hs, xs, ps, a_plus, inv);
+                    for s in 0..segs_here {
+                        let off = s * slot_rows;
+                        let seg_len = slot_rows.min(len - off);
+                        let slot_base = (seg0 + s) * NSLOTS * k;
+                        let xs = &x[lo + off..lo + off + seg_len];
+                        let hs = &scratch_tile[j * len + off..j * len + off + seg_len];
+                        let ps = std::slice::from_raw_parts_mut(pp.add(lo + off), seg_len);
+                        if (a_plus, inv) == (0.0, 1.0) {
+                            vecops::chebyshev_combine_inplace(hs, ps);
+                        } else {
+                            vecops::rescaled_chebyshev_combine_inplace(hs, xs, ps, a_plus, inv);
+                        }
+                        let ps = &*ps;
+                        *slots.add(slot_base + j) = vecops::dot(xs, ps);
+                        *slots.add(slot_base + k + j) = vecops::dot(ps, ps);
                     }
-                    let ps = &*ps;
-                    *slots.add(slot_base + j) = vecops::dot(xs, ps);
-                    *slots.add(slot_base + k + j) = vecops::dot(ps, ps);
                 }
             }
         }
@@ -792,11 +862,11 @@ pub fn fused_block_moments_doubling<A: TiledOp + Sync + ?Sized>(
     let mut mu: Vec<Vec<f64>> = (0..k).map(|_| Vec::with_capacity(n)).collect();
     let mut mu0 = vec![0.0f64; k];
     let mut mu1 = vec![0.0f64; k];
-    let slot_sum = |tile_slot: usize, j: usize| -> f64 {
+    let slot_sum = |seg_slot: usize, j: usize| -> f64 {
         let mut total = 0.0;
-        for tile in 0..ntiles {
+        for seg in 0..nsegs {
             // Safety: worker 0 reads after the end-of-step barrier.
-            total += unsafe { *buffers.slots.add(tile * NSLOTS * k + tile_slot * k + j) };
+            total += unsafe { *buffers.slots.add(seg * NSLOTS * k + seg_slot * k + j) };
         }
         total
     };
@@ -979,6 +1049,35 @@ mod tests {
             assert_eq!(mu_p, reference_p, "plain, {threads} threads");
             assert_eq!(mu_d, reference_d, "doubling, {threads} threads");
         }
+    }
+
+    #[test]
+    fn canonical_grid_tile_heights_are_bitwise_identical() {
+        // Any tile height on the canonical-segment grid must reproduce the
+        // default tile height bit for bit — this is the invariant that lets
+        // the autotuner treat tile height as pure scheduling. Use a
+        // dimension larger than several segments with a ragged remainder.
+        let d = DEFAULT_TILE_ROWS * 3 + 57;
+        let k = 2;
+        let n = 9;
+        let op = ring(d);
+        let r0 = start_block(d, k);
+        let (ref_p, _) = fused_block_moments_plain(&op, &r0, k, n, 1, DEFAULT_TILE_ROWS);
+        let (ref_d, _) = fused_block_moments_doubling(&op, &r0, k, n, 1, DEFAULT_TILE_ROWS);
+        for mult in [2usize, 3, 4] {
+            let tr = mult * DEFAULT_TILE_ROWS;
+            assert!(tile_rows_is_value_safe(tr));
+            for threads in [1usize, 3] {
+                let (mu_p, _) = fused_block_moments_plain(&op, &r0, k, n, threads, tr);
+                let (mu_d, _) = fused_block_moments_doubling(&op, &r0, k, n, threads, tr);
+                assert_eq!(mu_p, ref_p, "plain, tile_rows = {tr}, {threads} threads");
+                assert_eq!(mu_d, ref_d, "doubling, tile_rows = {tr}, {threads} threads");
+            }
+        }
+        // Off-grid heights keep the historical per-tile association and are
+        // allowed to differ in the last bits.
+        assert!(!tile_rows_is_value_safe(200));
+        assert!(!tile_rows_is_value_safe(64));
     }
 
     #[test]

@@ -333,9 +333,23 @@ pub fn compute_raw_moments(
         // device model — the numbers are bitwise equal either way.
         Backend::Cpu => {
             let device = spec.device.build();
+            // Resolve (or probe) the calibrated execution profile for this
+            // operator shape before the moments run: jobs sharing an
+            // operator hash share a shape, so the first worker probes and
+            // every later one hits the store (`kpm.tune.hit`) instead of
+            // re-measuring. The rescaled wrapper forwards dim and entry
+            // counts, so profiling the raw operator keys identically.
+            let chunks =
+                kpm::moments::realization_chunk_count(&params, 0..params.total_realizations());
             let run = match &matrix {
-                JobMatrix::Sparse(h) => device.submit(kpm::DeviceOp::Sparse(h), &params)?,
-                JobMatrix::Dense(h) => device.submit(kpm::DeviceOp::Dense(h), &params)?,
+                JobMatrix::Sparse(h) => {
+                    kpm::tune::ensure_profile(h, chunks);
+                    device.submit(kpm::DeviceOp::Sparse(h), &params)?
+                }
+                JobMatrix::Dense(h) => {
+                    kpm::tune::ensure_profile(h, chunks);
+                    device.submit(kpm::DeviceOp::Dense(h), &params)?
+                }
             };
             Ok((run.moments, run.a_plus, run.a_minus))
         }

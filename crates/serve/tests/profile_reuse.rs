@@ -1,0 +1,43 @@
+//! Calibrated-profile reuse across serve jobs.
+//!
+//! The profile store is keyed on the operator *shape* `(dim, entries,
+//! chunks, threads)` — a strict subset of the fields `JobSpec::cache_key`
+//! leaves unmasked. Two jobs the moment cache would treat as the same
+//! operator therefore resolve the same profile: the first worker probes
+//! once (`kpm.tune.probe`), every later job hits (`kpm.tune.hit`) and skips
+//! re-measuring. Pinned here through the real `compute_raw_moments` path
+//! with the obs counters as evidence.
+//!
+//! Own test binary: the store and the trace session are process-global.
+
+use kpm_serve::worker::compute_raw_moments;
+use kpm_serve::JobSpec;
+
+#[test]
+fn masked_equal_jobs_share_one_probe() {
+    kpm::tune::store().clear_memory();
+    let handle = kpm::obs::TraceHandle::begin();
+
+    // Same lattice/seed/ensemble; different kernel and moment count — both
+    // masked out of the cache key, both absent from the probe shape.
+    let a = JobSpec::parse("lattice=cubic:10,10,10 moments=32 random=2 sets=1 seed=7").unwrap();
+    let b =
+        JobSpec::parse("lattice=cubic:10,10,10 moments=64 random=2 sets=1 seed=7 kernel=lorentz:3")
+            .unwrap();
+    assert_eq!(a.cache_key(), b.cache_key(), "masking treats these as one operator");
+    assert_ne!(a.content_hash(), b.content_hash());
+
+    compute_raw_moments(&a, 0).unwrap();
+    compute_raw_moments(&b, 0).unwrap();
+    // A third masked-equal job from a "different client": still no probe.
+    compute_raw_moments(&a, 0).unwrap();
+
+    let report = handle.finish();
+    kpm::tune::store().clear_memory();
+    let probes = report.counters.get("kpm.tune.probe").copied().unwrap_or(0);
+    let hits = report.counters.get("kpm.tune.hit").copied().unwrap_or(0);
+    assert_eq!(probes, 1, "only the first contact with the shape may probe");
+    // ensure_profile hits on jobs 2 and 3, and the in-run planner
+    // (`plan_for`) hits once per moments run on top.
+    assert!(hits >= 2, "later jobs must reuse the stored profile (hits = {hits})");
+}

@@ -14,7 +14,7 @@
 
 use crate::error::ShardError;
 use kpm::kubo::{double_moments_partial, velocity_operator, DoubleMoments};
-use kpm::moments::{per_realization_moments, single_vector_moments};
+use kpm::moments::{per_realization_moments, realization_chunks, single_vector_moments};
 use kpm::prelude::*;
 use kpm_lattice::spec::LatticeSpec;
 use kpm_lattice::Boundary;
@@ -276,6 +276,13 @@ fn dos_partial<A: Boundable + TiledOp + Sync>(
 ) -> Result<Vec<Vec<f64>>, ShardError> {
     let bounds = h.spectral_bounds(params.bounds).map_err(job_err)?;
     let rescaled = rescale(h, bounds, params.padding).map_err(job_err)?;
+    // Resolve (or probe) the calibrated profile for this worker's slice of
+    // the ensemble — every shard of the same job shares the operator shape,
+    // and because calibration only tunes within the value family `Auto`
+    // pins on `dim`, the merged rows stay bitwise identical to the
+    // single-process reduction regardless of which shard probed first.
+    let chunks = realization_chunks(params.num_random, range.clone()).len();
+    kpm::tune::ensure_profile(&rescaled, chunks);
     Ok(per_realization_moments(&rescaled, params, range))
 }
 
