@@ -47,7 +47,7 @@ pub struct Args {
 }
 
 /// Keys that are boolean flags (no value).
-const FLAGS: &[&str] = &["full", "help", "no-tune", "once", "quiet", "stats"];
+const FLAGS: &[&str] = &["full", "help", "no-locality", "no-tune", "once", "quiet", "stats"];
 
 impl Args {
     /// Parses raw arguments (after the subcommand).

@@ -212,6 +212,17 @@ pub fn serve(args: &Args) -> Result<String, CmdError> {
     finish_report(&report, format!("serve: {verb} ({accepted} jobs accepted):"))
 }
 
+/// Installs the SIGINT handler and blocks until it fires — the shared
+/// wait used by the long-running listeners (`serve --listen`,
+/// `fleet --listen`).
+pub(crate) fn wait_for_interrupt() {
+    install_sigint();
+    INTERRUPTED.store(false, Ordering::SeqCst);
+    while !INTERRUPTED.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
 /// `kpm serve --listen ADDR` — accept concurrent `KPNT` client sessions
 /// over TCP until SIGINT, then drain accepted work and report.
 fn serve_listen(

@@ -40,6 +40,9 @@ pub enum CmdError {
     /// Network front-end failure (serve listener, submit client, KPNT
     /// protocol, server-side rejection).
     Net(kpm_net::NetError),
+    /// Fleet-scheduler failure (journal I/O, no workers, stopped
+    /// scheduler).
+    Fleet(kpm_fleet::FleetError),
     /// Anything else (message).
     Other(String),
 }
@@ -56,6 +59,7 @@ impl CmdError {
             CmdError::Jobs { .. } => 6,
             CmdError::Shard(_) => 7,
             CmdError::Net(_) => 8,
+            CmdError::Fleet(_) => 9,
             CmdError::Other(_) => 1,
         }
     }
@@ -73,6 +77,7 @@ impl fmt::Display for CmdError {
             }
             CmdError::Shard(e) => write!(f, "{e}"),
             CmdError::Net(e) => write!(f, "{e}"),
+            CmdError::Fleet(e) => write!(f, "{e}"),
             CmdError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -123,6 +128,11 @@ impl From<kpm_net::NetError> for CmdError {
         CmdError::Net(e)
     }
 }
+impl From<kpm_fleet::FleetError> for CmdError {
+    fn from(e: kpm_fleet::FleetError) -> Self {
+        CmdError::Fleet(e)
+    }
+}
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -143,7 +153,11 @@ COMMANDS:
             lattice (probe sweep + profile store) and sweep block sizes for
             the simulated device
   estimate  modeled CPU vs GPU run times at any scale
-  worker    serve shard computations over TCP (--listen ADDR [--once])
+  worker    serve shard computations over TCP (--listen ADDR [--once]
+            [--inventory-cap N])
+  fleet     run a jobs file (or --listen ADDR) on a persistent worker
+            fleet with locality-aware scheduling and a restartable
+            --journal DIR
   help      this text
 
 COMMON OPTIONS:
@@ -204,7 +218,19 @@ DISTRIBUTED OPTIONS (dos / ldos / batch / serve):
   Merged moments are bitwise identical to an unsharded run with the same
   --seed, for any worker count or failure history.
 
-EXIT CODES: 0 ok | 1 other | 2 args | 3 lattice spec | 4 kpm | 5 io | 6 jobs failed | 7 shard | 8 net
+FLEET OPTIONS (fleet / worker):
+  --journal DIR        journal accepted rows to DIR; restarting on the same
+                       DIR resumes the merge bitwise (fleet)
+  --shards N           shards per job (default 4; fixed so restarts align)
+  --no-locality        place shards least-loaded, ignoring warm state
+  --inventory-cap N    (worker) warm moment-row cache entries (default 4096,
+                       0 disables caching and locality advertisement)
+  --kill-after N       crash the coordinator after N journaled results — a
+                       restart drill for the --journal replay path
+  Repeat specs route to workers already holding their operator or moment
+  rows; results are bitwise identical either way.
+
+EXIT CODES: 0 ok | 1 other | 2 args | 3 lattice spec | 4 kpm | 5 io | 6 jobs failed | 7 shard | 8 net | 9 fleet
 ";
 
 /// Shared workload assembled from common options.
@@ -367,7 +393,8 @@ fn ldos_sharded(args: &Args, engine: &kpm_shard::ShardedEngine) -> Result<String
 pub fn worker(args: &Args) -> Result<String, CmdError> {
     let listen = args.get("listen").unwrap_or("127.0.0.1:7070");
     let once = args.flag("once");
-    kpm_shard::run_tcp_worker(listen, once, |addr| {
+    let cap: usize = args.get_or("inventory-cap", kpm_shard::inventory::DEFAULT_ROW_CAP)?;
+    kpm_shard::run_tcp_worker_with(listen, once, cap, |addr| {
         eprintln!("kpm worker listening on {addr}");
     })?;
     Ok("worker: served one connection, exiting\n".to_string())
@@ -768,6 +795,9 @@ fn dispatch(command: &str, args: &Args, positionals: &[String]) -> Result<String
     if command == "submit" {
         return crate::batch::submit(args, positionals);
     }
+    if command == "fleet" {
+        return crate::fleet::fleet(args, positionals);
+    }
     if command == "tune" {
         // `kpm tune <lattice>` — the positional is shorthand for
         // `--lattice` and wins over it when both are given.
@@ -1090,9 +1120,25 @@ mod tests {
             CmdError::Jobs { failed: 1, report: "r".into() },
             CmdError::Shard(kpm_shard::ShardError::Io("net".into())),
             CmdError::Net(kpm_net::NetError::Io("refused".into())),
+            CmdError::Fleet(kpm_fleet::FleetError::Stopped),
         ];
         let codes: Vec<u8> = errors.iter().map(CmdError::exit_code).collect();
-        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn fleet_errors_convert_and_exit_9() {
+        for e in [
+            kpm_fleet::FleetError::Journal("disk full".into()),
+            kpm_fleet::FleetError::NoWorkers { pending: 2 },
+            kpm_fleet::FleetError::Stopped,
+        ] {
+            let text = e.to_string();
+            let cmd: CmdError = e.into();
+            assert!(matches!(cmd, CmdError::Fleet(_)));
+            assert_eq!(cmd.exit_code(), 9);
+            assert_eq!(cmd.to_string(), text, "Display must pass through");
+        }
     }
 
     #[test]

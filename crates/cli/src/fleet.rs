@@ -1,0 +1,271 @@
+//! `kpm fleet` — run jobs on a persistent, locality-aware worker fleet.
+//!
+//! Unlike `kpm batch --local-workers N` (which builds a worker set per
+//! job), `fleet` keeps one [`kpm_fleet::Fleet`] alive for the whole run:
+//! workers accumulate warm operators and moment rows, the scheduler routes
+//! repeat specs to them, and a `--journal DIR` makes an interrupted run
+//! resumable with a bitwise-identical merge. Results flow through the same
+//! serve stack as `batch`, so `--out` CSVs are byte-identical to an
+//! unsharded run.
+
+use crate::args::Args;
+use crate::commands::CmdError;
+use kpm_fleet::{Fleet, FleetEngine, FleetPolicy};
+use kpm_serve::{BatchConfig, BatchService, JobSpec};
+use kpm_shard::transport::{loopback_pair, Endpoint};
+use kpm_shard::worker::serve_endpoint;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Worker connections for the fleet: `--workers a,b,...` dials TCP
+/// workers; otherwise `--local-workers N` (default 2) spawns in-process
+/// loopback workers that live as long as the fleet — each keeps its own
+/// warm inventory across jobs, which is what locality scoring feeds on.
+fn fleet_endpoints(args: &Args) -> Result<Vec<Endpoint>, CmdError> {
+    if let Some(v) = args.get("workers") {
+        if v.parse::<usize>().is_err() {
+            let addrs: Vec<&str> = v.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+            if addrs.is_empty() {
+                return Err(CmdError::Other("--workers: no addresses given".into()));
+            }
+            return addrs
+                .iter()
+                .map(|a| Endpoint::connect_tcp(a).map_err(CmdError::Shard))
+                .collect();
+        }
+    }
+    let n: usize = args.get_or("local-workers", 2usize)?;
+    if n == 0 {
+        return Err(CmdError::Other("--local-workers must be positive".into()));
+    }
+    Ok((0..n)
+        .map(|i| {
+            let (coord, worker) = loopback_pair(&format!("fleet-local-{i}"));
+            std::thread::Builder::new()
+                .name(format!("kpm-fleet-worker-{i}"))
+                .spawn(move || serve_endpoint(worker))
+                .expect("spawn fleet worker");
+            coord
+        })
+        .collect())
+}
+
+fn fleet_policy(args: &Args) -> Result<FleetPolicy, CmdError> {
+    let mut policy = FleetPolicy::default();
+    policy.shards_per_job = args.get_or("shards", policy.shards_per_job)?;
+    if policy.shards_per_job == 0 {
+        return Err(CmdError::Other("--shards must be positive".into()));
+    }
+    policy.locality = !args.flag("no-locality");
+    // Crash-injection knob for restart drills (CI and operators): the
+    // coordinator process aborts scheduling after N journaled results,
+    // leaving the journal for a `--journal`-matched restart to replay.
+    let kill: usize = args.get_or("kill-after", 0usize)?;
+    if kill > 0 {
+        policy.kill_after_results = Some(kill);
+    }
+    Ok(policy)
+}
+
+fn start_fleet(args: &Args) -> Result<Fleet, CmdError> {
+    let endpoints = fleet_endpoints(args)?;
+    let journal = args.get("journal").map(PathBuf::from);
+    Fleet::start(endpoints, fleet_policy(args)?, journal.as_deref()).map_err(CmdError::Fleet)
+}
+
+/// Serve-side config for the fleet front-end. `--workers` is the fleet's
+/// address list here, never a thread count, so the pool size stays on auto
+/// unless `--queue`/friends say otherwise.
+fn service_config(args: &Args) -> Result<BatchConfig, CmdError> {
+    Ok(BatchConfig {
+        workers: 0,
+        queue_capacity: args.get_or("queue", 256usize)?,
+        timeout: Duration::from_secs_f64(args.get_or("timeout-secs", 300.0)?),
+        max_retries: args.get_or("retries", 2u32)?,
+        backoff_base: Duration::from_millis(args.get_or("backoff-ms", 20u64)?),
+        cache_capacity: args.get_or("cache-capacity", 128usize)?,
+        cache_dir: match args.get("cache-dir") {
+            Some("none") => None,
+            Some(dir) => Some(PathBuf::from(dir)),
+            None => Some(PathBuf::from("results/cache")),
+        },
+    })
+}
+
+/// `kpm fleet <jobs-file>` (or `--listen ADDR`): the batch/serve front-end
+/// with the fleet as the moment engine.
+pub fn fleet(args: &Args, positionals: &[String]) -> Result<String, CmdError> {
+    if let Some(listen) = args.get("listen") {
+        return fleet_listen(args, listen);
+    }
+    let Some(path) = positionals.first().map(String::as_str).or_else(|| args.get("jobs")) else {
+        return Err(CmdError::Other(
+            "usage: kpm fleet <jobs-file> [--local-workers N | --workers A,B,...] \
+             [--journal DIR] [--no-locality] | kpm fleet --listen ADDR [...]"
+                .into(),
+        ));
+    };
+    if positionals.len() > 1 {
+        return Err(CmdError::Other(format!("unexpected argument '{}'", positionals[1])));
+    }
+    let text = std::fs::read_to_string(path)?;
+    let mut specs = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        specs.push(JobSpec::parse(line).map_err(|e| match e {
+            kpm_serve::JobParseError::Spec(s) => CmdError::Spec(s),
+            other => CmdError::Other(format!("jobs line {}: {other}", idx + 1)),
+        })?);
+    }
+    if specs.is_empty() {
+        return Err(CmdError::Other(format!("{path}: no jobs found")));
+    }
+
+    let fleet = start_fleet(args)?;
+    let engine: Arc<dyn kpm_serve::MomentEngine> = Arc::new(FleetEngine::new(fleet.client()));
+    let service = BatchService::start_with_engine(service_config(args)?, Some(engine));
+    let total = specs.len();
+    for spec in specs {
+        loop {
+            match service.submit(spec.clone()) {
+                Ok(_) => break,
+                Err(full) => std::thread::sleep(full.retry_after.min(Duration::from_millis(500))),
+            }
+        }
+    }
+    let report = service.finish();
+    let stats_line =
+        fleet.shutdown().map_or_else(String::new, |s| format!("{}\n", s.render_json()));
+    let text = format!("fleet of {total} jobs from {path}:\n{}{stats_line}", report.render());
+    let failed = report.failed();
+    if failed > 0 {
+        Err(CmdError::Jobs { failed, report: text })
+    } else {
+        Ok(text)
+    }
+}
+
+/// `kpm fleet --listen ADDR` — a `KPNT` network front-end whose jobs run
+/// on the fleet. Same drain-on-SIGINT behavior as `kpm serve --listen`.
+fn fleet_listen(args: &Args, listen: &str) -> Result<String, CmdError> {
+    let fleet = start_fleet(args)?;
+    let engine: Arc<dyn kpm_serve::MomentEngine> = Arc::new(FleetEngine::new(fleet.client()));
+    let net_config =
+        kpm_net::NetConfig { max_inflight_per_session: args.get_or("max-inflight", 32usize)? };
+    let server =
+        kpm_net::NetServer::start(listen, service_config(args)?, Some(engine), net_config)?;
+    eprintln!("kpm fleet listening on {}", server.local_addr());
+    crate::batch::wait_for_interrupt();
+    let report = server.finish();
+    let stats_line =
+        fleet.shutdown().map_or_else(String::new, |s| format!("{}\n", s.render_json()));
+    let text = format!(
+        "fleet --listen {listen}: interrupted; sessions closed, in-flight drained:\n{}{stats_line}",
+        report.render()
+    );
+    let failed = report.failed();
+    if failed > 0 {
+        Err(CmdError::Jobs { failed, report: text })
+    } else {
+        Ok(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(words: &[&str]) -> Args {
+        Args::parse(words.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn write_jobs(tag: &str, lines: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kpm-cli-fleet-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("jobs.txt");
+        std::fs::write(&path, lines).unwrap();
+        path
+    }
+
+    #[test]
+    fn fleet_requires_a_jobs_file_or_listen() {
+        let err = fleet(&args(&[]), &[]).unwrap_err();
+        assert!(err.to_string().contains("usage"), "{err}");
+    }
+
+    #[test]
+    fn fleet_rejects_zero_workers_and_zero_shards() {
+        let jobs = write_jobs("validate", "lattice=chain:16 moments=16 sets=1\n");
+        let p = jobs.to_str().unwrap().to_string();
+        for bad in [vec!["--local-workers", "0"], vec!["--shards", "0"]] {
+            let mut words = bad.clone();
+            words.extend_from_slice(&["--cache-dir", "none"]);
+            let err = fleet(&args(&words), std::slice::from_ref(&p)).unwrap_err();
+            assert!(err.to_string().contains("positive"), "{bad:?}: {err}");
+        }
+        let _ = std::fs::remove_dir_all(jobs.parent().unwrap());
+    }
+
+    /// The acceptance criterion at the CLI surface: `kpm fleet` writes
+    /// byte-identical `--out` CSVs to `kpm batch`, journal or not.
+    #[test]
+    fn fleet_csvs_match_batch_byte_for_byte() {
+        let dir = std::env::temp_dir().join(format!("kpm-cli-fleet-csv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = |name: &str| dir.join(name).to_str().unwrap().to_string();
+        let jobs_for = |tag: &str| {
+            let lines = format!(
+                "lattice=chain:48 moments=24 random=3 sets=2 seed=11 out={}\n\
+                 lattice=chain:32 moments=16 random=2 sets=2 seed=7 out={}\n",
+                out(&format!("a_{tag}.csv")),
+                out(&format!("b_{tag}.csv")),
+            );
+            let path = dir.join(format!("jobs_{tag}.txt"));
+            std::fs::write(&path, lines).unwrap();
+            path.to_str().unwrap().to_string()
+        };
+
+        let batch_jobs = jobs_for("batch");
+        crate::batch::batch(&args(&["--cache-dir", "none"]), &[batch_jobs]).unwrap();
+
+        let fleet_jobs = jobs_for("fleet");
+        let journal = dir.join("journal");
+        let a = args(&[
+            "--cache-dir",
+            "none",
+            "--local-workers",
+            "2",
+            "--journal",
+            journal.to_str().unwrap(),
+        ]);
+        let report = fleet(&a, &[fleet_jobs]).unwrap();
+        assert!(report.contains("\"kind\":\"fleet-stats\""), "{report}");
+
+        for name in ["a", "b"] {
+            assert_eq!(
+                std::fs::read(dir.join(format!("{name}_fleet.csv"))).unwrap(),
+                std::fs::read(dir.join(format!("{name}_batch.csv"))).unwrap(),
+                "{name}: fleet CSV must match batch bytes"
+            );
+        }
+        assert!(journal.join("journal.log").exists(), "journal must be written");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_locality_flag_disables_warm_routing() {
+        let p = fleet_policy(&args(&["--no-locality"])).unwrap();
+        assert!(!p.locality);
+        let p = fleet_policy(&args(&[])).unwrap();
+        assert!(p.locality);
+        assert_eq!(fleet_policy(&args(&["--shards", "7"])).unwrap().shards_per_job, 7);
+        assert_eq!(p.kill_after_results, None);
+        let p = fleet_policy(&args(&["--kill-after", "2"])).unwrap();
+        assert_eq!(p.kill_after_results, Some(2));
+    }
+}

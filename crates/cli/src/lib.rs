@@ -6,6 +6,7 @@
 pub mod args;
 pub mod batch;
 pub mod commands;
+pub mod fleet;
 pub mod spec;
 
 pub use args::{ArgError, Args};

@@ -1,0 +1,102 @@
+//! [`FleetEngine`]: the fleet as a `kpm-serve` [`MomentEngine`].
+//!
+//! The same hook [`kpm_shard::ShardedEngine`] uses, so `kpm fleet`
+//! (batch or `--listen`) reuses the whole serve stack — queue, cache,
+//! retries, CSV output — unchanged, and its outputs stay byte-identical
+//! to `kpm batch`. The difference from the sharded engine: workers and
+//! scheduler live across jobs, so repeat specs hit warm inventory and a
+//! `--journal` makes interrupted runs resumable.
+
+use crate::error::FleetError;
+use crate::scheduler::FleetClient;
+use kpm_serve::worker::compute_raw_moments;
+use kpm_serve::{Backend, JobError, JobSpec, MomentEngine};
+use kpm_shard::ShardJob;
+
+/// Submits serve jobs to a running [`crate::Fleet`].
+#[derive(Clone)]
+pub struct FleetEngine {
+    client: FleetClient,
+}
+
+impl FleetEngine {
+    /// An engine backed by `client`'s fleet.
+    pub fn new(client: FleetClient) -> Self {
+        Self { client }
+    }
+}
+
+impl MomentEngine for FleetEngine {
+    /// Serves a DoS job from the fleet. Non-CPU backends and
+    /// fault-injected specs are not shardable and fall back to the local
+    /// pipeline, preserving serve's semantics for them (the sharded
+    /// engine's rule, kept bit-for-bit).
+    fn compute(
+        &self,
+        spec: &JobSpec,
+        attempt: u32,
+    ) -> Result<(kpm::MomentStats, f64, f64), JobError> {
+        if spec.backend != Backend::Cpu || spec.fault.is_some() {
+            return compute_raw_moments(spec, attempt);
+        }
+        let mut clean = spec.clone();
+        clean.out = None; // output is serve's concern, not the workers'
+        let job = ShardJob::Dos(clean);
+        let to_engine_err = |e: FleetError| JobError::Engine(format!("fleet: {e}"));
+        let (a_plus, a_minus) =
+            job.bounds().map_err(|e| JobError::Engine(format!("fleet: {e}")))?;
+        let stats = self
+            .client
+            .submit(&job.canonical())
+            .map_err(to_engine_err)?
+            .into_stats()
+            .expect("dos jobs merge to stats");
+        Ok((stats, a_plus, a_minus))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{Fleet, FleetPolicy};
+    use kpm_shard::transport::loopback_pair;
+    use kpm_shard::worker::serve_endpoint;
+
+    fn local_fleet(n: usize) -> Fleet {
+        let endpoints = (0..n)
+            .map(|i| {
+                let (coord, worker) = loopback_pair(&format!("engine-local-{i}"));
+                std::thread::spawn(move || serve_endpoint(worker));
+                coord
+            })
+            .collect();
+        Fleet::start(endpoints, FleetPolicy::default(), None).unwrap()
+    }
+
+    const LINE: &str = "lattice=chain:40 moments=12 random=2 sets=2 seed=3";
+
+    #[test]
+    fn fleet_engine_matches_local_pipeline_bitwise() {
+        let spec = JobSpec::parse(LINE).unwrap();
+        let (direct, a_plus, a_minus) = compute_raw_moments(&spec, 0).unwrap();
+        let fleet = local_fleet(2);
+        let engine = FleetEngine::new(fleet.client());
+        let (stats, ap, am) = engine.compute(&spec, 0).unwrap();
+        assert_eq!(stats.mean, direct.mean);
+        assert_eq!(stats.std_err, direct.std_err);
+        assert_eq!((ap, am), (a_plus, a_minus));
+        drop(fleet);
+    }
+
+    #[test]
+    fn stream_backend_falls_back_to_local_compute() {
+        let spec =
+            JobSpec::parse("lattice=chain:24 moments=8 random=2 sets=1 backend=stream").unwrap();
+        let fleet = local_fleet(1);
+        let engine = FleetEngine::new(fleet.client());
+        let (via_engine, ..) = engine.compute(&spec, 0).unwrap();
+        let (direct, ..) = compute_raw_moments(&spec, 0).unwrap();
+        assert_eq!(via_engine.mean, direct.mean);
+        drop(fleet);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error taxonomy of the fleet layer.
+//!
+//! Per-worker failures stay recoverable exactly as in the shard layer —
+//! the scheduler reroutes lost shards. A [`FleetError`] surfaces per *job*
+//! (one submission fails without taking the fleet down) or per *fleet*
+//! (journal I/O, a stopped scheduler).
+
+use kpm_shard::ShardError;
+use std::fmt;
+
+/// Why a fleet job (or the fleet itself) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// Journal directory or file I/O failed.
+    Journal(String),
+    /// The submitted job line is invalid or unshardable.
+    Job(String),
+    /// A shard-layer failure terminal for one job (deterministic worker
+    /// error, attempts exhausted, malformed rows).
+    Shard(String),
+    /// No live worker remained long enough to finish the job.
+    NoWorkers {
+        /// Shards still unfinished when the job was abandoned.
+        pending: usize,
+    },
+    /// The scheduler thread is gone (shut down, killed, or crashed); the
+    /// submission can never complete.
+    Stopped,
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Journal(msg) => write!(f, "journal: {msg}"),
+            FleetError::Job(msg) => write!(f, "job: {msg}"),
+            FleetError::Shard(msg) => write!(f, "shard: {msg}"),
+            FleetError::NoWorkers { pending } => {
+                write!(f, "no live workers with {pending} shards pending")
+            }
+            FleetError::Stopped => write!(f, "fleet scheduler stopped"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Journal(e.to_string())
+    }
+}
+
+impl From<ShardError> for FleetError {
+    fn from(e: ShardError) -> Self {
+        match e {
+            ShardError::Job(msg) => FleetError::Job(msg),
+            ShardError::AllWorkersDead { pending } => FleetError::NoWorkers { pending },
+            other => FleetError::Shard(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions_carry_context() {
+        assert!(FleetError::Journal("disk full".into()).to_string().contains("disk full"));
+        let from_shard: FleetError = ShardError::AllWorkersDead { pending: 3 }.into();
+        assert_eq!(from_shard, FleetError::NoWorkers { pending: 3 });
+        let from_job: FleetError = ShardError::Job("bad".into()).into();
+        assert_eq!(from_job, FleetError::Job("bad".into()));
+        let from_io: FleetError = std::io::Error::other("nope").into();
+        assert!(matches!(from_io, FleetError::Journal(_)));
+    }
+}

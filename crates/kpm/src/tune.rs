@@ -43,7 +43,7 @@
 //! cache-key masking *ignores* (moment count, kernel, priority, …) is also
 //! absent here, so two jobs equal under masking resolve the same profile.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -284,6 +284,11 @@ struct StoreInner {
     order: Vec<u64>,
     capacity: usize,
     dir: Option<PathBuf>,
+    /// Keys whose disk lookup already failed — memoized so a shape absent
+    /// from the store costs one `read_to_string` per process, not one per
+    /// job (serve workers resolve profiles on every job). Cleared whenever
+    /// the directory changes or an insert lands.
+    absent: HashSet<u64>,
 }
 
 /// Content-addressed profile store: an in-memory LRU front over an optional
@@ -304,14 +309,19 @@ impl ProfileStore {
                 order: Vec::new(),
                 capacity: capacity.max(1),
                 dir: None,
+                absent: HashSet::new(),
             }),
         }
     }
 
     /// Points the store at a persistence directory (created on first
-    /// insert), or detaches it with `None`. Existing memory entries stay.
+    /// insert), or detaches it with `None`. Existing memory entries stay;
+    /// memoized negative disk lookups are forgotten (the new directory may
+    /// hold what the old one lacked).
     pub fn set_dir(&self, dir: Option<PathBuf>) {
-        self.inner.lock().unwrap().dir = dir;
+        let mut inner = self.inner.lock().unwrap();
+        inner.dir = dir;
+        inner.absent.clear();
     }
 
     /// The current persistence directory, if any.
@@ -320,24 +330,40 @@ impl ProfileStore {
     }
 
     /// Looks up `key`: memory first, then the backing directory. A disk hit
-    /// is promoted into memory. Family-violating or key-mismatched entries
-    /// (a hand-edited file, say) are ignored.
+    /// is promoted into memory (counted as `kpm.tune.disk_hit`) so the file
+    /// is read once per shape, not once per job; a disk *miss* is memoized
+    /// the same way, so an absent shape stops touching the filesystem after
+    /// the first lookup. Family-violating or key-mismatched entries (a
+    /// hand-edited file, say) are ignored.
     pub fn get(&self, key: u64) -> Option<ExecProfile> {
         let mut inner = self.inner.lock().unwrap();
         if let Some(p) = inner.map.get(&key).cloned() {
             touch(&mut inner.order, key);
             return Some(p);
         }
-        let path = inner.dir.as_ref().map(|d| profile_path(d, key))?;
-        drop(inner);
-        let text = std::fs::read_to_string(path).ok()?;
-        let profile = ExecProfile::from_text(&text).ok()?;
-        if profile.shape.key() != key || !profile.family_ok() {
+        if inner.absent.contains(&key) {
             return None;
         }
+        let path = inner.dir.as_ref().map(|d| profile_path(d, key))?;
+        drop(inner);
+        let loaded = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| ExecProfile::from_text(&text).ok())
+            .filter(|p| p.shape.key() == key && p.family_ok());
         let mut inner = self.inner.lock().unwrap();
-        insert_mem(&mut inner, key, profile.clone());
-        Some(profile)
+        match loaded {
+            Some(profile) => {
+                if kpm_obs::enabled() {
+                    kpm_obs::counter_add("kpm.tune.disk_hit", 1);
+                }
+                insert_mem(&mut inner, key, profile.clone());
+                Some(profile)
+            }
+            None => {
+                inner.absent.insert(key);
+                None
+            }
+        }
     }
 
     /// Inserts a profile, persisting it when a directory is attached.
@@ -350,6 +376,7 @@ impl ProfileStore {
         let key = profile.shape.key();
         let mut inner = self.inner.lock().unwrap();
         let dir = inner.dir.clone();
+        inner.absent.remove(&key);
         insert_mem(&mut inner, key, profile.clone());
         drop(inner);
         if let Some(dir) = dir {
@@ -360,11 +387,19 @@ impl ProfileStore {
     }
 
     /// Drops every in-memory entry (disk files stay). Test hook and the
-    /// `--profile-store` re-pointing path.
+    /// `--profile-store` re-pointing path. Negative disk memoization is
+    /// dropped too, so a later lookup re-consults the directory.
     pub fn clear_memory(&self) {
         let mut inner = self.inner.lock().unwrap();
         inner.map.clear();
         inner.order.clear();
+        inner.absent.clear();
+    }
+
+    /// Keys of every in-memory profile, unordered — the fleet inventory
+    /// advertisement ([`crate::tune`] profiles a worker already holds).
+    pub fn keys(&self) -> Vec<u64> {
+        self.inner.lock().unwrap().map.keys().copied().collect()
     }
 
     /// Number of in-memory entries.
@@ -772,6 +807,39 @@ mod tests {
         s4.set_dir(Some(dir.clone()));
         assert_eq!(s4.get(key), None);
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_misses_are_memoized_once_per_shape() {
+        let dir = std::env::temp_dir().join(format!("kpm-tune-memo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = ProfileStore::new(8);
+        s.set_dir(Some(dir.clone()));
+
+        let p = measured(1000, 6400);
+        let key = p.shape.key();
+        // First lookup misses disk and memoizes the absence: writing the
+        // file afterwards must NOT make the same store see it (the lookup
+        // never returns to the filesystem for this shape)...
+        assert_eq!(s.get(key), None);
+        std::fs::write(profile_path(&dir, key), p.to_text()).unwrap();
+        assert_eq!(s.get(key), None);
+        // ...until something invalidates the memo: an insert of the shape,
+        assert!(s.insert(p.clone()));
+        assert_eq!(s.get(key), Some(p.clone()));
+        // a memory clear,
+        s.clear_memory();
+        assert_eq!(s.get(key), Some(p.clone()));
+        // or re-pointing the directory.
+        s.clear_memory();
+        s.set_dir(None);
+        assert_eq!(s.get(key), None);
+        s.set_dir(Some(dir.clone()));
+        assert_eq!(s.get(key), Some(p.clone()));
+
+        assert_eq!(s.keys(), vec![key]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -25,7 +25,7 @@
 use crate::error::ShardError;
 use crate::job::{MergedMoments, ShardJob};
 use crate::transport::Endpoint;
-use crate::wire::{Frame, ShardRequest};
+use crate::wire::Frame;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
@@ -74,6 +74,11 @@ struct WorkerState {
     last_seen: Instant,
     /// Shard ids dispatched to this worker and not yet answered.
     inflight: Vec<u32>,
+    /// Whether this connection has seen the job's [`Frame::SpecAnnounce`].
+    /// The spec line travels once per worker; every shard after that —
+    /// including speculative re-dispatches — is an O(1) [`Frame::RequestRef`],
+    /// so re-dispatch traffic no longer scales with spec size.
+    announced: bool,
 }
 
 struct ShardState {
@@ -125,6 +130,7 @@ pub fn run(
             alive: true,
             last_seen: Instant::now(),
             inflight: Vec::new(),
+            announced: false,
         });
         let evt = ev_tx.clone();
         let stop = Arc::clone(&stop);
@@ -384,18 +390,28 @@ impl<'a> Coordinator<'a> {
                 s.primary = Some(w);
             }
             s.dispatched_at = now;
-            Frame::Request(ShardRequest {
+            Frame::RequestRef {
                 job: self.job_id,
                 shard: k as u32,
                 start: s.range.start as u64,
                 end: s.range.end as u64,
-                spec: self.spec_line.clone(),
-            })
+            }
         };
         self.workers[w].inflight.push(k as u32);
         let inflight_total: usize = self.workers.iter().map(|x| x.inflight.len()).sum();
         self.inflight_peak = self.inflight_peak.max(inflight_total as u64);
         kpm_obs::counter_add("shard.dispatched", 1);
+        // The full spec line travels once per connection; every dispatch
+        // after that (re-dispatch, speculation) is shard-range only.
+        if !self.workers[w].announced {
+            let announce = Frame::SpecAnnounce { job: self.job_id, spec: self.spec_line.clone() };
+            if self.workers[w].tx.send(&announce).is_err() {
+                self.kill_worker(w, now);
+                return;
+            }
+            self.workers[w].announced = true;
+            kpm_obs::counter_add("shard.spec.announced", 1);
+        }
         if self.workers[w].tx.send(&request).is_err() {
             self.kill_worker(w, now);
         }
@@ -492,10 +508,10 @@ mod tests {
             let mut worker = worker;
             while let Ok(Some(frame)) = worker.rx.recv_timeout(Duration::from_secs(10)) {
                 match frame {
-                    Frame::Request(req) => {
+                    Frame::RequestRef { job, shard, .. } => {
                         let reply = Frame::WorkerError {
-                            job: req.job,
-                            shard: req.shard,
+                            job,
+                            shard,
                             message: "kpm: degenerate spectrum".into(),
                         };
                         let _ = worker.tx.send(&reply);
@@ -515,6 +531,42 @@ mod tests {
             }
             other => panic!("expected ShardError::Worker, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn spec_is_announced_once_per_worker_for_many_shards() {
+        use std::sync::atomic::AtomicUsize;
+        let announces = Arc::new(AtomicUsize::new(0));
+        let (coord, worker) = loopback_pair("counting");
+        let count = Arc::clone(&announces);
+        std::thread::spawn(move || {
+            let mut worker = worker;
+            let mut specs: std::collections::HashMap<u64, ShardJob> = Default::default();
+            while let Ok(Some(frame)) = worker.rx.recv_timeout(Duration::from_secs(10)) {
+                match frame {
+                    Frame::SpecAnnounce { job, spec } => {
+                        count.fetch_add(1, Ordering::SeqCst);
+                        specs.insert(job, ShardJob::parse(&spec).unwrap());
+                    }
+                    Frame::RequestRef { job, shard, start, end } => {
+                        let rows =
+                            specs[&job].compute_partial(start as usize..end as usize).unwrap();
+                        let reply = Frame::Result(crate::wire::ShardResult { job, shard, rows });
+                        let _ = worker.tx.send(&reply);
+                    }
+                    Frame::Ping { nonce } => {
+                        let _ = worker.tx.send(&Frame::Pong { nonce });
+                    }
+                    Frame::Shutdown => break,
+                    _ => {}
+                }
+            }
+        });
+        let job = ShardJob::parse(&format!("dos {LINE}")).unwrap();
+        let merged = run(&job, vec![coord], &fast_policy()).unwrap();
+        assert_eq!(merged.into_stats().unwrap().mean, reference_mean());
+        // Two shards were dispatched (shards_per_worker = 2), one announce.
+        assert_eq!(announces.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -1,0 +1,279 @@
+//! The worker's content-addressed warm-state inventory.
+//!
+//! A worker process keeps two caches across connections and jobs: assembled
+//! Hamiltonians keyed by [`ShardJob::op_key`] (so a repeat job — or a
+//! different estimator on the same lattice — skips matrix assembly), and
+//! per-realization moment rows keyed by `(row_key, idx)` (so a repeat job
+//! skips the Chebyshev recursion outright). Both keys are FNV-1a-64 content
+//! hashes over canonically neutralized spec renderings — the serve cache's
+//! hash family — so equality of keys *is* reusability of state.
+//!
+//! Row reuse is bitwise-safe by the same argument the serve moment cache
+//! rests on: a per-realization row at `N'` moments has the `N < N'` row as
+//! an exact prefix (the recursion extends, it never revisits), so serving a
+//! truncated cached row is identical to recomputing — pinned by tests here
+//! and exercised end-to-end by the fleet proptests. Kubo rows are the
+//! exception (`N x N` flattening), gated by
+//! [`ShardJob::prefix_extendable`] to exact-length reuse.
+//!
+//! [`Inventory::report`] renders the warm state as a
+//! [`crate::wire::InventoryReport`] — operator hashes, contiguous cached row runs,
+//! and the keys of tuned [`kpm::tune`] profiles resident in this process —
+//! which the fleet scheduler scores placements against.
+
+use crate::error::ShardError;
+use crate::job::ShardJob;
+use crate::wire::{InventoryReport, RowRun};
+use kpm_serve::job::JobMatrix;
+use std::collections::{HashMap, VecDeque};
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+
+/// Default bound on cached rows when the CLI does not set
+/// `--inventory-cap`.
+pub const DEFAULT_ROW_CAP: usize = 4096;
+
+/// Assembled operators kept resident (small: matrices dominate memory).
+const OP_CAP: usize = 8;
+
+#[derive(Default)]
+struct Inner {
+    ops: HashMap<u64, Arc<JobMatrix>>,
+    op_order: VecDeque<u64>,
+    rows: HashMap<(u64, u64), Vec<f64>>,
+    row_order: VecDeque<(u64, u64)>,
+}
+
+/// Shared warm-state cache for one worker process; cheap to clone handles
+/// via `Arc`, safe across the per-connection serving threads.
+pub struct Inventory {
+    row_cap: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Inventory {
+    /// An inventory bounded to `row_cap` cached rows (0 disables caching —
+    /// every compute goes to the recursion, nothing is advertised).
+    pub fn new(row_cap: usize) -> Self {
+        Inventory { row_cap, inner: Mutex::new(Inner::default()) }
+    }
+
+    /// Computes `range` of `job`, serving warm rows when every index of the
+    /// range is cached at a sufficient moment count and otherwise running
+    /// the real compute path on a (possibly cached) assembled operator,
+    /// then retaining the fresh rows. Served rows are bitwise identical to
+    /// recomputation (prefix truncation for DoS/LDoS, exact length for
+    /// Kubo).
+    ///
+    /// # Errors
+    /// [`ShardError::Job`] on an invalid range or any KPM failure.
+    pub fn compute(
+        &self,
+        job: &ShardJob,
+        range: Range<usize>,
+    ) -> Result<Vec<Vec<f64>>, ShardError> {
+        let need = job.moment_len();
+        let key = job.row_key();
+        if self.row_cap > 0 {
+            let inner = self.inner.lock().expect("inventory lock");
+            let warm = |idx: usize| {
+                inner.rows.get(&(key, idx as u64)).is_some_and(|row| {
+                    row.len() == need || (job.prefix_extendable() && row.len() > need)
+                })
+            };
+            if !range.is_empty() && range.end <= job.total_units() && range.clone().all(warm) {
+                let served: Vec<Vec<f64>> = range
+                    .clone()
+                    .map(|idx| inner.rows[&(key, idx as u64)][..need].to_vec())
+                    .collect();
+                kpm_obs::counter_add("shard.inventory.row_hits", range.len() as u64);
+                return Ok(served);
+            }
+        }
+        let matrix = self.operator(job);
+        let rows = job.compute_partial_with(range.clone(), &matrix)?;
+        self.retain_rows(key, range.start as u64, &rows);
+        Ok(rows)
+    }
+
+    /// The job's assembled Hamiltonian, from cache when warm.
+    fn operator(&self, job: &ShardJob) -> Arc<JobMatrix> {
+        let key = job.op_key();
+        {
+            let inner = self.inner.lock().expect("inventory lock");
+            if let Some(m) = inner.ops.get(&key) {
+                kpm_obs::counter_add("shard.inventory.op_hits", 1);
+                return Arc::clone(m);
+            }
+        }
+        let built = Arc::new(job.spec().build_matrix());
+        let mut inner = self.inner.lock().expect("inventory lock");
+        if inner.ops.insert(key, Arc::clone(&built)).is_none() {
+            inner.op_order.push_back(key);
+            while inner.op_order.len() > OP_CAP {
+                let evict = inner.op_order.pop_front().expect("non-empty");
+                inner.ops.remove(&evict);
+            }
+        }
+        built
+    }
+
+    /// Stores fresh rows, upgrade-only (a longer cached row is never
+    /// replaced by a shorter one), evicting oldest-inserted beyond the cap.
+    fn retain_rows(&self, key: u64, start: u64, rows: &[Vec<f64>]) {
+        if self.row_cap == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("inventory lock");
+        for (i, row) in rows.iter().enumerate() {
+            let slot = (key, start + i as u64);
+            match inner.rows.get(&slot) {
+                Some(existing) if existing.len() >= row.len() => {}
+                Some(_) => {
+                    inner.rows.insert(slot, row.clone());
+                }
+                None => {
+                    inner.rows.insert(slot, row.clone());
+                    inner.row_order.push_back(slot);
+                }
+            }
+        }
+        while inner.row_order.len() > self.row_cap {
+            let evict = inner.row_order.pop_front().expect("non-empty");
+            inner.rows.remove(&evict);
+        }
+    }
+
+    /// Renders the warm state for the scheduler: operator hashes, cached
+    /// rows merged into maximal contiguous same-length runs, and the keys
+    /// of tuned profiles resident in this process's [`kpm::tune`] store.
+    pub fn report(&self) -> InventoryReport {
+        let inner = self.inner.lock().expect("inventory lock");
+        let mut ops: Vec<u64> = inner.ops.keys().copied().collect();
+        ops.sort_unstable();
+        let mut by_key: HashMap<u64, Vec<(u64, u32)>> = HashMap::new();
+        for (&(key, idx), row) in &inner.rows {
+            by_key.entry(key).or_default().push((idx, row.len() as u32));
+        }
+        let mut rows = Vec::new();
+        let mut keys: Vec<u64> = by_key.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let mut entries = by_key.remove(&key).expect("present");
+            entries.sort_unstable();
+            let mut run: Option<RowRun> = None;
+            for (idx, n) in entries {
+                match &mut run {
+                    Some(r) if r.end == idx && r.n == n => r.end = idx + 1,
+                    _ => {
+                        rows.extend(run.take());
+                        run = Some(RowRun { key, start: idx, end: idx + 1, n });
+                    }
+                }
+            }
+            rows.extend(run);
+        }
+        let mut profiles = kpm::tune::store().keys();
+        profiles.sort_unstable();
+        InventoryReport { ops, rows, profiles }
+    }
+}
+
+impl Default for Inventory {
+    fn default() -> Self {
+        Inventory::new(DEFAULT_ROW_CAP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(line: &str) -> ShardJob {
+        ShardJob::parse(line).unwrap()
+    }
+
+    #[test]
+    fn served_rows_are_bitwise_identical_to_recomputation() {
+        let inv = Inventory::new(64);
+        let j = job("dos lattice=chain:32 moments=20 random=3 sets=2 seed=5");
+        let cold = inv.compute(&j, 0..6).unwrap();
+        let warm = inv.compute(&j, 0..6).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(cold, j.compute_partial(0..6).unwrap());
+        // A sub-range is served from the same cache, still bitwise.
+        assert_eq!(inv.compute(&j, 2..5).unwrap(), j.compute_partial(2..5).unwrap());
+    }
+
+    #[test]
+    fn prefix_rows_serve_lower_moment_orders_bitwise() {
+        let inv = Inventory::new(64);
+        let long = job("dos lattice=chain:32 moments=24 random=2 sets=2 seed=7");
+        let short = job("dos lattice=chain:32 moments=10 random=2 sets=2 seed=7");
+        assert_eq!(long.row_key(), short.row_key());
+        inv.compute(&long, 0..4).unwrap();
+        // The short job is served from the 24-moment rows by truncation —
+        // bitwise equal to a cold 10-moment run (the prefix contract).
+        let served = inv.compute(&short, 0..4).unwrap();
+        assert_eq!(served, short.compute_partial(0..4).unwrap());
+        // The reverse is a miss: 10-moment rows cannot serve 24.
+        let inv2 = Inventory::new(64);
+        inv2.compute(&short, 0..4).unwrap();
+        assert_eq!(inv2.compute(&long, 0..4).unwrap(), long.compute_partial(0..4).unwrap());
+    }
+
+    #[test]
+    fn kubo_rows_reuse_at_exact_order_only() {
+        let inv = Inventory::new(64);
+        let a = job("kubo lattice=chain:16 moments=6 random=2 sets=1");
+        let b = job("kubo lattice=chain:16 moments=4 random=2 sets=1");
+        inv.compute(&a, 0..2).unwrap();
+        // Same row family, different N: must recompute, and stay correct.
+        assert_eq!(inv.compute(&b, 0..2).unwrap(), b.compute_partial(0..2).unwrap());
+        // Exact-N repeat is served.
+        assert_eq!(inv.compute(&a, 0..2).unwrap(), a.compute_partial(0..2).unwrap());
+    }
+
+    #[test]
+    fn report_merges_contiguous_runs_and_lists_ops() {
+        let inv = Inventory::new(64);
+        let j = job("dos lattice=chain:24 moments=12 random=2 sets=3 seed=2");
+        inv.compute(&j, 0..3).unwrap();
+        inv.compute(&j, 4..6).unwrap();
+        let report = inv.report();
+        assert_eq!(report.ops, vec![j.op_key()]);
+        let runs: Vec<(u64, u64, u32)> =
+            report.rows.iter().map(|r| (r.start, r.end, r.n)).collect();
+        assert_eq!(runs, vec![(0, 3, 12), (4, 6, 12)]);
+        assert!(report.rows.iter().all(|r| r.key == j.row_key()));
+        // Filling the gap fuses the runs.
+        inv.compute(&j, 3..4).unwrap();
+        assert_eq!(inv.report().rows.len(), 1);
+    }
+
+    #[test]
+    fn zero_cap_disables_caching_and_cap_bounds_rows() {
+        let off = Inventory::new(0);
+        let j = job("dos lattice=chain:16 moments=8 random=2 sets=2 seed=1");
+        off.compute(&j, 0..4).unwrap();
+        assert!(off.report().rows.is_empty());
+
+        let tiny = Inventory::new(2);
+        tiny.compute(&j, 0..4).unwrap();
+        let cached: u64 = tiny.report().rows.iter().map(|r| r.end - r.start).sum();
+        assert_eq!(cached, 2);
+        // Still correct when partially evicted.
+        assert_eq!(tiny.compute(&j, 0..4).unwrap(), j.compute_partial(0..4).unwrap());
+    }
+
+    #[test]
+    fn operator_cache_is_shared_across_estimator_kinds() {
+        let inv = Inventory::new(16);
+        let dos = job("dos lattice=chain:20 moments=8 random=1 sets=1 seed=4");
+        let ldos = job("ldos:3 lattice=chain:20 moments=8");
+        assert_eq!(dos.op_key(), ldos.op_key());
+        inv.compute(&dos, 0..1).unwrap();
+        assert_eq!(inv.compute(&ldos, 0..1).unwrap(), ldos.compute_partial(0..1).unwrap());
+        assert_eq!(inv.report().ops.len(), 1);
+    }
+}

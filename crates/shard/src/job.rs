@@ -13,13 +13,16 @@
 //! combined, because floating-point addition is not associative.
 
 use crate::error::ShardError;
+use kpm::device::DeviceSpec;
 use kpm::kubo::{double_moments_partial, velocity_operator, DoubleMoments};
 use kpm::moments::{per_realization_moments, realization_chunks, single_vector_moments};
 use kpm::prelude::*;
+use kpm::KernelType;
 use kpm_lattice::spec::LatticeSpec;
 use kpm_lattice::Boundary;
+use kpm_linalg::MatrixFormat;
 use kpm_serve::job::JobMatrix;
-use kpm_serve::{Backend, JobSpec, ModelSpec};
+use kpm_serve::{Backend, JobSpec, ModelSpec, Priority};
 use std::ops::Range;
 
 /// One distributed computation: the estimator kind plus the job spec.
@@ -152,6 +155,60 @@ impl ShardJob {
         }
     }
 
+    /// Content hash of the assembled-operator identity: the canonical spec
+    /// with every non-matrix field neutralized (the Hamiltonian depends
+    /// only on model, boundary, hopping, disorder, and storage format —
+    /// never on `N`, `R`, `S`, seed, or kernel). Hashed with the serve
+    /// cache's FNV-1a-64 family, so two jobs share an `op_key` exactly when
+    /// a worker can reuse one assembled matrix for both.
+    pub fn op_key(&self) -> u64 {
+        let neutral = JobSpec {
+            num_moments: 2,
+            num_random: 1,
+            num_realizations: 1,
+            kernel: KernelType::Jackson,
+            seed: 0,
+            device: DeviceSpec::Host,
+            priority: Priority::Normal,
+            ..self.spec().clone()
+        };
+        kpm::tune::fnv1a(format!("shard-op/v1;{}", neutral.canonical()).as_bytes())
+    }
+
+    /// Content hash of the per-realization row family: the estimator kind
+    /// plus every field a row's *bits* depend on (matrix identity, seed,
+    /// `R` — the `idx = s * R + r` mapping). Masked out are `N` and the
+    /// kernel (raw moments are prefix-extendable and kernel-free, exactly
+    /// the serve cache-key argument), `S` (it only bounds which indices
+    /// exist), and format/device/priority (bitwise-invariant, pinned
+    /// elsewhere). Two jobs share a `row_key` exactly when a cached row for
+    /// realization `idx` of one bitwise serves the other.
+    pub fn row_key(&self) -> u64 {
+        let kind = match self {
+            ShardJob::Dos(_) => "dos".to_string(),
+            ShardJob::Ldos { site, .. } => format!("ldos:{site}"),
+            ShardJob::Kubo(_) => "kubo".to_string(),
+        };
+        let neutral = JobSpec {
+            num_moments: 2,
+            num_realizations: 1,
+            kernel: KernelType::Jackson,
+            device: DeviceSpec::Host,
+            format: MatrixFormat::Csr,
+            priority: Priority::Normal,
+            ..self.spec().clone()
+        };
+        kpm::tune::fnv1a(format!("shard-rows/v1;{kind};{}", neutral.canonical()).as_bytes())
+    }
+
+    /// Whether a cached row at `n' > n` moments bitwise serves this job
+    /// truncated to `n`. True for DoS/LDoS rows (moment `i` never depends
+    /// on `N`); false for Kubo rows, whose `N x N` row-major flattening
+    /// reshuffles under a different `N` — those reuse at exact `N` only.
+    pub fn prefix_extendable(&self) -> bool {
+        !matches!(self, ShardJob::Kubo(_))
+    }
+
     /// The `(a_plus, a_minus)` rescaling the moments were computed under —
     /// deterministic from the spec, so coordinator and workers agree
     /// without shipping floats.
@@ -180,6 +237,22 @@ impl ShardJob {
     /// # Errors
     /// [`ShardError::Job`] on an invalid range or any KPM failure.
     pub fn compute_partial(&self, range: Range<usize>) -> Result<Vec<Vec<f64>>, ShardError> {
+        self.compute_partial_with(range, &self.spec().build_matrix())
+    }
+
+    /// [`ShardJob::compute_partial`] on a pre-assembled Hamiltonian — the
+    /// seam the worker inventory uses to skip matrix assembly when a warm
+    /// operator (same [`ShardJob::op_key`]) is already resident. `matrix`
+    /// must be the spec's own build; the result is bitwise identical either
+    /// way because assembly is deterministic from the spec.
+    ///
+    /// # Errors
+    /// [`ShardError::Job`] on an invalid range or any KPM failure.
+    pub fn compute_partial_with(
+        &self,
+        range: Range<usize>,
+        matrix: &JobMatrix,
+    ) -> Result<Vec<Vec<f64>>, ShardError> {
         if range.is_empty() || range.end > self.total_units() {
             return Err(ShardError::Job(format!(
                 "range {range:?} invalid for {} units",
@@ -190,16 +263,21 @@ impl ShardJob {
         let params = spec.kpm_params();
         params.validate().map_err(job_err)?;
         match self {
-            ShardJob::Dos(_) => match &spec.build_matrix() {
+            ShardJob::Dos(_) => match matrix {
                 JobMatrix::Sparse(h) => dos_partial(h, &params, range),
                 JobMatrix::Dense(h) => dos_partial(h, &params, range),
             },
-            ShardJob::Ldos { site, .. } => match &spec.build_matrix() {
+            ShardJob::Ldos { site, .. } => match matrix {
                 JobMatrix::Sparse(h) => ldos_partial(h, &params, *site),
                 JobMatrix::Dense(h) => ldos_partial(h, &params, *site),
             },
             ShardJob::Kubo(_) => {
-                let h = kubo_csr(spec)?;
+                let h = match matrix {
+                    JobMatrix::Sparse(h) => h.to_csr(),
+                    JobMatrix::Dense(_) => {
+                        return Err(ShardError::Job("kubo sharding requires a lattice".into()))
+                    }
+                };
                 let ModelSpec::Lattice(LatticeSpec::Chain(l)) = spec.model else {
                     return Err(ShardError::Job("kubo sharding requires a chain".into()));
                 };
@@ -426,5 +504,71 @@ mod tests {
         let job = dos_job("lattice=chain:8 moments=8 random=2 sets=1");
         assert!(job.compute_partial(0..0).is_err());
         assert!(job.compute_partial(1..3).is_err());
+    }
+
+    #[test]
+    fn op_key_sees_matrix_fields_only() {
+        let base = dos_job("lattice=chain:32 moments=24 random=3 sets=2 seed=5");
+        // The assembled Hamiltonian is independent of the run parameters...
+        for same in [
+            "lattice=chain:32 moments=64 random=3 sets=2 seed=5",
+            "lattice=chain:32 moments=24 random=7 sets=4 seed=99",
+            "lattice=chain:32 moments=24 random=3 sets=2 seed=5 kernel=fejer priority=low",
+        ] {
+            assert_eq!(base.op_key(), dos_job(same).op_key(), "{same}");
+        }
+        // ...and a Kubo job on the same lattice shares the operator too.
+        let kubo = ShardJob::parse("kubo lattice=chain:32 moments=8").unwrap();
+        assert_eq!(base.op_key(), kubo.op_key());
+        // ...but every matrix-shaping field changes it.
+        for diff in [
+            "lattice=chain:33 moments=24",
+            "lattice=chain:32 moments=24 bc=open",
+            "lattice=chain:32 moments=24 hopping=2",
+            "lattice=chain:32 moments=24 disorder=0.5",
+            "lattice=chain:32 moments=24 format=ell",
+        ] {
+            assert_ne!(base.op_key(), dos_job(diff).op_key(), "{diff}");
+        }
+    }
+
+    #[test]
+    fn row_key_masks_prefix_safe_fields_and_keeps_stream_identity() {
+        let base = dos_job("lattice=chain:32 moments=24 random=3 sets=2 seed=5");
+        // Rows are prefix-extendable and kernel-free; S only bounds the
+        // index set; format/device are bitwise-invariant.
+        for same in [
+            "lattice=chain:32 moments=64 random=3 sets=2 seed=5",
+            "lattice=chain:32 moments=24 random=3 sets=4 seed=5",
+            "lattice=chain:32 moments=24 random=3 sets=2 seed=5 kernel=fejer",
+            "lattice=chain:32 moments=24 random=3 sets=2 seed=5 format=ell device=sim",
+        ] {
+            assert_eq!(base.row_key(), dos_job(same).row_key(), "{same}");
+        }
+        // Seed and R change the (seed, s, r) stream mapping; the matrix
+        // fields change the rows; the kind changes the estimator.
+        for diff in [
+            "lattice=chain:32 moments=24 random=3 sets=2 seed=6",
+            "lattice=chain:32 moments=24 random=4 sets=2 seed=5",
+            "lattice=chain:32 moments=24 random=3 sets=2 seed=5 disorder=0.1",
+        ] {
+            assert_ne!(base.row_key(), dos_job(diff).row_key(), "{diff}");
+        }
+        let ldos = ShardJob::parse("ldos:3 lattice=chain:32 moments=24").unwrap();
+        let kubo = ShardJob::parse("kubo lattice=chain:32 moments=8").unwrap();
+        assert_ne!(base.row_key(), ldos.row_key());
+        assert_ne!(base.row_key(), kubo.row_key());
+        assert!(base.prefix_extendable());
+        assert!(ldos.prefix_extendable());
+        assert!(!kubo.prefix_extendable());
+    }
+
+    #[test]
+    fn compute_partial_with_prebuilt_matrix_is_bitwise_identical() {
+        let job = dos_job("lattice=chain:32 moments=16 random=2 sets=2 seed=3");
+        let matrix = job.spec().build_matrix();
+        let direct = job.compute_partial(0..4).unwrap();
+        let reused = job.compute_partial_with(0..4, &matrix).unwrap();
+        assert_eq!(direct, reused);
     }
 }

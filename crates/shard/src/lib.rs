@@ -17,6 +17,9 @@
 //!   in-process loopback channels (tests; same codec).
 //! - [`job`]: [`ShardJob`] — DoS/LDoS/Kubo jobs with canonical lines, the
 //!   worker compute half and the coordinator merge half.
+//! - [`inventory`]: the worker's content-addressed warm-state cache —
+//!   assembled operators and per-realization moment rows, advertised to
+//!   the fleet scheduler for locality-aware placement (DESIGN.md §13).
 //! - [`worker`]: serve one connection; heartbeats answered during compute.
 //! - [`coordinator`]: dispatch, heartbeat death detection, backoff
 //!   reassignment, speculative re-dispatch, exact merge.
@@ -30,6 +33,7 @@
 pub mod coordinator;
 pub mod engine;
 pub mod error;
+pub mod inventory;
 pub mod job;
 pub mod transport;
 pub mod wire;
@@ -38,6 +42,10 @@ pub mod worker;
 pub use coordinator::{run, ShardPolicy};
 pub use engine::{ShardedEngine, WorkerSet};
 pub use error::ShardError;
+pub use inventory::Inventory;
 pub use job::{MergedMoments, ShardJob};
 pub use transport::{loopback_pair, Endpoint};
-pub use worker::{run_tcp_worker, serve_endpoint, serve_listener, WorkerFault};
+pub use worker::{
+    run_tcp_worker, run_tcp_worker_with, serve_endpoint, serve_endpoint_with,
+    serve_endpoint_with_inventory, serve_listener, serve_listener_with, WorkerFault,
+};

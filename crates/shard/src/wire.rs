@@ -20,7 +20,15 @@ use kpm_wire::{put_str, put_u32, put_u64, Codec, Reader, WireError};
 /// Frame preamble.
 pub const MAGIC: [u8; 4] = *b"KPSH";
 /// Protocol revision; bump on any change to framing or payload layout.
-pub const VERSION: u16 = 1;
+/// Version 2 added the spec-deduplicated dispatch frames
+/// ([`Frame::SpecAnnounce`] / [`Frame::RequestRef`]) and the fleet
+/// inventory exchange ([`Frame::InventoryQuery`] / [`Frame::Inventory`]);
+/// every version-1 payload layout is unchanged, so decoding accepts
+/// [`MIN_VERSION`]`..=`[`VERSION`] (new frame types simply cannot appear in
+/// old streams).
+pub const VERSION: u16 = 2;
+/// Oldest protocol revision the decoder still accepts.
+pub const MIN_VERSION: u16 = 1;
 /// Header length: magic + version + type + payload length.
 pub const HEADER_LEN: usize = kpm_wire::HEADER_LEN;
 /// Payloads above this are rejected as protocol violations (a corrupted
@@ -66,6 +74,36 @@ pub struct ShardResult {
     pub rows: Vec<Vec<f64>>,
 }
 
+/// One contiguous run of warm per-realization rows in a worker's
+/// inventory: realizations `start..end` of the row family `key` are cached
+/// at `n` moments each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowRun {
+    /// Row-family hash ([`crate::job::ShardJob::row_key`]).
+    pub key: u64,
+    /// First cached realization index.
+    pub start: u64,
+    /// One past the last cached realization index.
+    pub end: u64,
+    /// Moments per cached row (prefix-servable for dos/ldos families).
+    pub n: u32,
+}
+
+/// A worker's content-addressed warm-state advertisement: which assembled
+/// operators, per-realization row prefixes, and tuned execution profiles it
+/// already holds. The fleet scheduler scores placements against this.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InventoryReport {
+    /// Operator hashes ([`crate::job::ShardJob::op_key`]) of assembled
+    /// Hamiltonians held in memory.
+    pub ops: Vec<u64>,
+    /// Warm per-realization row runs.
+    pub rows: Vec<RowRun>,
+    /// Keys of tuned [`kpm::tune::ExecProfile`]s resident in the worker's
+    /// profile store.
+    pub profiles: Vec<u64>,
+}
+
 /// Every message of the protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -94,6 +132,31 @@ pub enum Frame {
     },
     /// Coordinator tells the worker this session is over.
     Shutdown,
+    /// Registers a job's canonical spec line under its run id for this
+    /// connection, so later [`Frame::RequestRef`]s (first dispatch, steals,
+    /// speculative re-dispatch) are O(1) in spec size (v2).
+    SpecAnnounce {
+        /// Run id later requests reference.
+        job: u64,
+        /// Canonical shard-job line ([`crate::job::ShardJob::canonical`]).
+        spec: String,
+    },
+    /// Shard assignment referencing an announced spec (v2). Layout is
+    /// [`Frame::Request`] minus the spec string.
+    RequestRef {
+        /// Run id of a previously announced spec.
+        job: u64,
+        /// Shard id within the run's [`kpm::shard_plan`].
+        shard: u32,
+        /// First realization index.
+        start: u64,
+        /// One past the last realization index.
+        end: u64,
+    },
+    /// Asks the worker for its warm-state inventory (v2).
+    InventoryQuery,
+    /// The worker's inventory advertisement (v2).
+    Inventory(InventoryReport),
 }
 
 impl Frame {
@@ -105,6 +168,10 @@ impl Frame {
             Frame::Result(_) => 4,
             Frame::WorkerError { .. } => 5,
             Frame::Shutdown => 6,
+            Frame::SpecAnnounce { .. } => 7,
+            Frame::RequestRef { .. } => 8,
+            Frame::InventoryQuery => 9,
+            Frame::Inventory(_) => 10,
         }
     }
 }
@@ -139,14 +206,43 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             put_u32(&mut payload, *shard);
             put_str(&mut payload, message);
         }
-        Frame::Shutdown => {}
+        Frame::Shutdown | Frame::InventoryQuery => {}
+        Frame::SpecAnnounce { job, spec } => {
+            put_u64(&mut payload, *job);
+            put_str(&mut payload, spec);
+        }
+        Frame::RequestRef { job, shard, start, end } => {
+            put_u64(&mut payload, *job);
+            put_u32(&mut payload, *shard);
+            put_u64(&mut payload, *start);
+            put_u64(&mut payload, *end);
+        }
+        Frame::Inventory(inv) => {
+            put_u32(&mut payload, inv.ops.len() as u32);
+            for &op in &inv.ops {
+                put_u64(&mut payload, op);
+            }
+            put_u32(&mut payload, inv.rows.len() as u32);
+            for run in &inv.rows {
+                put_u64(&mut payload, run.key);
+                put_u64(&mut payload, run.start);
+                put_u64(&mut payload, run.end);
+                put_u32(&mut payload, run.n);
+            }
+            put_u32(&mut payload, inv.profiles.len() as u32);
+            for &p in &inv.profiles {
+                put_u64(&mut payload, p);
+            }
+        }
     }
     CODEC.frame(frame.type_byte(), payload)
 }
 
-/// Validates a header, returning `(type byte, payload length)`.
+/// Validates a header, returning `(type byte, payload length)`. Accepts
+/// any revision in [`MIN_VERSION`]`..=`[`VERSION`].
 pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32), ShardError> {
-    Ok(CODEC.parse_header(header)?)
+    let (_, type_byte, len) = CODEC.parse_header_compat(header, MIN_VERSION)?;
+    Ok((type_byte, len))
 }
 
 /// Decodes a payload given its frame type byte.
@@ -184,6 +280,37 @@ pub fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ShardError
         }
         5 => Frame::WorkerError { job: r.u64()?, shard: r.u32()?, message: r.string()? },
         6 => Frame::Shutdown,
+        7 => Frame::SpecAnnounce { job: r.u64()?, spec: r.string()? },
+        8 => Frame::RequestRef { job: r.u64()?, shard: r.u32()?, start: r.u64()?, end: r.u64()? },
+        9 => Frame::InventoryQuery,
+        10 => {
+            // Each list length is bounded by the payload that must carry it
+            // before any allocation (same discipline as Result rows).
+            let cap = |len: usize, elem: usize| -> Result<usize, ShardError> {
+                if (len as u64) * (elem as u64) > u64::from(MAX_PAYLOAD) {
+                    return Err(ShardError::Protocol(format!(
+                        "inventory list of {len} entries exceeds payload cap"
+                    )));
+                }
+                Ok(len)
+            };
+            let nops = cap(r.u32()? as usize, 8)?;
+            let mut ops = Vec::with_capacity(nops);
+            for _ in 0..nops {
+                ops.push(r.u64()?);
+            }
+            let nrows = cap(r.u32()? as usize, 28)?;
+            let mut rows = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                rows.push(RowRun { key: r.u64()?, start: r.u64()?, end: r.u64()?, n: r.u32()? });
+            }
+            let nprofiles = cap(r.u32()? as usize, 8)?;
+            let mut profiles = Vec::with_capacity(nprofiles);
+            for _ in 0..nprofiles {
+                profiles.push(r.u64()?);
+            }
+            Frame::Inventory(InventoryReport { ops, rows, profiles })
+        }
         other => return Err(ShardError::Protocol(format!("unknown frame type {other}"))),
     };
     r.finish()?;
@@ -191,19 +318,21 @@ pub fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, ShardError
 }
 
 /// Decodes one full frame (header + payload) from a byte buffer, as the
-/// loopback transport delivers them.
+/// loopback transport delivers them. Accepts frames from
+/// [`MIN_VERSION`]`..=`[`VERSION`] encoders.
 pub fn decode_bytes(bytes: &[u8]) -> Result<Frame, ShardError> {
-    let (type_byte, payload) = CODEC.split_frame(bytes)?;
+    let (_, type_byte, payload) = CODEC.split_frame_compat(bytes, MIN_VERSION)?;
     decode_payload(type_byte, payload)
 }
 
 /// Blocking read of one frame from a byte stream (the TCP transport).
+/// Accepts frames from [`MIN_VERSION`]`..=`[`VERSION`] encoders.
 ///
 /// # Errors
 /// [`ShardError::Io`] on read failure or EOF, [`ShardError::Protocol`] on
 /// malformed frames.
 pub fn read_frame<R: std::io::Read>(reader: &mut R) -> Result<Frame, ShardError> {
-    let (type_byte, payload) = CODEC.read_frame(reader)?;
+    let (_, type_byte, payload) = CODEC.read_frame_compat(reader, MIN_VERSION)?;
     decode_payload(type_byte, &payload)
 }
 
@@ -237,6 +366,18 @@ mod tests {
         }));
         roundtrip(Frame::WorkerError { job: 7, shard: 1, message: "kpm: bad".into() });
         roundtrip(Frame::Shutdown);
+        roundtrip(Frame::SpecAnnounce { job: 7, spec: "dos lattice=chain:32 moments=16".into() });
+        roundtrip(Frame::RequestRef { job: 7, shard: 3, start: 10, end: 20 });
+        roundtrip(Frame::InventoryQuery);
+        roundtrip(Frame::Inventory(InventoryReport::default()));
+        roundtrip(Frame::Inventory(InventoryReport {
+            ops: vec![1, u64::MAX],
+            rows: vec![
+                RowRun { key: 9, start: 0, end: 4, n: 64 },
+                RowRun { key: 9, start: 6, end: 7, n: 32 },
+            ],
+            profiles: vec![0xfeed],
+        }));
     }
 
     #[test]
@@ -245,10 +386,47 @@ mod tests {
         // golden encoding of a Ping frame, field by field.
         let bytes = encode(&Frame::Ping { nonce: 0x0102_0304_0506_0708 });
         assert_eq!(&bytes[..4], b"KPSH");
-        assert_eq!(bytes[4..6], 1u16.to_le_bytes());
+        assert_eq!(bytes[4..6], 2u16.to_le_bytes());
         assert_eq!(bytes[6], 1); // type byte
         assert_eq!(bytes[7..11], 8u32.to_le_bytes()); // payload length
         assert_eq!(bytes[11..], 0x0102_0304_0506_0708u64.to_le_bytes());
+    }
+
+    #[test]
+    fn golden_v1_request_frame_still_decodes() {
+        // A version-1 encoder's Request frame, byte for byte: the payload
+        // layout predates the v2 spec-dedup frames and must keep decoding
+        // unchanged. Built by hand so this test fails if either the v1
+        // layout assumption or the compat window regresses.
+        let spec = "dos lattice=chain:32 moments=16";
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 7);
+        put_u32(&mut payload, 3);
+        put_u64(&mut payload, 10);
+        put_u64(&mut payload, 20);
+        put_str(&mut payload, spec);
+        let v1 = Codec { magic: MAGIC, version: 1 };
+        let bytes = v1.frame(3, payload);
+        assert_eq!(bytes[4..6], 1u16.to_le_bytes());
+        let decoded = decode_bytes(&bytes).unwrap();
+        assert_eq!(
+            decoded,
+            Frame::Request(ShardRequest {
+                job: 7,
+                shard: 3,
+                start: 10,
+                end: 20,
+                spec: spec.into(),
+            })
+        );
+        // The stream path applies the same window.
+        let mut cursor = std::io::Cursor::new(&bytes);
+        assert_eq!(read_frame(&mut cursor).unwrap(), decoded);
+        // Versions outside the window stay hard protocol errors.
+        let v0 = Codec { magic: MAGIC, version: 0 }.frame(6, Vec::new());
+        assert!(matches!(decode_bytes(&v0), Err(ShardError::Protocol(_))));
+        let v3 = Codec { magic: MAGIC, version: 3 }.frame(6, Vec::new());
+        assert!(matches!(decode_bytes(&v3), Err(ShardError::Protocol(_))));
     }
 
     #[test]

@@ -14,9 +14,11 @@
 //! through the same public entry points the real worker uses.
 
 use crate::error::ShardError;
+use crate::inventory::{Inventory, DEFAULT_ROW_CAP};
 use crate::job::ShardJob;
 use crate::transport::Endpoint;
-use crate::wire::{Frame, ShardRequest, ShardResult};
+use crate::wire::{Frame, ShardResult};
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -36,26 +38,63 @@ pub enum WorkerFault {
     HangAfterRequests(usize),
 }
 
+/// One compute unit bound for the compute thread. Full requests and
+/// spec-referencing requests converge here: by the time an item is queued,
+/// the spec line is resolved (inline from the frame, or from the
+/// connection's announce registry).
+struct WorkItem {
+    job: u64,
+    shard: u32,
+    start: u64,
+    end: u64,
+    spec: Arc<String>,
+}
+
 /// Serves one connection until the peer shuts down or disconnects.
 pub fn serve_endpoint(endpoint: Endpoint) {
     serve_endpoint_with(endpoint, None);
 }
 
-/// [`serve_endpoint`] with an optional injected fault.
-pub fn serve_endpoint_with(mut endpoint: Endpoint, fault: Option<WorkerFault>) {
-    let (work_tx, work_rx) = mpsc::channel::<ShardRequest>();
+/// [`serve_endpoint`] with an optional injected fault. The connection gets
+/// its own [`Inventory`]; use [`serve_endpoint_with_inventory`] to share
+/// warm state across connections.
+pub fn serve_endpoint_with(endpoint: Endpoint, fault: Option<WorkerFault>) {
+    serve_endpoint_with_inventory(endpoint, fault, &Arc::new(Inventory::default()));
+}
+
+/// [`serve_endpoint_with`] on a shared warm-state [`Inventory`] — the
+/// process-wide cache a TCP worker keeps across connections and jobs.
+pub fn serve_endpoint_with_inventory(
+    mut endpoint: Endpoint,
+    fault: Option<WorkerFault>,
+    inventory: &Arc<Inventory>,
+) {
+    let (work_tx, work_rx) = mpsc::channel::<WorkItem>();
     let sink = Arc::clone(&endpoint.tx);
+    let inv = Arc::clone(inventory);
     let compute = std::thread::Builder::new()
         .name("kpm-shard-compute".into())
         .spawn(move || {
-            while let Ok(req) = work_rx.recv() {
-                handle_request(&req, sink.as_ref());
+            while let Ok(item) = work_rx.recv() {
+                handle_item(&item, sink.as_ref(), &inv);
             }
         })
         .expect("spawn shard compute thread");
 
+    // Spec lines announced on this connection, addressable by job id —
+    // the O(1)-per-shard dispatch path ([`Frame::RequestRef`]).
+    let mut specs: HashMap<u64, Arc<String>> = HashMap::new();
     let mut served = 0usize;
     loop {
+        // A compute unit arrived; apply any injected fault before serving.
+        let mut trip_fault = || match fault {
+            Some(WorkerFault::DieAfterRequests(k)) if served >= k => Some(false),
+            Some(WorkerFault::HangAfterRequests(k)) if served >= k => Some(true),
+            _ => {
+                served += 1;
+                None
+            }
+        };
         match endpoint.rx.recv_timeout(POLL) {
             Ok(None) => continue,
             Ok(Some(Frame::Ping { nonce })) => {
@@ -63,22 +102,61 @@ pub fn serve_endpoint_with(mut endpoint: Endpoint, fault: Option<WorkerFault>) {
                     break;
                 }
             }
+            Ok(Some(Frame::InventoryQuery)) => {
+                if endpoint.tx.send(&Frame::Inventory(inventory.report())).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Frame::SpecAnnounce { job, spec })) => {
+                specs.insert(job, Arc::new(spec));
+            }
             Ok(Some(Frame::Request(req))) => {
-                match fault {
-                    Some(WorkerFault::DieAfterRequests(k)) if served >= k => break,
-                    Some(WorkerFault::HangAfterRequests(k)) if served >= k => {
+                match trip_fault() {
+                    Some(true) => {
                         hang(&mut endpoint);
                         break;
                     }
-                    _ => {}
+                    Some(false) => break,
+                    None => {}
                 }
-                served += 1;
-                if work_tx.send(req).is_err() {
+                let item = WorkItem {
+                    job: req.job,
+                    shard: req.shard,
+                    start: req.start,
+                    end: req.end,
+                    spec: Arc::new(req.spec),
+                };
+                if work_tx.send(item).is_err() {
+                    break;
+                }
+            }
+            Ok(Some(Frame::RequestRef { job, shard, start, end })) => {
+                match trip_fault() {
+                    Some(true) => {
+                        hang(&mut endpoint);
+                        break;
+                    }
+                    Some(false) => break,
+                    None => {}
+                }
+                let Some(spec) = specs.get(&job) else {
+                    let err = Frame::WorkerError {
+                        job,
+                        shard,
+                        message: format!("job {job} referenced before announce"),
+                    };
+                    if endpoint.tx.send(&err).is_err() {
+                        break;
+                    }
+                    continue;
+                };
+                let item = WorkItem { job, shard, start, end, spec: Arc::clone(spec) };
+                if work_tx.send(item).is_err() {
                     break;
                 }
             }
             Ok(Some(Frame::Shutdown)) | Err(_) => break,
-            Ok(Some(_)) => {} // Pong/Result/WorkerError are coordinator-bound; ignore.
+            Ok(Some(_)) => {} // Pong/Result/WorkerError/Inventory are coordinator-bound; ignore.
         }
     }
     drop(work_tx);
@@ -91,24 +169,28 @@ fn hang(endpoint: &mut Endpoint) {
     while endpoint.rx.recv_timeout(POLL).is_ok() {}
 }
 
-/// Parses, computes, and answers one request; every failure is reported as
-/// a [`Frame::WorkerError`] (deterministic — the coordinator aborts the
-/// run rather than retrying elsewhere).
-fn handle_request(req: &ShardRequest, sink: &dyn crate::transport::FrameSink) {
+/// Parses, computes, and answers one work item; every failure is reported
+/// as a [`Frame::WorkerError`] (deterministic — the coordinator aborts the
+/// run rather than retrying elsewhere). Compute goes through the
+/// [`Inventory`], so warm rows and operators are reused — bitwise
+/// identically — and fresh results are retained for later jobs.
+fn handle_item(item: &WorkItem, sink: &dyn crate::transport::FrameSink, inventory: &Inventory) {
     let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<Vec<f64>>, ShardError> {
-        let job = ShardJob::parse(&req.spec)?;
-        let (start, end) = (req.start as usize, req.end as usize);
-        job.compute_partial(start..end)
+        let job = ShardJob::parse(&item.spec)?;
+        let (start, end) = (item.start as usize, item.end as usize);
+        inventory.compute(&job, start..end)
     }));
     let reply = match outcome {
         Ok(Ok(rows)) => {
             kpm_obs::counter_add("shard.worker.completed", 1);
-            Frame::Result(ShardResult { job: req.job, shard: req.shard, rows })
+            Frame::Result(ShardResult { job: item.job, shard: item.shard, rows })
         }
-        Ok(Err(e)) => Frame::WorkerError { job: req.job, shard: req.shard, message: e.to_string() },
+        Ok(Err(e)) => {
+            Frame::WorkerError { job: item.job, shard: item.shard, message: e.to_string() }
+        }
         Err(_) => Frame::WorkerError {
-            job: req.job,
-            shard: req.shard,
+            job: item.job,
+            shard: item.shard,
             message: "compute panicked".into(),
         },
     };
@@ -127,10 +209,24 @@ pub fn run_tcp_worker(
     once: bool,
     on_ready: impl FnOnce(SocketAddr),
 ) -> Result<(), ShardError> {
+    run_tcp_worker_with(listen, once, DEFAULT_ROW_CAP, on_ready)
+}
+
+/// [`run_tcp_worker`] with an explicit warm-row cap (the CLI's
+/// `--inventory-cap`; 0 disables caching and locality advertisement).
+///
+/// # Errors
+/// [`ShardError::Io`] on bind/accept failures.
+pub fn run_tcp_worker_with(
+    listen: &str,
+    once: bool,
+    inventory_cap: usize,
+    on_ready: impl FnOnce(SocketAddr),
+) -> Result<(), ShardError> {
     let listener =
         TcpListener::bind(listen).map_err(|e| ShardError::Io(format!("bind {listen}: {e}")))?;
     on_ready(listener.local_addr()?);
-    serve_listener(&listener, once)
+    serve_listener_with(&listener, once, inventory_cap)
 }
 
 /// The accept loop behind [`run_tcp_worker`], taking an already-bound
@@ -139,16 +235,33 @@ pub fn run_tcp_worker(
 /// # Errors
 /// [`ShardError::Io`] on accept failures.
 pub fn serve_listener(listener: &TcpListener, once: bool) -> Result<(), ShardError> {
+    serve_listener_with(listener, once, DEFAULT_ROW_CAP)
+}
+
+/// [`serve_listener`] with an explicit warm-row cap. All connections
+/// accepted here share one process-wide [`Inventory`], so warm state from
+/// one coordinator's jobs serves the next — that cross-job reuse is what
+/// the fleet scheduler's locality scoring pays off against.
+///
+/// # Errors
+/// [`ShardError::Io`] on accept failures.
+pub fn serve_listener_with(
+    listener: &TcpListener,
+    once: bool,
+    inventory_cap: usize,
+) -> Result<(), ShardError> {
+    let inventory = Arc::new(Inventory::new(inventory_cap));
     loop {
         let (stream, peer) = listener.accept()?;
         let endpoint = Endpoint::from_tcp(stream, format!("tcp:{peer}"))?;
         if once {
-            serve_endpoint(endpoint);
+            serve_endpoint_with_inventory(endpoint, None, &inventory);
             return Ok(());
         }
+        let conn_inventory = Arc::clone(&inventory);
         std::thread::Builder::new()
             .name(format!("kpm-shard-conn-{peer}"))
-            .spawn(move || serve_endpoint(endpoint))
+            .spawn(move || serve_endpoint_with_inventory(endpoint, None, &conn_inventory))
             .expect("spawn shard connection thread");
     }
 }
@@ -157,6 +270,7 @@ pub fn serve_listener(listener: &TcpListener, once: bool) -> Result<(), ShardErr
 mod tests {
     use super::*;
     use crate::transport::loopback_pair;
+    use crate::wire::ShardRequest;
 
     fn spawn_worker(fault: Option<WorkerFault>) -> Endpoint {
         let (coord, worker) = loopback_pair("test-worker");
@@ -215,6 +329,96 @@ mod tests {
             other => panic!("expected a worker error, got {other:?}"),
         }
         coord.tx.send(&Frame::Shutdown).unwrap();
+    }
+
+    #[test]
+    fn announced_spec_serves_referenced_shards_bitwise() {
+        let spec = "dos lattice=chain:16 moments=8 random=2 sets=2 seed=3";
+        let job = ShardJob::parse(spec).unwrap();
+        let mut coord = spawn_worker(None);
+        coord.tx.send(&Frame::SpecAnnounce { job: 4, spec: spec.into() }).unwrap();
+        coord.tx.send(&Frame::RequestRef { job: 4, shard: 1, start: 1, end: 3 }).unwrap();
+        match coord.rx.recv_timeout(Duration::from_secs(30)).unwrap() {
+            Some(Frame::Result(res)) => {
+                assert_eq!((res.job, res.shard), (4, 1));
+                assert_eq!(res.rows, job.compute_partial(1..3).unwrap());
+            }
+            other => panic!("expected a result, got {other:?}"),
+        }
+        // An unannounced job id is a protocol error on that shard only.
+        coord.tx.send(&Frame::RequestRef { job: 99, shard: 0, start: 0, end: 1 }).unwrap();
+        match coord.rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Some(Frame::WorkerError { job, shard, message }) => {
+                assert_eq!((job, shard), (99, 0));
+                assert!(message.contains("before announce"));
+            }
+            other => panic!("expected a worker error, got {other:?}"),
+        }
+        // The connection is still healthy after the bad reference.
+        coord.tx.send(&Frame::RequestRef { job: 4, shard: 2, start: 0, end: 1 }).unwrap();
+        assert!(matches!(
+            coord.rx.recv_timeout(Duration::from_secs(30)).unwrap(),
+            Some(Frame::Result(_))
+        ));
+        coord.tx.send(&Frame::Shutdown).unwrap();
+    }
+
+    #[test]
+    fn inventory_query_reports_warm_state() {
+        let mut coord = spawn_worker(None);
+        // Cold worker: empty report.
+        coord.tx.send(&Frame::InventoryQuery).unwrap();
+        match coord.rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Some(Frame::Inventory(report)) => {
+                assert!(report.ops.is_empty());
+                assert!(report.rows.is_empty());
+            }
+            other => panic!("expected an inventory, got {other:?}"),
+        }
+        coord.tx.send(&request(0, 0, 2)).unwrap();
+        assert!(matches!(
+            coord.rx.recv_timeout(Duration::from_secs(30)).unwrap(),
+            Some(Frame::Result(_))
+        ));
+        coord.tx.send(&Frame::InventoryQuery).unwrap();
+        match coord.rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Some(Frame::Inventory(report)) => {
+                let job = ShardJob::parse("dos lattice=chain:16 moments=8 random=2 sets=2 seed=3")
+                    .unwrap();
+                assert_eq!(report.ops, vec![job.op_key()]);
+                assert_eq!(report.rows.len(), 1);
+                assert_eq!((report.rows[0].start, report.rows[0].end), (0, 2));
+                assert_eq!(report.rows[0].key, job.row_key());
+            }
+            other => panic!("expected an inventory, got {other:?}"),
+        }
+        coord.tx.send(&Frame::Shutdown).unwrap();
+    }
+
+    #[test]
+    fn shared_inventory_carries_warm_state_across_connections() {
+        let inventory = Arc::new(Inventory::default());
+        let serve = |inv: &Arc<Inventory>| {
+            let (coord, worker) = loopback_pair("shared-inv");
+            let inv = Arc::clone(inv);
+            std::thread::spawn(move || serve_endpoint_with_inventory(worker, None, &inv));
+            coord
+        };
+        let mut first = serve(&inventory);
+        first.tx.send(&request(0, 0, 2)).unwrap();
+        assert!(matches!(
+            first.rx.recv_timeout(Duration::from_secs(30)).unwrap(),
+            Some(Frame::Result(_))
+        ));
+        first.tx.send(&Frame::Shutdown).unwrap();
+        // A second "coordinator" sees the first one's warm rows.
+        let mut second = serve(&inventory);
+        second.tx.send(&Frame::InventoryQuery).unwrap();
+        match second.rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Some(Frame::Inventory(report)) => assert!(!report.rows.is_empty()),
+            other => panic!("expected an inventory, got {other:?}"),
+        }
+        second.tx.send(&Frame::Shutdown).unwrap();
     }
 
     #[test]

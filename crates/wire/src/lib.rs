@@ -87,21 +87,41 @@ impl Codec {
     /// [`WireError::Protocol`] on bad magic, version mismatch, or an
     /// oversized payload length.
     pub fn parse_header(&self, header: &[u8; HEADER_LEN]) -> Result<(u8, u32), WireError> {
+        let (_, type_byte, len) = self.parse_header_compat(header, self.version)?;
+        Ok((type_byte, len))
+    }
+
+    /// Validates a header while accepting any protocol revision in
+    /// `min_version..=self.version`, returning
+    /// `(version, type byte, payload length)`. Protocols that evolve by
+    /// *adding* frame types (new types behind a version bump, old payload
+    /// layouts untouched) use this on the receive side so current peers
+    /// keep decoding frames from older encoders; [`Codec::parse_header`] is
+    /// the strict single-version check.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on bad magic, a version outside the accepted
+    /// window, or an oversized payload length.
+    pub fn parse_header_compat(
+        &self,
+        header: &[u8; HEADER_LEN],
+        min_version: u16,
+    ) -> Result<(u16, u8, u32), WireError> {
         if header[..4] != self.magic {
             return Err(WireError::Protocol(format!("bad magic {:02x?}", &header[..4])));
         }
         let version = u16::from_le_bytes([header[4], header[5]]);
-        if version != self.version {
+        if version < min_version || version > self.version {
             return Err(WireError::Protocol(format!(
-                "protocol version {version}, expected {}",
-                self.version
+                "protocol version {version}, expected {}..={}",
+                min_version, self.version
             )));
         }
         let len = u32::from_le_bytes([header[7], header[8], header[9], header[10]]);
         if len > MAX_PAYLOAD {
             return Err(WireError::Protocol(format!("payload length {len} exceeds cap")));
         }
-        Ok((header[6], len))
+        Ok((version, header[6], len))
     }
 
     /// Splits one full frame (header + payload) out of a byte buffer, as
@@ -143,6 +163,53 @@ impl Codec {
         let mut payload = vec![0u8; len as usize];
         reader.read_exact(&mut payload)?;
         Ok((type_byte, payload))
+    }
+
+    /// [`Codec::split_frame`] with the [`Codec::parse_header_compat`]
+    /// version window, additionally returning the frame's version.
+    ///
+    /// # Errors
+    /// [`WireError::Protocol`] on a malformed header or mismatched payload.
+    pub fn split_frame_compat<'a>(
+        &self,
+        bytes: &'a [u8],
+        min_version: u16,
+    ) -> Result<(u16, u8, &'a [u8]), WireError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(WireError::Protocol(format!(
+                "frame of {} bytes has no header",
+                bytes.len()
+            )));
+        }
+        let header: [u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("header slice");
+        let (version, type_byte, len) = self.parse_header_compat(&header, min_version)?;
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() != len as usize {
+            return Err(WireError::Protocol(format!(
+                "payload length {} does not match header {len}",
+                payload.len()
+            )));
+        }
+        Ok((version, type_byte, payload))
+    }
+
+    /// [`Codec::read_frame`] with the [`Codec::parse_header_compat`]
+    /// version window, additionally returning the frame's version.
+    ///
+    /// # Errors
+    /// [`WireError::Io`] on read failure or EOF, [`WireError::Protocol`] on
+    /// a malformed header.
+    pub fn read_frame_compat<R: std::io::Read>(
+        &self,
+        reader: &mut R,
+        min_version: u16,
+    ) -> Result<(u16, u8, Vec<u8>), WireError> {
+        let mut header = [0u8; HEADER_LEN];
+        reader.read_exact(&mut header)?;
+        let (version, type_byte, len) = self.parse_header_compat(&header, min_version)?;
+        let mut payload = vec![0u8; len as usize];
+        reader.read_exact(&mut payload)?;
+        Ok((version, type_byte, payload))
     }
 }
 
@@ -314,6 +381,25 @@ mod tests {
             Err(WireError::Protocol(msg)) => assert!(msg.contains("cap"), "{msg}"),
             other => panic!("expected protocol error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn compat_window_accepts_older_versions_only() {
+        let old = Codec { magic: *b"TEST", version: 2 };
+        let bytes = old.frame(5, vec![1, 2]);
+        // Strict decode at version 3 rejects the old frame...
+        assert!(matches!(CODEC.split_frame(&bytes), Err(WireError::Protocol(_))));
+        // ...the compat window accepts it and reports its version...
+        let (v, t, p) = CODEC.split_frame_compat(&bytes, 2).unwrap();
+        assert_eq!((v, t, p), (2, 5, &[1u8, 2][..]));
+        let mut cursor = std::io::Cursor::new(&bytes);
+        let (v, t, p) = CODEC.read_frame_compat(&mut cursor, 2).unwrap();
+        assert_eq!((v, t, p), (2, 5, vec![1, 2]));
+        // ...but versions outside the window stay hard errors.
+        let too_old = Codec { magic: *b"TEST", version: 1 }.frame(5, Vec::new());
+        assert!(matches!(CODEC.split_frame_compat(&too_old, 2), Err(WireError::Protocol(_))));
+        let future = Codec { magic: *b"TEST", version: 4 }.frame(5, Vec::new());
+        assert!(matches!(CODEC.split_frame_compat(&future, 2), Err(WireError::Protocol(_))));
     }
 
     #[test]
