@@ -47,6 +47,30 @@ fn start_service(args: &Args) -> Result<BatchService, CmdError> {
     Ok(BatchService::start_with_engine(service_config(args)?, engine))
 }
 
+/// Validates `--bounds` once up front and returns its canonical spelling,
+/// so a typo fails the whole run instead of every line.
+pub(crate) fn default_bounds_flag(args: &Args) -> Result<Option<String>, CmdError> {
+    match args.get("bounds") {
+        None => Ok(None),
+        Some(v) => {
+            let method: kpm::BoundsMethod = v.parse().map_err(CmdError::Kpm)?;
+            Ok(Some(method.to_string()))
+        }
+    }
+}
+
+/// Applies `--bounds` as the *default* spectral-bounds provider for a job
+/// line: a line carrying its own `bounds=` keeps it, everything else gets
+/// the flag value appended.
+pub(crate) fn with_default_bounds(line: &str, bounds: Option<&str>) -> String {
+    match bounds {
+        Some(b) if !line.split_whitespace().any(|t| t.starts_with("bounds=")) => {
+            format!("{line} bounds={b}")
+        }
+        _ => line.to_string(),
+    }
+}
+
 fn job_parse_err(lineno: usize, e: JobParseError) -> CmdError {
     match e {
         JobParseError::Spec(spec) => CmdError::Spec(spec),
@@ -84,6 +108,7 @@ pub fn batch(args: &Args, positionals: &[String]) -> Result<String, CmdError> {
     if positionals.len() > 1 {
         return Err(CmdError::Other(format!("unexpected argument '{}'", positionals[1])));
     }
+    let default_bounds = default_bounds_flag(args)?;
     let text = std::fs::read_to_string(path)?;
     let mut specs = Vec::new();
     for (idx, line) in text.lines().enumerate() {
@@ -91,7 +116,8 @@ pub fn batch(args: &Args, positionals: &[String]) -> Result<String, CmdError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        specs.push(JobSpec::parse(line).map_err(|e| job_parse_err(idx + 1, e))?);
+        let line = with_default_bounds(line, default_bounds.as_deref());
+        specs.push(JobSpec::parse(&line).map_err(|e| job_parse_err(idx + 1, e))?);
     }
     if specs.is_empty() {
         return Err(CmdError::Other(format!("{path}: no jobs found")));
@@ -141,6 +167,7 @@ pub fn serve(args: &Args) -> Result<String, CmdError> {
     if let Some(listen) = args.get("listen") {
         return serve_listen(args, listen, metrics_every);
     }
+    let default_bounds = default_bounds_flag(args)?;
     let service = start_service(args)?;
     install_sigint();
     INTERRUPTED.store(false, Ordering::SeqCst);
@@ -185,7 +212,7 @@ pub fn serve(args: &Args) -> Result<String, CmdError> {
                 if line == "quit" || line == "exit" {
                     break false;
                 }
-                match JobSpec::parse(line) {
+                match JobSpec::parse(&with_default_bounds(line, default_bounds.as_deref())) {
                     Err(e) => eprintln!("rejected: {e}"),
                     Ok(spec) => match service.submit(spec) {
                         Ok(id) => {
@@ -274,6 +301,7 @@ pub fn submit(args: &Args, positionals: &[String]) -> Result<String, CmdError> {
             ))
         }
     };
+    let spec_line = with_default_bounds(&spec_line, default_bounds_flag(args)?.as_deref());
     let addr = args.get("addr").unwrap_or("127.0.0.1:7080");
     let stream = args.get("stream").unwrap_or("cli");
     let refine: u32 = args.get_or("refine", 1u32)?;
@@ -321,6 +349,55 @@ mod tests {
 
     fn quick_config() -> BatchConfig {
         BatchConfig { workers: 2, max_retries: 0, ..BatchConfig::default() }
+    }
+
+    #[test]
+    fn bounds_flag_is_the_default_for_job_lines() {
+        assert_eq!(
+            with_default_bounds("lattice=chain:8", Some("lanczos:24")),
+            "lattice=chain:8 bounds=lanczos:24"
+        );
+        // Per-line values win over the flag.
+        assert_eq!(
+            with_default_bounds("lattice=chain:8 bounds=gershgorin", Some("lanczos:24")),
+            "lattice=chain:8 bounds=gershgorin"
+        );
+        assert_eq!(with_default_bounds("lattice=chain:8", None), "lattice=chain:8");
+        // The flag is validated once up front and canonicalized.
+        assert!(default_bounds_flag(&args(&["--bounds", "psychic"])).is_err());
+        assert_eq!(
+            default_bounds_flag(&args(&["--bounds", "lanczos"])).unwrap().as_deref(),
+            Some("lanczos:64")
+        );
+        assert_eq!(default_bounds_flag(&args(&[])).unwrap(), None);
+    }
+
+    /// `kpm batch --bounds X` produces the same bytes as spelling
+    /// `bounds=X` on every job line.
+    #[test]
+    fn batch_bounds_flag_matches_per_line_bounds() {
+        let dir = std::env::temp_dir().join(format!("kpm-cli-batch-bounds-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |tag: &str, line_suffix: &str, flags: &[&str]| {
+            let out = dir.join(format!("{tag}.csv"));
+            let jobs = dir.join(format!("jobs_{tag}.txt"));
+            let line = format!(
+                "lattice=chain:32 disorder=5@3 moments=16 random=2 sets=1 seed=5{line_suffix} out={}\n",
+                out.to_str().unwrap()
+            );
+            std::fs::write(&jobs, line).unwrap();
+            let mut words = vec!["--cache-dir", "none"];
+            words.extend_from_slice(flags);
+            batch(&args(&words), &[jobs.to_str().unwrap().to_string()]).unwrap();
+            std::fs::read(&out).unwrap()
+        };
+        let flagged = run("flag", "", &["--bounds", "lanczos:24"]);
+        let inline = run("inline", " bounds=lanczos:24", &[]);
+        let gersh = run("gersh", "", &[]);
+        assert_eq!(flagged, inline, "--bounds must equal per-line bounds=");
+        assert_ne!(flagged, gersh, "lanczos window must differ from gershgorin on disorder");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -152,6 +152,9 @@ COMMANDS:
   tune      `kpm tune [<lattice>]`: calibrate the execution profile for a
             lattice (probe sweep + profile store) and sweep block sizes for
             the simulated device
+  bounds    `kpm bounds [<lattice>]`: inspect spectral bounds per provider
+            (Gershgorin discs vs contained Lanczos) and the moment counts
+            they imply at --resolution EPS
   estimate  modeled CPU vs GPU run times at any scale
   worker    serve shard computations over TCP (--listen ADDR [--once]
             [--inventory-cap N])
@@ -168,8 +171,14 @@ COMMON OPTIONS:
   --disorder W [--dseed S]          (default none)
   --format   csr | ell | stencil | auto   (default csr)
   --moments  N                      (default 256)
+  --resolution EPS     pick N for target energy resolution EPS from the
+                       measured spectral half-width (overrides --moments)
   --random   R  --sets S            (default 14, 2)
-  --kernel   jackson | lorentz | fejer | dirichlet   (default jackson)
+  --kernel   jackson | lorentz | fejer | dirichlet | jacobi   (default
+             jackson; jacobi takes --alpha A --beta B, default 0,0)
+  --bounds   gershgorin | lanczos[:K] | manual:A,B   spectral-bounds
+             provider (default gershgorin — the paper's discs; lanczos runs
+             a contained K-step pass, default K = 64)
   --seed     master seed            (default 42)
   --device   host | sim | sim:N    (dos) backend: host runs on this machine;
                                    sim[:N] routes the same run through the
@@ -265,13 +274,52 @@ fn workload(args: &Args) -> Result<Workload, CmdError> {
         "lorentz" => KernelType::Lorentz { lambda: args.get_or("lambda", 4.0)? },
         "fejer" => KernelType::Fejer,
         "dirichlet" => KernelType::Dirichlet,
+        "jacobi" => KernelType::Jacobi {
+            alpha: args.get_or("alpha", 0.0)?,
+            beta: args.get_or("beta", 0.0)?,
+        },
         other => return Err(CmdError::Other(format!("unknown kernel '{other}'"))),
     };
-    let params = KpmParams::new(args.get_or("moments", 256)?)
+    let bounds: BoundsMethod = match args.get("bounds") {
+        None => BoundsMethod::Gershgorin,
+        Some(v) => v.parse().map_err(CmdError::Kpm)?,
+    };
+    let mut params = KpmParams::new(args.get_or("moments", 256)?)
         .with_random_vectors(args.get_or("random", 14)?, args.get_or("sets", 2)?)
         .with_seed(args.get_or("seed", 42u64)?)
-        .with_kernel(kernel);
+        .with_kernel(kernel)
+        .with_bounds(bounds);
+    if let Some(eps) = resolution_arg(args)? {
+        // `--resolution EPS` picks the moment count for the requested energy
+        // resolution from the *actual* spectral half-width — the whole point
+        // of tighter bounds is that this N shrinks with them.
+        let b = kpm::bounds::resolve(&h, params.bounds)?;
+        let n =
+            kpm::moments_for_resolution(params.kernel, b.padded(params.padding).a_minus(), eps)?;
+        params = KpmParams::new(n)
+            .with_random_vectors(params.num_random, params.num_realizations)
+            .with_seed(params.seed)
+            .with_kernel(params.kernel)
+            .with_bounds(params.bounds);
+        obs::counter_add("kpm.bounds.n_moments", n as u64);
+    }
     Ok(Workload { h, params })
+}
+
+/// Parses `--resolution EPS` (target energy resolution; selects `N`).
+fn resolution_arg(args: &Args) -> Result<Option<f64>, CmdError> {
+    match args.get("resolution") {
+        None => Ok(None),
+        Some(v) => {
+            v.parse::<f64>().ok().filter(|e| e.is_finite() && *e > 0.0).map(Some).ok_or_else(|| {
+                CmdError::Args(ArgError::BadValue {
+                    key: "resolution".into(),
+                    value: v.into(),
+                    expected: "a positive energy",
+                })
+            })
+        }
+    }
 }
 
 /// Builds the shard engine selected by `--local-workers` / `--workers`, if
@@ -317,7 +365,7 @@ fn shard_job_spec(args: &Args) -> Result<kpm_serve::JobSpec, CmdError> {
     let mut parts: Vec<String> = Vec::new();
     for key in [
         "lattice", "bc", "hopping", "disorder", "dseed", "format", "moments", "random", "sets",
-        "seed", "device",
+        "seed", "device", "bounds",
     ] {
         if let Some(v) = args.get(key) {
             parts.push(format!("{key}={v}"));
@@ -326,6 +374,12 @@ fn shard_job_spec(args: &Args) -> Result<kpm_serve::JobSpec, CmdError> {
     if let Some(kernel) = args.get("kernel") {
         if kernel == "lorentz" {
             parts.push(format!("kernel=lorentz:{}", args.get_or("lambda", 4.0)?));
+        } else if kernel == "jacobi" {
+            parts.push(format!(
+                "kernel=jacobi:{},{}",
+                args.get_or("alpha", 0.0)?,
+                args.get_or("beta", 0.0)?
+            ));
         } else {
             parts.push(format!("kernel={kernel}"));
         }
@@ -334,6 +388,22 @@ fn shard_job_spec(args: &Args) -> Result<kpm_serve::JobSpec, CmdError> {
         kpm_serve::JobParseError::Spec(s) => CmdError::Spec(s),
         other => CmdError::Other(other.to_string()),
     })
+}
+
+/// `--resolution EPS` for the sharded paths: `a_minus` is the padded
+/// half-width the merge will reconstruct against, so the selected `N`
+/// matches what an unsharded run with the same bounds mode would pick.
+fn apply_resolution_sharded(
+    args: &Args,
+    spec: &mut kpm_serve::JobSpec,
+    a_minus: f64,
+) -> Result<(), CmdError> {
+    if let Some(eps) = resolution_arg(args)? {
+        let n = kpm::moments_for_resolution(spec.kpm_params().kernel, a_minus, eps)?;
+        spec.num_moments = n;
+        obs::counter_add("kpm.bounds.n_moments", n as u64);
+    }
+    Ok(())
 }
 
 /// Label for distributed-run reports.
@@ -346,9 +416,10 @@ fn worker_set_label(engine: &kpm_shard::ShardedEngine) -> String {
 
 /// `kpm dos` over a worker fleet: same moments, same CSV bytes.
 fn dos_sharded(args: &Args, engine: &kpm_shard::ShardedEngine) -> Result<String, CmdError> {
-    let spec = shard_job_spec(args)?;
+    let mut spec = shard_job_spec(args)?;
+    let (a_plus, a_minus) = kpm_shard::ShardJob::Dos(spec.clone()).bounds()?;
+    apply_resolution_sharded(args, &mut spec, a_minus)?;
     let job = kpm_shard::ShardJob::Dos(spec.clone());
-    let (a_plus, a_minus) = job.bounds()?;
     let stats = engine.run_job(&job)?.into_stats().expect("dos jobs merge to stats");
     let dos = DosEstimator::new(spec.kpm_params()).reconstruct(stats, a_plus, a_minus)?;
     let dim = spec.build_matrix().dim();
@@ -369,9 +440,10 @@ fn dos_sharded(args: &Args, engine: &kpm_shard::ShardedEngine) -> Result<String,
 /// `kpm ldos` over a worker fleet.
 fn ldos_sharded(args: &Args, engine: &kpm_shard::ShardedEngine) -> Result<String, CmdError> {
     let site: usize = args.require("site")?;
-    let spec = shard_job_spec(args)?;
+    let mut spec = shard_job_spec(args)?;
+    let (a_plus, a_minus) = kpm_shard::ShardJob::Ldos { spec: spec.clone(), site }.bounds()?;
+    apply_resolution_sharded(args, &mut spec, a_minus)?;
     let job = kpm_shard::ShardJob::Ldos { spec: spec.clone(), site };
-    let (a_plus, a_minus) = job.bounds()?;
     let stats = engine.run_job(&job)?.into_stats().expect("ldos jobs merge to stats");
     let ldos = LdosEstimator::new(spec.kpm_params(), site).reconstruct(stats, a_plus, a_minus)?;
     let mut report = dos_report(
@@ -524,7 +596,7 @@ pub fn evolve(args: &Args) -> Result<String, CmdError> {
     if site >= w.h.nrows() {
         return Err(CmdError::Other(format!("--site {site} out of range")));
     }
-    let bounds = w.h.spectral_bounds(w.params.bounds)?;
+    let bounds = kpm::bounds::resolve(&w.h, w.params.bounds)?;
     let prop = Propagator::new(&w.h, bounds, 1e-10)?;
     let mut re = vec![0.0; w.h.nrows()];
     re[site] = 1.0;
@@ -708,6 +780,70 @@ pub fn estimate(args: &Args) -> Result<String, CmdError> {
     Ok(report)
 }
 
+/// `kpm bounds [<lattice>]` — the spectral-bounds inspector: what each
+/// provider reports for the lattice, how much tighter Lanczos is than the
+/// Gershgorin discs, and the moment counts they imply at a target
+/// resolution (`--resolution EPS`, default 0.05).
+pub fn bounds(args: &Args) -> Result<String, CmdError> {
+    let lattice = args.get("lattice").unwrap_or("cubic:10,10,10").to_string();
+    let w = workload(args)?;
+    let steps = match w.params.bounds {
+        BoundsMethod::Lanczos { steps } => steps,
+        _ => kpm::DEFAULT_LANCZOS_STEPS,
+    };
+    let g = kpm::bounds::resolve(&w.h, BoundsMethod::Gershgorin)?;
+    let l = kpm::bounds::resolve(&w.h, BoundsMethod::Lanczos { steps })?;
+
+    let mut report = format!(
+        "spectral bounds for {lattice} ({} x {} Hamiltonian, {} stored entries):\n",
+        w.h.nrows(),
+        w.h.ncols(),
+        w.h.nnz()
+    );
+    let _ =
+        writeln!(report, "  {:<14} {:>12} {:>12} {:>12}", "method", "lower", "upper", "a_minus");
+    let pad = w.params.padding;
+    for (label, b) in
+        [("gershgorin".to_string(), g), (BoundsMethod::Lanczos { steps }.to_string(), l)]
+    {
+        let _ = writeln!(
+            report,
+            "  {label:<14} {:>12.6} {:>12.6} {:>12.6}",
+            b.lower,
+            b.upper,
+            b.padded(pad).a_minus()
+        );
+    }
+    if let BoundsMethod::Explicit { .. } = w.params.bounds {
+        let m = kpm::bounds::resolve(&w.h, w.params.bounds)?;
+        let _ = writeln!(
+            report,
+            "  {:<14} {:>12.6} {:>12.6} {:>12.6}",
+            w.params.bounds.to_string(),
+            m.lower,
+            m.upper,
+            m.padded(pad).a_minus()
+        );
+    }
+    let _ = writeln!(
+        report,
+        "  tightening  : {:.3}x narrower half-width",
+        g.width() / l.width().max(f64::MIN_POSITIVE)
+    );
+
+    let eps = resolution_arg(args)?.unwrap_or(0.05);
+    let n_g = kpm::moments_for_resolution(w.params.kernel, g.padded(pad).a_minus(), eps)?;
+    let n_l = kpm::moments_for_resolution(w.params.kernel, l.padded(pad).a_minus(), eps)?;
+    let _ = writeln!(report, "  moments for resolution {eps} ({:?} kernel):", w.params.kernel);
+    let _ = writeln!(report, "    gershgorin  : N = {n_g}");
+    let _ = writeln!(
+        report,
+        "    lanczos:{steps:<4}: N = {n_l}  ({:.3}x fewer moments)",
+        n_g as f64 / n_l as f64
+    );
+    Ok(report)
+}
+
 /// Dispatches a subcommand.
 ///
 /// # Errors
@@ -798,18 +934,20 @@ fn dispatch(command: &str, args: &Args, positionals: &[String]) -> Result<String
     if command == "fleet" {
         return crate::fleet::fleet(args, positionals);
     }
-    if command == "tune" {
-        // `kpm tune <lattice>` — the positional is shorthand for
-        // `--lattice` and wins over it when both are given.
+    if command == "tune" || command == "bounds" {
+        // `kpm tune <lattice>` / `kpm bounds <lattice>` — the positional is
+        // shorthand for `--lattice` and wins over it when both are given.
+        let cmd: fn(&Args) -> Result<String, CmdError> =
+            if command == "tune" { tune } else { bounds };
         if let Some(extra) = positionals.get(1) {
             return Err(CmdError::Args(ArgError::UnexpectedPositional(extra.clone())));
         }
         if let Some(lattice) = positionals.first() {
             let mut with_lattice = args.clone();
             with_lattice.set("lattice", lattice);
-            return tune(&with_lattice);
+            return cmd(&with_lattice);
         }
-        return tune(args);
+        return cmd(args);
     }
     if let Some(p) = positionals.first() {
         return Err(CmdError::Args(ArgError::UnexpectedPositional(p.clone())));
@@ -1074,12 +1212,153 @@ mod tests {
 
     #[test]
     fn kernel_selection() {
-        for k in ["jackson", "lorentz", "fejer", "dirichlet"] {
+        for k in ["jackson", "lorentz", "fejer", "dirichlet", "jacobi"] {
             let a = args(&["--lattice", "chain:16", "--moments", "16", "--kernel", k]);
             assert!(dos(&a).is_ok(), "kernel {k}");
         }
         let a = args(&["--lattice", "chain:16", "--kernel", "gibbs"]);
         assert!(dos(&a).is_err());
+        // Jacobi(1/2, 1/2) *is* Jackson: identical reports.
+        let jackson = dos(&args(&["--lattice", "chain:16", "--moments", "16"])).unwrap();
+        let jacobi = dos(&args(&[
+            "--lattice",
+            "chain:16",
+            "--moments",
+            "16",
+            "--kernel",
+            "jacobi",
+            "--alpha",
+            "0.5",
+            "--beta",
+            "0.5",
+        ]))
+        .unwrap();
+        assert_eq!(jackson, jacobi, "jacobi:0.5,0.5 must reproduce Jackson");
+    }
+
+    #[test]
+    fn bounds_option_selects_provider() {
+        // On a disordered chain the Lanczos window is strictly tighter than
+        // the Gershgorin discs, so the reconstruction band shrinks.
+        let base = ["--lattice", "chain:64", "--moments", "32", "--sets", "1", "--disorder", "6.0"];
+        let run = |bounds: Option<&str>| {
+            let mut words = base.to_vec();
+            if let Some(b) = bounds {
+                words.extend_from_slice(&["--bounds", b]);
+            }
+            dos(&args(&words)).unwrap()
+        };
+        let gersh = run(None);
+        assert_eq!(gersh, run(Some("gershgorin")), "gershgorin is the default");
+        let lanczos = run(Some("lanczos"));
+        let band = |r: &str| {
+            let line = r.lines().find(|l| l.contains("band")).unwrap().to_string();
+            let lo: f64 = line.split(['[', ',']).nth(1).unwrap().trim().parse().unwrap();
+            let hi: f64 = line.split([',', ']']).nth(1).unwrap().trim().parse().unwrap();
+            hi - lo
+        };
+        assert!(band(&lanczos) < band(&gersh), "lanczos band must be tighter:\n{lanczos}\n{gersh}");
+        // Manual bounds and bad grammar.
+        assert!(run(Some("manual:-8,8")).contains("integral"));
+        let mut words = base.to_vec();
+        words.extend_from_slice(&["--bounds", "psychic"]);
+        assert!(dos(&args(&words)).is_err());
+    }
+
+    #[test]
+    fn resolution_autoselects_moments() {
+        // Same target resolution, tighter bounds => fewer moments. Lanczos
+        // on a disordered chain must pick a smaller N than Gershgorin.
+        let n_of = |bounds: &str| {
+            let a = args(&[
+                "--lattice",
+                "chain:64",
+                "--disorder",
+                "8.0",
+                "--sets",
+                "1",
+                "--random",
+                "2",
+                "--resolution",
+                "0.2",
+                "--bounds",
+                bounds,
+            ]);
+            workload(&a).unwrap().params.num_moments
+        };
+        let (n_g, n_l) = (n_of("gershgorin"), n_of("lanczos:48"));
+        assert!(n_l < n_g, "lanczos N = {n_l} must beat gershgorin N = {n_g}");
+        // Halving EPS doubles N (up to ceil rounding).
+        let a = args(&["--lattice", "chain:64", "--disorder", "8.0", "--resolution", "0.1"]);
+        let n_half = workload(&a).unwrap().params.num_moments;
+        assert!(n_half >= 2 * n_g - 2, "eps/2: N {n_g} -> {n_half}");
+        // The selected N drives a real run end to end.
+        let a =
+            args(&["--lattice", "chain:32", "--sets", "1", "--random", "2", "--resolution", "0.5"]);
+        assert!(dos(&a).unwrap().contains("integral"));
+        let a = args(&["--lattice", "chain:16", "--resolution", "zero"]);
+        assert!(dos(&a).is_err(), "--resolution must be a positive number");
+    }
+
+    #[test]
+    fn bounds_command_reports_providers_and_moment_counts() {
+        let a = args(&["--lattice", "chain:48", "--disorder", "6.0", "--resolution", "0.1"]);
+        let report = bounds(&a).unwrap();
+        assert!(report.contains("gershgorin"), "{report}");
+        assert!(report.contains("lanczos:64"), "{report}");
+        assert!(report.contains("tightening"), "{report}");
+        assert!(report.contains("fewer moments"), "{report}");
+        // Positional lattice works like `kpm tune <lattice>`.
+        let a = args(&["--disorder", "6.0"]);
+        let report = run_with_positionals("bounds", &a, &["chain:32".to_string()]).unwrap();
+        assert!(report.contains("32 x 32"), "{report}");
+        let extra = ["chain:32".to_string(), "oops".to_string()];
+        assert!(run_with_positionals("bounds", &a, &extra).is_err());
+    }
+
+    /// `--bounds` flows into the sharded job spec, and sharded runs remain
+    /// byte-identical to unsharded ones under the non-default provider.
+    #[test]
+    fn shard_job_spec_carries_bounds_and_stays_bitwise() {
+        let a = args(&["--lattice", "chain:16", "--bounds", "lanczos:24"]);
+        let spec = shard_job_spec(&a).unwrap();
+        assert_eq!(spec.bounds, BoundsMethod::Lanczos { steps: 24 });
+        assert!(spec.canonical().contains("bounds=lanczos:24"), "{}", spec.canonical());
+
+        let dir = std::env::temp_dir().join("kpm_cli_shard_bounds_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |workers: Option<&str>| {
+            let path = dir.join(format!("dos_{}.csv", workers.unwrap_or("plain")));
+            let path_s = path.to_str().unwrap().to_string();
+            let mut words = vec![
+                "--lattice",
+                "chain:48",
+                "--disorder",
+                "5.0",
+                "--moments",
+                "24",
+                "--random",
+                "3",
+                "--sets",
+                "2",
+                "--seed",
+                "11",
+                "--bounds",
+                "lanczos:32",
+            ];
+            if let Some(n) = workers {
+                words.extend_from_slice(&["--local-workers", n]);
+            }
+            words.push("--out");
+            words.push(&path_s);
+            dos(&args(&words)).unwrap();
+            std::fs::read(&path).unwrap()
+        };
+        let plain = run(None);
+        for n in ["1", "3"] {
+            assert_eq!(run(Some(n)), plain, "--local-workers {n} must match bytes under lanczos");
+        }
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
@@ -1206,6 +1485,8 @@ mod tests {
             "128",
             "--sets",
             "1",
+            "--resolution",
+            "0.05",
             "--trace",
             path.to_str().unwrap(),
         ]);
@@ -1251,6 +1532,26 @@ mod tests {
             }
             assert_eq!(at, 0, "'{phase}' must nest under cli.command:\n{text}");
         }
+
+        // The bounds seam surfaces the chosen rescale window: a `kpm.bounds`
+        // span labeled with the interval, plus the probe counter and the
+        // `--resolution`-selected moment count.
+        let bidx = (0..spans.len())
+            .find(|&i| name(i) == "kpm.bounds")
+            .unwrap_or_else(|| panic!("missing span 'kpm.bounds':\n{text}"));
+        let detail = spans[bidx].get("detail").and_then(|v| v.as_str()).unwrap();
+        assert!(detail.contains("a_plus="), "kpm.bounds detail: {detail}");
+        assert!(detail.contains("a_minus="), "kpm.bounds detail: {detail}");
+        let counters = value.get("counters").and_then(|v| v.as_object()).unwrap();
+        let counter = |k: &str| {
+            counters
+                .iter()
+                .find(|(name, _)| name == k)
+                .and_then(|(_, v)| v.as_u64())
+                .unwrap_or_else(|| panic!("missing counter '{k}':\n{text}"))
+        };
+        assert!(counter("kpm.bounds.probe") >= 1, "{text}");
+        assert!(counter("kpm.bounds.n_moments") >= 2, "{text}");
 
         // The recorded phases account for the bulk of the wall time (the
         // acceptance criterion is >= 90% for the paper workload; use a
@@ -1444,6 +1745,9 @@ mod tests {
         assert_eq!(get("shard.worker.completed"), 4);
         assert!(get("shard.dispatched") >= get("shard.completed"), "{text}");
         assert!(get("shard.inflight.peak") >= 1, "{text}");
+        // The reconstruct-side bounds resolution goes through the same
+        // instrumented seam as the single-process path.
+        assert!(get("kpm.bounds.probe") >= 1, "{text}");
         let _ = std::fs::remove_dir_all(dir);
     }
 

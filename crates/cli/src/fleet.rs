@@ -109,6 +109,7 @@ pub fn fleet(args: &Args, positionals: &[String]) -> Result<String, CmdError> {
     if positionals.len() > 1 {
         return Err(CmdError::Other(format!("unexpected argument '{}'", positionals[1])));
     }
+    let default_bounds = crate::batch::default_bounds_flag(args)?;
     let text = std::fs::read_to_string(path)?;
     let mut specs = Vec::new();
     for (idx, line) in text.lines().enumerate() {
@@ -116,7 +117,8 @@ pub fn fleet(args: &Args, positionals: &[String]) -> Result<String, CmdError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        specs.push(JobSpec::parse(line).map_err(|e| match e {
+        let line = crate::batch::with_default_bounds(line, default_bounds.as_deref());
+        specs.push(JobSpec::parse(&line).map_err(|e| match e {
             kpm_serve::JobParseError::Spec(s) => CmdError::Spec(s),
             other => CmdError::Other(format!("jobs line {}: {other}", idx + 1)),
         })?);

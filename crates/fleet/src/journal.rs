@@ -200,6 +200,32 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// Version tolerance across restarts: journals written before the
+    /// bounds provider existed carry bounds-free lines, which replay to
+    /// jobs with the Gershgorin default; bounds-bearing lines replay to
+    /// the same provider they were journaled with.
+    #[test]
+    fn journaled_spec_lines_replay_bounds_version_tolerantly() {
+        let dir = tmp_dir("bounds");
+        let legacy = "dos lattice=chain:8 moments=4";
+        let bounded = "dos lattice=chain:8 disorder=3@1 moments=4 bounds=lanczos:48";
+        {
+            let (mut j, _) = Journal::open(&dir).unwrap();
+            j.record_job(1, legacy).unwrap();
+            j.record_job(2, bounded).unwrap();
+        }
+        let (_, replayed) = Journal::open(&dir).unwrap();
+        let old = kpm_shard::ShardJob::parse(&replayed.jobs[&1]).unwrap();
+        assert_eq!(old.spec().bounds, kpm::BoundsMethod::Gershgorin);
+        // The default provider never renders, so pre-bounds canonical
+        // lines (and the hashes derived from them) are byte-stable.
+        assert!(!old.canonical().contains("bounds="), "{}", old.canonical());
+        let new = kpm_shard::ShardJob::parse(&replayed.jobs[&2]).unwrap();
+        assert_eq!(new.spec().bounds, kpm::BoundsMethod::Lanczos { steps: 48 });
+        assert!(new.canonical().contains("bounds=lanczos:48"), "{}", new.canonical());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn appends_accumulate_across_reopens() {
         let dir = tmp_dir("reopen");

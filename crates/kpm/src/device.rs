@@ -185,7 +185,7 @@ fn host_pipeline<A: Boundable + TiledOp + Sync>(
     op: &A,
     params: &KpmParams,
 ) -> Result<(MomentStats, f64, f64), KpmError> {
-    let bounds = op.spectral_bounds(params.bounds)?;
+    let bounds = crate::bounds::resolve(op, params.bounds)?;
     let rescaled = rescale(op, bounds, params.padding)?;
     let stats = stochastic_moments(&rescaled, params);
     Ok((stats, rescaled.a_plus(), rescaled.a_minus()))

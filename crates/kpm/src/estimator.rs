@@ -85,7 +85,7 @@ pub trait Estimator {
         self.params().validate()?;
         let bounds = {
             let _span = kpm_obs::span("kpm.rescale");
-            op.spectral_bounds(self.params().bounds)?
+            crate::bounds::resolve(op, self.params().bounds)?
         };
         self.compute_with_bounds(op, bounds)
     }

@@ -14,6 +14,19 @@ use std::f64::consts::PI;
 /// Which damping kernel to apply to the moments.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KernelType {
+    /// Jacobi-polynomial kernel family (Raikov–Beltukov,
+    /// arXiv:2407.03328): the optimal positive kernel for the Jacobi
+    /// weight `(1-x)^alpha (1+x)^beta`, built as the autocorrelation of
+    /// the top eigenvector of the truncated Jacobi recurrence matrix. At
+    /// `alpha = beta = 1/2` (Chebyshev-U weight) it reproduces the Jackson
+    /// kernel exactly; other parameters trade endpoint vs. band-centre
+    /// resolution.
+    Jacobi {
+        /// Weight exponent at `x = +1`; must be `> -1`.
+        alpha: f64,
+        /// Weight exponent at `x = -1`; must be `> -1`.
+        beta: f64,
+    },
     /// Jackson kernel — optimal (in the sup-norm sense) positive kernel;
     /// approximates a delta function by a near-Gaussian of width
     /// `pi / N`. The paper's choice for the DoS.
@@ -42,6 +55,13 @@ impl KernelType {
         assert!(n_moments > 0, "kernel needs at least one moment");
         let nf = n_moments as f64;
         match *self {
+            KernelType::Jacobi { alpha, beta } => {
+                assert!(
+                    alpha > -1.0 && beta > -1.0,
+                    "Jacobi kernel needs alpha > -1 and beta > -1"
+                );
+                jacobi_coefficients(n_moments, alpha, beta)
+            }
             KernelType::Jackson => {
                 // g_n = [(N - n + 1) cos(pi n / (N+1))
                 //        + sin(pi n / (N+1)) cot(pi / (N+1))] / (N + 1)
@@ -81,6 +101,7 @@ impl KernelType {
     pub fn resolution(&self, n_moments: usize) -> f64 {
         let nf = n_moments as f64;
         match *self {
+            KernelType::Jacobi { .. } => PI / nf,
             KernelType::Jackson => PI / nf,
             KernelType::Lorentz { lambda } => lambda / nf,
             KernelType::Fejer => PI / nf,
@@ -89,16 +110,138 @@ impl KernelType {
     }
 }
 
+/// Jacobi kernel coefficients: `g_k` is the normalized autocorrelation of
+/// the top eigenvector `w` of the order-`n` Jacobi recurrence matrix.
+///
+/// Monic Jacobi polynomials obey `x p_j = p_{j+1} + a_j p_j + b_j p_{j-1}`
+/// with the Gautschi coefficients below; the symmetrized recurrence matrix
+/// is tridiagonal with diagonal `a_j` and off-diagonal `sqrt(b_j)`. The
+/// Raikov–Beltukov construction damps moment `k` by
+/// `g_k = sum_m w_m w_{m+k} / sum_m w_m^2`, which maximizes the kernel's
+/// weighted "peakedness" and guarantees positivity and `g_0 = 1`. For the
+/// Chebyshev-U weight (`alpha = beta = 1/2`) the matrix has zero diagonal
+/// and constant off-diagonal `1/2`, whose top eigenvector is
+/// `w_m = sin((m+1) pi / (n+1))` — the classical Jackson kernel.
+fn jacobi_coefficients(n: usize, alpha: f64, beta: f64) -> Vec<f64> {
+    if n == 1 {
+        return vec![1.0];
+    }
+    let mut diag = Vec::with_capacity(n);
+    let mut off = Vec::with_capacity(n - 1);
+    let s = alpha + beta;
+    diag.push((beta - alpha) / (s + 2.0));
+    for j in 1..n {
+        let jf = j as f64;
+        let t = 2.0 * jf + s;
+        diag.push((beta * beta - alpha * alpha) / (t * (t + 2.0)));
+        let b = if j == 1 {
+            4.0 * (1.0 + alpha) * (1.0 + beta) / ((2.0 + s) * (2.0 + s) * (3.0 + s))
+        } else {
+            4.0 * jf * (jf + alpha) * (jf + beta) * (jf + s) / (t * t * (t + 1.0) * (t - 1.0))
+        };
+        off.push(b.sqrt());
+    }
+    let w = top_tridiag_eigenvector(&diag, &off);
+    let norm: f64 = w.iter().map(|x| x * x).sum();
+    (0..n).map(|k| w[..n - k].iter().zip(&w[k..]).map(|(a, b)| a * b).sum::<f64>() / norm).collect()
+}
+
+/// Top eigenvector of a symmetric tridiagonal matrix, via QL for the
+/// extreme eigenvalue followed by inverse iteration (partially pivoted
+/// tridiagonal solves) — `O(n)` per iteration, so large expansion orders
+/// stay cheap.
+fn top_tridiag_eigenvector(diag: &[f64], off: &[f64]) -> Vec<f64> {
+    let n = diag.len();
+    let lam = *kpm_linalg::eigen::tridiagonal_eigenvalues(diag, off)
+        .expect("Jacobi recurrence matrix eigensolve cannot fail on finite input")
+        .last()
+        .expect("non-empty spectrum");
+    let nf = n as f64;
+    let mut v = vec![1.0 / nf.sqrt(); n];
+    for _ in 0..4 {
+        solve_shifted_tridiag(diag, off, lam, &mut v);
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    // Off-diagonals are positive, so (a Perron argument after diagonal
+    // shift) the top eigenvector has uniform sign; normalize it positive.
+    let head = v.iter().cloned().fold(0.0, |acc: f64, x| if x.abs() > acc.abs() { x } else { acc });
+    if head < 0.0 {
+        for x in &mut v {
+            *x = -*x;
+        }
+    }
+    v
+}
+
+/// Solves `(T - shift I) x = rhs` in place for symmetric tridiagonal `T`
+/// with Gaussian elimination and partial pivoting (one superdiagonal of
+/// fill-in). Near-singular pivots are floored, which is exactly the
+/// behaviour inverse iteration wants when the shift sits on an eigenvalue.
+fn solve_shifted_tridiag(diag: &[f64], off: &[f64], shift: f64, x: &mut [f64]) {
+    let n = diag.len();
+    let mut d: Vec<f64> = diag.iter().map(|&v| v - shift).collect();
+    let mut du1: Vec<f64> = off.to_vec();
+    let mut du2: Vec<f64> = vec![0.0; n.saturating_sub(2)];
+    let scale = diag.iter().chain(off).fold(1.0f64, |a, &v| a.max(v.abs()));
+    let tiny = f64::EPSILON * scale;
+    for i in 0..n - 1 {
+        let sub = off[i];
+        if sub.abs() > d[i].abs() {
+            // Swap rows i and i+1.
+            let (ri_d, ri_u1) = (d[i], du1[i]);
+            let ri_u2 = if i + 2 < n { du2[i] } else { 0.0 };
+            d[i] = sub;
+            du1[i] = d[i + 1];
+            let next_u1 = if i + 2 < n { du1[i + 1] } else { 0.0 };
+            if i + 2 < n {
+                du2[i] = next_u1;
+            }
+            let m = ri_d / d[i];
+            d[i + 1] = ri_u1 - m * du1[i];
+            if i + 2 < n {
+                du1[i + 1] = ri_u2 - m * du2[i];
+            }
+            x.swap(i, i + 1);
+            x[i + 1] -= m * x[i];
+        } else {
+            let p = if d[i].abs() <= tiny { tiny.copysign(d[i]) } else { d[i] };
+            d[i] = p;
+            let m = sub / p;
+            d[i + 1] -= m * du1[i];
+            if i + 2 < n {
+                du1[i + 1] -= m * du2[i];
+            }
+            x[i + 1] -= m * x[i];
+        }
+    }
+    for i in (0..n).rev() {
+        let mut acc = x[i];
+        if i + 1 < n {
+            acc -= du1[i] * x[i + 1];
+        }
+        if i + 2 < n {
+            acc -= du2[i] * x[i + 2];
+        }
+        let p = if d[i].abs() <= tiny { tiny.copysign(d[i]) } else { d[i] };
+        x[i] = acc / p;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::chebyshev;
 
-    const KERNELS: [KernelType; 4] = [
+    const KERNELS: [KernelType; 6] = [
         KernelType::Jackson,
         KernelType::Lorentz { lambda: 4.0 },
         KernelType::Fejer,
         KernelType::Dirichlet,
+        KernelType::Jacobi { alpha: 0.5, beta: 0.5 },
+        KernelType::Jacobi { alpha: 0.0, beta: 0.0 },
     ];
 
     #[test]
@@ -188,6 +331,39 @@ mod tests {
         let w128 = width_at(128);
         assert!(w128 < w64, "width must shrink: {w64} -> {w128}");
         assert!((w64 / w128 - 2.0).abs() < 0.3, "width ~ 1/N: ratio {}", w64 / w128);
+    }
+
+    #[test]
+    fn jacobi_half_half_reproduces_jackson() {
+        // alpha = beta = 1/2 is the Chebyshev-U weight: zero recurrence
+        // diagonal, constant off-diagonal 1/2, top eigenvector
+        // sin((m+1) pi / (N+1)) — the Jackson construction exactly.
+        for n in [2usize, 3, 16, 64, 129] {
+            let jac = KernelType::Jacobi { alpha: 0.5, beta: 0.5 }.coefficients(n);
+            let jackson = KernelType::Jackson.coefficients(n);
+            for (k, (a, b)) in jac.iter().zip(&jackson).enumerate() {
+                assert!((a - b).abs() < 1e-8, "N={n} g_{k}: jacobi {a} vs jackson {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_coefficients_positive_and_damping() {
+        for (alpha, beta) in [(0.0, 0.0), (1.0, 1.0), (0.5, -0.5), (2.0, 0.0)] {
+            let g = KernelType::Jacobi { alpha, beta }.coefficients(48);
+            assert!((g[0] - 1.0).abs() < 1e-12, "({alpha},{beta}): g0 = {}", g[0]);
+            for (k, &gk) in g.iter().enumerate() {
+                assert!(gk > -1e-12 && gk <= 1.0 + 1e-12, "({alpha},{beta}) g_{k} = {gk}");
+            }
+            // The tail must be strongly damped relative to g_0.
+            assert!(g[47] < 0.05, "({alpha},{beta}) tail g_47 = {}", g[47]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha > -1")]
+    fn jacobi_validates_parameters() {
+        let _ = KernelType::Jacobi { alpha: -1.0, beta: 0.0 }.coefficients(4);
     }
 
     #[test]

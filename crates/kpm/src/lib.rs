@@ -44,6 +44,7 @@
 //! ```
 
 pub mod bessel;
+pub mod bounds;
 pub mod chebyshev;
 pub mod complex;
 pub mod dct;
@@ -67,6 +68,9 @@ pub mod thermal;
 pub mod tune;
 pub mod workload;
 
+pub use bounds::{
+    lanczos_contained, moments_for_resolution, BoundsProvider, OpKeyScope, DEFAULT_LANCZOS_STEPS,
+};
 pub use device::{Device, DeviceClock, DeviceOp, DeviceRun, DeviceSpec, HostDevice, SimDevice};
 pub use dos::{Dos, DosEstimator};
 pub use error::KpmError;
@@ -92,6 +96,10 @@ pub use kpm_obs as obs;
 /// instead of deep module paths; it covers the [`Estimator`] workloads, the
 /// pipeline primitives they are built from, and the tracing handle.
 pub mod prelude {
+    pub use crate::bounds::{
+        lanczos_contained, moments_for_resolution, BoundsProvider, OpKeyScope,
+        DEFAULT_LANCZOS_STEPS,
+    };
     pub use crate::device::{
         Device, DeviceCaps, DeviceClock, DeviceOp, DeviceRun, DeviceSpec, HostDevice, SimDevice,
     };

@@ -10,7 +10,6 @@ use kpm_linalg::csr::CsrMatrix;
 use kpm_linalg::dense::DenseMatrix;
 use kpm_linalg::ell::EllMatrix;
 use kpm_linalg::gershgorin::{gershgorin_csr, gershgorin_dense, gershgorin_ell, SpectralBounds};
-use kpm_linalg::lanczos::{lanczos_bounds, LanczosConfig};
 use kpm_linalg::op::{LinearOp, RescaledOp};
 use kpm_linalg::sparse::SparseMatrix;
 use kpm_linalg::stencil::StencilOp;
@@ -107,11 +106,7 @@ pub fn generic_bounds<A: LinearOp>(
         BoundsMethod::Gershgorin => Err(KpmError::InvalidParameter(
             "Gershgorin bounds need concrete matrix storage; use Lanczos or Explicit".into(),
         )),
-        BoundsMethod::Lanczos { steps } => {
-            let cfg = LanczosConfig { max_steps: steps, ..Default::default() };
-            let res = lanczos_bounds(op, &cfg)?;
-            Ok(res.bounds)
-        }
+        BoundsMethod::Lanczos { steps } => crate::bounds::lanczos_contained(op, steps),
         BoundsMethod::Explicit { lower, upper } => {
             if lower.is_nan() || upper.is_nan() || lower >= upper {
                 return Err(KpmError::InvalidParameter(format!(

@@ -57,7 +57,7 @@ pub fn chain_spectral_function<A: Boundable + Sync>(
             op.dim()
         )));
     }
-    let bounds = op.spectral_bounds(params.bounds)?;
+    let bounds = crate::bounds::resolve(op, params.bounds)?;
     let rescaled = rescale(op, bounds, params.padding)?;
     let (a_plus, a_minus) = (rescaled.a_plus(), rescaled.a_minus());
     let estimator = DosEstimator::new(params.clone());

@@ -132,6 +132,44 @@ fn fig5_config_tiled_matches_untiled_and_is_thread_stable() {
     }
 }
 
+/// The Lanczos bounds probe is sequential by construction, so a full DoS
+/// run under `--bounds lanczos` — probe, rescale, moments, reconstruct —
+/// is bitwise identical across exec policies and thread budgets.
+#[test]
+fn lanczos_bounds_dos_is_bitwise_across_plans_and_threads() {
+    let _g = policy_guard();
+    // Disordered operator: the one place Lanczos actually moves the window.
+    let h = LatticeSpec::parse("chain:96").unwrap().build_format(
+        1.0,
+        OnSite::Disorder { width: 6.0, seed: 3 },
+        Boundary::Periodic,
+        MatrixFormat::Csr,
+    );
+    let params = KpmParams::new(64)
+        .with_random_vectors(3, 2)
+        .with_seed(11)
+        .with_bounds(BoundsMethod::Lanczos { steps: 32 });
+    let dos_under = |policy: ExecPolicy, threads: usize| {
+        set_exec_policy(policy);
+        set_thread_budget(threads);
+        DosEstimator::new(params.clone()).compute(&h).unwrap()
+    };
+    let reference = dos_under(ExecPolicy::Realizations, 1);
+    for policy in [ExecPolicy::Realizations, ExecPolicy::Rows, ExecPolicy::Hybrid] {
+        for threads in [1usize, 2, 4] {
+            let dos = dos_under(policy, threads);
+            let same_bits = |a: &[f64], b: &[f64]| {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            };
+            assert!(
+                same_bits(&dos.rho, &reference.rho)
+                    && same_bits(&dos.energies, &reference.energies),
+                "{policy:?} x {threads} threads must reproduce the reference bitwise"
+            );
+        }
+    }
+}
+
 /// `Rows` and `Hybrid` are scheduling choices over the same tiled value
 /// family: for a fixed seed they produce bitwise-identical statistics, for
 /// any thread budget.

@@ -332,6 +332,54 @@ mod tests {
         assert_eq!(encode(&NetFrame::Submit { stream, tag, spec, refine_steps }), golden);
     }
 
+    /// Version tolerance for the bounds provider: a pre-bounds KPNT frame
+    /// (spec line with no `bounds=` key) decodes to the Gershgorin default,
+    /// and re-encodes to the identical bytes — old clients keep working and
+    /// old frames keep their hashes.
+    #[test]
+    fn golden_v1_submit_without_bounds_decodes_to_gershgorin() {
+        let stream = b"legacy";
+        let spec = b"lattice=chain:48 moments=128 seed=7";
+        let mut golden: Vec<u8> = Vec::new();
+        golden.extend_from_slice(b"KPNT"); // magic
+        golden.extend_from_slice(&1u16.to_le_bytes()); // version 1
+        golden.push(1); // type: Submit
+        let payload_len = 4 + stream.len() + 8 + 4 + spec.len() + 4;
+        golden.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        golden.extend_from_slice(&(stream.len() as u32).to_le_bytes());
+        golden.extend_from_slice(stream);
+        golden.extend_from_slice(&3u64.to_le_bytes()); // tag
+        golden.extend_from_slice(&(spec.len() as u32).to_le_bytes());
+        golden.extend_from_slice(spec);
+        golden.extend_from_slice(&1u32.to_le_bytes()); // refine_steps
+
+        let frame = decode_bytes(&golden).unwrap();
+        let NetFrame::Submit { stream, tag, spec, refine_steps } = frame else {
+            panic!("expected Submit");
+        };
+        let job = kpm_serve::JobSpec::parse(&spec).unwrap();
+        assert_eq!(job.bounds, kpm::BoundsMethod::Gershgorin);
+        // The legacy canonical line stays bounds-free, so identity hashes
+        // are unchanged from the pre-bounds wire format.
+        assert!(!job.canonical().contains("bounds="), "{}", job.canonical());
+        assert_eq!(encode(&NetFrame::Submit { stream, tag, spec, refine_steps }), golden);
+    }
+
+    /// A bounds-bearing spec survives the KPNT round trip verbatim.
+    #[test]
+    fn bounds_bearing_spec_round_trips_the_net_protocol() {
+        let spec = "lattice=chain:48 disorder=5@2 moments=64 bounds=lanczos:32".to_string();
+        let frame =
+            NetFrame::Submit { stream: "s".into(), tag: 1, spec: spec.clone(), refine_steps: 1 };
+        let NetFrame::Submit { spec: decoded, .. } = decode_bytes(&encode(&frame)).unwrap() else {
+            panic!("expected Submit");
+        };
+        assert_eq!(decoded, spec);
+        let job = kpm_serve::JobSpec::parse(&decoded).unwrap();
+        assert_eq!(job.bounds, kpm::BoundsMethod::Lanczos { steps: 32 });
+        assert!(job.canonical().contains("bounds=lanczos:32"), "{}", job.canonical());
+    }
+
     #[test]
     fn moment_bits_survive_exactly() {
         let tricky = vec![0.1 + 0.2, 1.0 / 3.0, f64::from_bits(1), -1e-308];

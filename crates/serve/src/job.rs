@@ -13,7 +13,7 @@
 //! `N_cached >= N` serves any kernel at any order up to `N_cached`.
 
 use kpm::device::DeviceSpec;
-use kpm::KernelType;
+use kpm::{BoundsMethod, KernelType};
 use kpm_lattice::spec::{parse_boundary, LatticeSpec, SpecError};
 use kpm_lattice::{Boundary, OnSite};
 use kpm_linalg::{DenseMatrix, MatrixFormat, SparseMatrix};
@@ -174,6 +174,12 @@ pub struct JobSpec {
     pub device: DeviceSpec,
     /// Sparse storage format for lattice models (dense models ignore it).
     pub format: MatrixFormat,
+    /// Spectral-bounds provider for the rescale stage
+    /// (`gershgorin | lanczos[:k] | manual:a,b`). Participates in the
+    /// content hash — tighter bounds change the rescale map and hence the
+    /// moment bits — but renders only when non-default, so legacy spec
+    /// lines and their hashes are untouched.
+    pub bounds: BoundsMethod,
     /// Queue lane.
     pub priority: Priority,
     /// Failure injection for tests.
@@ -197,6 +203,7 @@ impl Default for JobSpec {
             backend: Backend::Cpu,
             device: DeviceSpec::Host,
             format: MatrixFormat::Csr,
+            bounds: BoundsMethod::Gershgorin,
             priority: Priority::Normal,
             fault: None,
             out: None,
@@ -208,6 +215,7 @@ fn kernel_to_str(k: KernelType) -> String {
     match k {
         KernelType::Jackson => "jackson".into(),
         KernelType::Lorentz { lambda } => format!("lorentz:{lambda}"),
+        KernelType::Jacobi { alpha, beta } => format!("jacobi:{alpha},{beta}"),
         KernelType::Fejer => "fejer".into(),
         KernelType::Dirichlet => "dirichlet".into(),
     }
@@ -218,12 +226,19 @@ fn kernel_from_str(s: &str) -> Option<KernelType> {
         None => match s {
             "jackson" => Some(KernelType::Jackson),
             "lorentz" => Some(KernelType::Lorentz { lambda: 4.0 }),
+            "jacobi" => Some(KernelType::Jacobi { alpha: 0.0, beta: 0.0 }),
             "fejer" => Some(KernelType::Fejer),
             "dirichlet" => Some(KernelType::Dirichlet),
             _ => None,
         },
         Some(("lorentz", lambda)) => {
             lambda.parse().ok().map(|lambda| KernelType::Lorentz { lambda })
+        }
+        Some(("jacobi", args)) => {
+            let (a, b) = args.split_once(',')?;
+            let alpha: f64 = a.parse().ok()?;
+            let beta: f64 = b.parse().ok()?;
+            (alpha > -1.0 && beta > -1.0).then_some(KernelType::Jacobi { alpha, beta })
         }
         _ => None,
     }
@@ -247,7 +262,8 @@ impl JobSpec {
     /// Keys: `lattice` (incl. `dense:D`), `bc`, `hopping`, `disorder`,
     /// `dseed`, `moments`, `random`, `sets`, `kernel`, `seed`, `backend`,
     /// `device` (`host | sim | sim:N`), `format`
-    /// (`csr | ell | stencil | auto`), `priority`, `fault`
+    /// (`csr | ell | stencil | auto`), `bounds`
+    /// (`gershgorin | lanczos[:k] | manual:a,b`), `priority`, `fault`
     /// (`panic | flaky:K | sleep:MS`), `out`. Unset keys take the CLI
     /// defaults.
     ///
@@ -324,6 +340,9 @@ impl JobSpec {
                 "format" => {
                     job.format = value.parse().map_err(|_| bad(key, value))?;
                 }
+                "bounds" => {
+                    job.bounds = value.parse().map_err(|_| bad(key, value))?;
+                }
                 "priority" => {
                     job.priority = match value {
                         "high" => Priority::High,
@@ -368,7 +387,7 @@ impl JobSpec {
             None => "none".to_string(),
             Some((w, s)) => format!("{w}@{s}"),
         };
-        format!(
+        let mut line = format!(
             "lattice={} bc={} hopping={} disorder={} moments={} random={} sets={} kernel={} \
              seed={} backend={} device={} format={} priority={}",
             model_to_str(&self.model),
@@ -387,7 +406,16 @@ impl JobSpec {
             self.device,
             self.format.as_str(),
             self.priority.as_str(),
-        )
+        );
+        // The bounds provider joined the spec after the KPSH/KPNT/KPFJ
+        // protocols shipped: rendering it only when non-default keeps every
+        // legacy canonical line (and its content hash, cache key, journal
+        // frame) byte-identical, and lets old decoders treat absence as
+        // Gershgorin.
+        if self.bounds != BoundsMethod::Gershgorin {
+            line.push_str(&format!(" bounds={}", self.bounds));
+        }
+        line
     }
 
     /// FNV-1a-64 hash of the canonical rendering — the job's identity.
@@ -406,7 +434,9 @@ impl JobSpec {
     /// differs only in the clock it reports, so a sim-computed entry is a
     /// valid host answer. The backend *stays* in the key: the stream
     /// engine's padding/rescaling path is not guaranteed bitwise identical
-    /// to the host path.
+    /// to the host path. The `bounds` provider stays too: a different
+    /// rescale map produces different moment bits, so cached prefixes are
+    /// only reusable within one bounds mode.
     pub fn cache_key(&self) -> u64 {
         let neutral = JobSpec {
             num_moments: 2,
@@ -417,6 +447,32 @@ impl JobSpec {
             ..self.clone()
         };
         fnv1a(neutral.canonical().as_bytes())
+    }
+
+    /// FNV-1a-64 identity of the *operator* this job assembles — the hash
+    /// family the shard workers and the fleet inventory advertise, and the
+    /// key the bounds memo ([`kpm::bounds::resolve`]) caches under.
+    ///
+    /// Masks everything that does not change the built matrix: the KPM
+    /// parameters, kernel, seed, bounds provider, device, backend, and
+    /// priority. Keeps the model, boundary, hopping, disorder, and storage
+    /// format. With all maskable fields at their defaults the canonical
+    /// line is byte-identical to the pre-`bounds` era, so advertised
+    /// inventory hashes are stable across versions.
+    pub fn op_key(&self) -> u64 {
+        let neutral = JobSpec {
+            num_moments: 2,
+            num_random: 1,
+            num_realizations: 1,
+            kernel: KernelType::Jackson,
+            seed: 0,
+            backend: Backend::Cpu,
+            device: DeviceSpec::Host,
+            bounds: BoundsMethod::Gershgorin,
+            priority: Priority::Normal,
+            ..self.clone()
+        };
+        fnv1a(format!("shard-op/v1;{}", neutral.canonical()).as_bytes())
     }
 
     /// Builds the Hamiltonian. Dense models go through
@@ -443,6 +499,7 @@ impl JobSpec {
             .with_random_vectors(self.num_random, self.num_realizations)
             .with_seed(self.seed)
             .with_kernel(self.kernel)
+            .with_bounds(self.bounds)
     }
 }
 
@@ -582,6 +639,76 @@ mod tests {
         }
         assert!(matches!(JobSpec::parse("device=gpu"), Err(JobParseError::BadValue { .. })));
         assert!(matches!(JobSpec::parse("device=sim:0"), Err(JobParseError::BadValue { .. })));
+    }
+
+    #[test]
+    fn bounds_parse_and_participate_in_identity() {
+        let base = JobSpec::parse("lattice=chain:32 moments=64").unwrap();
+        assert_eq!(base.bounds, BoundsMethod::Gershgorin);
+        // Default bounds render nothing: legacy canonical lines unchanged.
+        assert!(!base.canonical().contains("bounds="));
+        for (token, bounds) in [
+            ("bounds=gershgorin", BoundsMethod::Gershgorin),
+            ("bounds=lanczos", BoundsMethod::Lanczos { steps: 64 }),
+            ("bounds=lanczos:48", BoundsMethod::Lanczos { steps: 48 }),
+            ("bounds=manual:-6,6", BoundsMethod::Explicit { lower: -6.0, upper: 6.0 }),
+        ] {
+            let job = JobSpec::parse(&format!("lattice=chain:32 moments=64 {token}")).unwrap();
+            assert_eq!(job.bounds, bounds, "{token}");
+            let again = JobSpec::parse(&job.canonical()).unwrap();
+            assert_eq!(again.bounds, bounds, "{token}");
+            // Non-default bounds are a different job identity (different
+            // rescale map, different moment bits)...
+            if bounds != BoundsMethod::Gershgorin {
+                assert_ne!(job.content_hash(), base.content_hash(), "{token}");
+                assert_ne!(job.cache_key(), base.cache_key(), "{token}");
+            } else {
+                assert_eq!(job.content_hash(), base.content_hash());
+            }
+            // ...but never a different operator.
+            assert_eq!(job.op_key(), base.op_key(), "{token}");
+        }
+        // Within one bounds mode the key stays moment/kernel-masked.
+        let a = JobSpec::parse("lattice=chain:32 moments=64 bounds=lanczos").unwrap();
+        let b = JobSpec::parse("lattice=chain:32 moments=256 kernel=fejer bounds=lanczos").unwrap();
+        assert_eq!(a.cache_key(), b.cache_key());
+        assert!(matches!(JobSpec::parse("bounds=tight"), Err(JobParseError::BadValue { .. })));
+        assert!(matches!(JobSpec::parse("bounds=manual:9,1"), Err(JobParseError::BadValue { .. })));
+    }
+
+    #[test]
+    fn op_key_masks_run_parameters_but_sees_operator_fields() {
+        let base = JobSpec::parse("lattice=cubic:4,4,4 disorder=2@5").unwrap();
+        for same in [
+            "lattice=cubic:4,4,4 disorder=2@5 moments=512 random=3 sets=7",
+            "lattice=cubic:4,4,4 disorder=2@5 kernel=lorentz:3 seed=99 priority=low",
+            "lattice=cubic:4,4,4 disorder=2@5 backend=stream device=sim:2 bounds=lanczos",
+        ] {
+            assert_eq!(base.op_key(), JobSpec::parse(same).unwrap().op_key(), "{same}");
+        }
+        for differs in [
+            "lattice=cubic:4,4,5 disorder=2@5",
+            "lattice=cubic:4,4,4 disorder=2@6",
+            "lattice=cubic:4,4,4 disorder=2@5 hopping=2",
+            "lattice=cubic:4,4,4 disorder=2@5 format=ell",
+        ] {
+            assert_ne!(base.op_key(), JobSpec::parse(differs).unwrap().op_key(), "{differs}");
+        }
+    }
+
+    #[test]
+    fn jacobi_kernel_parses_and_round_trips() {
+        let job = JobSpec::parse("lattice=chain:32 kernel=jacobi:0.5,1.5").unwrap();
+        assert_eq!(job.kernel, KernelType::Jacobi { alpha: 0.5, beta: 1.5 });
+        let again = JobSpec::parse(&job.canonical()).unwrap();
+        assert_eq!(again.kernel, job.kernel);
+        // Bare `jacobi` is the Legendre member of the family.
+        let legendre = JobSpec::parse("kernel=jacobi").unwrap();
+        assert_eq!(legendre.kernel, KernelType::Jacobi { alpha: 0.0, beta: 0.0 });
+        assert!(matches!(
+            JobSpec::parse("kernel=jacobi:-2,0"),
+            Err(JobParseError::BadValue { .. })
+        ));
     }
 
     #[test]

@@ -326,6 +326,11 @@ pub fn compute_raw_moments(
     let params = spec.kpm_params();
     params.validate()?;
     let matrix = spec.build_matrix();
+    // Declare the operator identity for the bounds memo: repeat jobs on one
+    // operator (any moments/kernel/seed) resolve spectral bounds from the
+    // per-process cache instead of recomputing Gershgorin or re-running a
+    // Lanczos probe.
+    let _bounds_scope = kpm::OpKeyScope::enter(spec.op_key());
     match spec.backend {
         // The CPU backend submits through the job's device: `host` runs the
         // tiled engine directly, `sim[:n]` runs the identical functional

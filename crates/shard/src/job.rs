@@ -158,21 +158,13 @@ impl ShardJob {
     /// Content hash of the assembled-operator identity: the canonical spec
     /// with every non-matrix field neutralized (the Hamiltonian depends
     /// only on model, boundary, hopping, disorder, and storage format —
-    /// never on `N`, `R`, `S`, seed, or kernel). Hashed with the serve
-    /// cache's FNV-1a-64 family, so two jobs share an `op_key` exactly when
-    /// a worker can reuse one assembled matrix for both.
+    /// never on `N`, `R`, `S`, seed, kernel, or bounds provider). Delegates
+    /// to [`JobSpec::op_key`] — the serve workers, the fleet inventory, and
+    /// the bounds memo all key on the same FNV-1a-64 family, so two jobs
+    /// share an `op_key` exactly when a worker can reuse one assembled
+    /// matrix (and its memoized spectral bounds) for both.
     pub fn op_key(&self) -> u64 {
-        let neutral = JobSpec {
-            num_moments: 2,
-            num_random: 1,
-            num_realizations: 1,
-            kernel: KernelType::Jackson,
-            seed: 0,
-            device: DeviceSpec::Host,
-            priority: Priority::Normal,
-            ..self.spec().clone()
-        };
-        kpm::tune::fnv1a(format!("shard-op/v1;{}", neutral.canonical()).as_bytes())
+        self.spec().op_key()
     }
 
     /// Content hash of the per-realization row family: the estimator kind
@@ -181,8 +173,10 @@ impl ShardJob {
     /// kernel (raw moments are prefix-extendable and kernel-free, exactly
     /// the serve cache-key argument), `S` (it only bounds which indices
     /// exist), and format/device/priority (bitwise-invariant, pinned
-    /// elsewhere). Two jobs share a `row_key` exactly when a cached row for
-    /// realization `idx` of one bitwise serves the other.
+    /// elsewhere). The `bounds` provider *stays in*: a different rescale
+    /// map yields different row bits, so warm rows transfer only within one
+    /// bounds mode. Two jobs share a `row_key` exactly when a cached row
+    /// for realization `idx` of one bitwise serves the other.
     pub fn row_key(&self) -> u64 {
         let kind = match self {
             ShardJob::Dos(_) => "dos".to_string(),
@@ -218,6 +212,7 @@ impl ShardJob {
     pub fn bounds(&self) -> Result<(f64, f64), ShardError> {
         let spec = self.spec();
         let params = spec.kpm_params();
+        let _bounds_scope = kpm::OpKeyScope::enter(self.op_key());
         match self {
             ShardJob::Kubo(_) => {
                 let h = kubo_csr(spec)?;
@@ -262,6 +257,9 @@ impl ShardJob {
         let spec = self.spec();
         let params = spec.kpm_params();
         params.validate().map_err(job_err)?;
+        // Jobs sharing a warm operator also share its memoized spectral
+        // bounds — repeat shards probe the cache instead of recomputing.
+        let _bounds_scope = kpm::OpKeyScope::enter(self.op_key());
         match self {
             ShardJob::Dos(_) => match matrix {
                 JobMatrix::Sparse(h) => dos_partial(h, &params, range),
@@ -285,7 +283,7 @@ impl ShardJob {
                 let period =
                     if spec.boundary == Boundary::Periodic { Some(l as f64) } else { None };
                 let w = velocity_operator(&h, &positions, period);
-                let bounds = h.spectral_bounds(params.bounds).map_err(job_err)?;
+                let bounds = kpm::bounds::resolve(&h, params.bounds).map_err(job_err)?;
                 let rescaled = rescale(&h, bounds, params.padding).map_err(job_err)?;
                 double_moments_partial(&rescaled, &w, &params, range).map_err(job_err)
             }
@@ -340,7 +338,7 @@ fn kubo_csr(spec: &JobSpec) -> Result<kpm_linalg::CsrMatrix, ShardError> {
 }
 
 fn rescaled_bounds<A: Boundable>(h: &A, params: &KpmParams) -> Result<(f64, f64), ShardError> {
-    let bounds = h.spectral_bounds(params.bounds).map_err(job_err)?;
+    let bounds = kpm::bounds::resolve(h, params.bounds).map_err(job_err)?;
     let rescaled = rescale(h, bounds, params.padding).map_err(job_err)?;
     Ok((rescaled.a_plus(), rescaled.a_minus()))
 }
@@ -352,7 +350,7 @@ fn dos_partial<A: Boundable + TiledOp + Sync>(
     params: &KpmParams,
     range: Range<usize>,
 ) -> Result<Vec<Vec<f64>>, ShardError> {
-    let bounds = h.spectral_bounds(params.bounds).map_err(job_err)?;
+    let bounds = kpm::bounds::resolve(h, params.bounds).map_err(job_err)?;
     let rescaled = rescale(h, bounds, params.padding).map_err(job_err)?;
     // Resolve (or probe) the calibrated profile for this worker's slice of
     // the ensemble — every shard of the same job shares the operator shape,
@@ -370,7 +368,7 @@ fn ldos_partial<A: Boundable + TiledOp + Sync>(
     params: &KpmParams,
     site: usize,
 ) -> Result<Vec<Vec<f64>>, ShardError> {
-    let bounds = h.spectral_bounds(params.bounds).map_err(job_err)?;
+    let bounds = kpm::bounds::resolve(h, params.bounds).map_err(job_err)?;
     let rescaled = rescale(h, bounds, params.padding).map_err(job_err)?;
     let mut e_i = vec![0.0; rescaled.dim()];
     e_i[site] = 1.0;
@@ -561,6 +559,41 @@ mod tests {
         assert!(base.prefix_extendable());
         assert!(ldos.prefix_extendable());
         assert!(!kubo.prefix_extendable());
+    }
+
+    #[test]
+    fn bounds_mode_changes_row_key_but_not_op_key() {
+        let base = dos_job("lattice=chain:32 moments=24 random=3 sets=2 seed=5");
+        let lanczos = dos_job("lattice=chain:32 moments=24 random=3 sets=2 seed=5 bounds=lanczos");
+        // Same assembled matrix, so the warm-operator identity is shared...
+        assert_eq!(base.op_key(), lanczos.op_key());
+        // ...but rows computed under a different rescale map have different
+        // bits, so warm rows must not transfer across bounds modes.
+        assert_ne!(base.row_key(), lanczos.row_key());
+        // And the canonical shard line round-trips the provider.
+        let again = ShardJob::parse(&lanczos.canonical()).unwrap();
+        assert_eq!(again, lanczos);
+    }
+
+    #[test]
+    fn lanczos_bounds_job_merges_bitwise_with_serve_pipeline() {
+        let line =
+            "lattice=chain:48 disorder=6@5 moments=20 random=3 sets=2 seed=9 bounds=lanczos:32";
+        let job = dos_job(line);
+        let mut rows = Vec::new();
+        for range in kpm::shard_plan(job.total_units(), 4) {
+            rows.extend(job.compute_partial(range).unwrap());
+        }
+        let merged = job.merge(&rows).unwrap().into_stats().unwrap();
+        let (stats, a_plus, a_minus) =
+            compute_raw_moments(&JobSpec::parse(line).unwrap(), 0).unwrap();
+        assert_eq!(merged.mean, stats.mean);
+        assert_eq!(job.bounds().unwrap(), (a_plus, a_minus));
+        // Tighter than Gershgorin on the disordered chain (discs overshoot
+        // by O(W/2)): the half-width the shard pipeline agrees on must beat
+        // the disc bound's.
+        let gersh = dos_job("lattice=chain:48 disorder=6@5 moments=20 random=3 sets=2 seed=9");
+        assert!(job.bounds().unwrap().1 < gersh.bounds().unwrap().1);
     }
 
     #[test]

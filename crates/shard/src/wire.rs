@@ -429,6 +429,41 @@ mod tests {
         assert!(matches!(decode_bytes(&v3), Err(ShardError::Protocol(_))));
     }
 
+    /// Version tolerance for the bounds provider: a pre-bounds Request
+    /// frame (spec line with no `bounds=` key) decodes to a job with the
+    /// Gershgorin default and keeps its bounds-free canonical line, while a
+    /// bounds-bearing line survives the KPSH round trip verbatim.
+    #[test]
+    fn legacy_spec_lines_decode_to_gershgorin_bounds() {
+        let spec = "dos lattice=chain:32 moments=16";
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 7);
+        put_u32(&mut payload, 3);
+        put_u64(&mut payload, 10);
+        put_u64(&mut payload, 20);
+        put_str(&mut payload, spec);
+        let bytes = Codec { magic: MAGIC, version: 1 }.frame(3, payload);
+        let Frame::Request(req) = decode_bytes(&bytes).unwrap() else { panic!("expected Request") };
+        let job = crate::ShardJob::parse(&req.spec).unwrap();
+        assert_eq!(job.spec().bounds, kpm::BoundsMethod::Gershgorin);
+        assert!(!job.canonical().contains("bounds="), "{}", job.canonical());
+
+        let line = "ldos:3 lattice=chain:32 disorder=4@1 moments=16 bounds=lanczos:24";
+        let job = crate::ShardJob::parse(line).unwrap();
+        assert_eq!(job.spec().bounds, kpm::BoundsMethod::Lanczos { steps: 24 });
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1);
+        put_u32(&mut payload, 0);
+        put_u64(&mut payload, 0);
+        put_u64(&mut payload, 2);
+        put_str(&mut payload, &job.canonical());
+        let bytes = CODEC.frame(3, payload);
+        let Frame::Request(req) = decode_bytes(&bytes).unwrap() else { panic!("expected Request") };
+        let round = crate::ShardJob::parse(&req.spec).unwrap();
+        assert_eq!(round.canonical(), job.canonical());
+        assert_eq!(round.spec().bounds, kpm::BoundsMethod::Lanczos { steps: 24 });
+    }
+
     #[test]
     fn float_bits_survive_exactly() {
         // Values that decimal round-trips mangle must survive bitwise.

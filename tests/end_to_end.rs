@@ -87,10 +87,16 @@ fn recursion_strategies_agree_end_to_end() {
 /// rescaling window (better energy resolution at equal N).
 #[test]
 fn lanczos_bounds_pipeline_agrees_and_tightens() {
-    // Open-boundary chain: Gershgorin gives [-2, 2] but the true spectrum
-    // is strictly inside.
-    let tb =
-        TightBinding::new(HypercubicLattice::chain(64, Boundary::Open), 1.0, OnSite::Uniform(0.0));
+    // Disordered chain: the Gershgorin discs inflate by W/2 on every row
+    // while the true spectral edge stays far inside, so the contained
+    // Lanczos window is decisively narrower. (On a clean chain the
+    // spectrum fills the discs to within the probe's safety cushion and
+    // there is nothing to tighten.)
+    let tb = TightBinding::new(
+        HypercubicLattice::chain(64, Boundary::Open),
+        1.0,
+        OnSite::Disorder { width: 6.0, seed: 9 },
+    );
     let h = tb.build_csr();
     let gersh = KpmParams::new(64).with_random_vectors(8, 4).with_seed(5);
     let lanc = gersh.clone().with_bounds(BoundsMethod::Lanczos { steps: 60 });
